@@ -1,0 +1,74 @@
+// Ablation C: WORM magnetic-disk cache size. §9.3's entire result — the
+// DBMS beating a raw-device reader on random and 80/20 access — hinges on
+// this cache; the sweep shows the crossover from useless to decisive.
+//
+// Run: bench_ablation_wormcache [workdir]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/harness.h"
+
+namespace pglo {
+namespace bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_ablC";
+  int rc = std::system(("rm -rf '" + workdir + "'").c_str());
+  (void)rc;
+
+  const size_t kCacheBlocks[] = {0, 640, 1250, 3200, 4480, 7000};
+
+  std::printf("Ablation C: WORM magnetic-disk cache size, f-chunk object\n\n");
+  std::printf("%10s %14s %14s %14s %14s\n", "cache MB", "seq read s",
+              "rand read s", "80/20 read s", "hit rate");
+
+  for (size_t blocks : kCacheBlocks) {
+    std::string dir = workdir + "/" + std::to_string(blocks);
+    Database db;
+    DatabaseOptions options = PaperOptions(dir);
+    options.worm_cache_blocks = blocks;
+    Status s = db.Open(options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    LoBenchRunner runner(&db);
+    BenchConfig config{"fchunk", StorageKind::kFChunk, "", kSmgrWorm};
+    Result<Oid> oid = runner.CreateObject(config);
+    if (!oid.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   oid.status().ToString().c_str());
+      return 1;
+    }
+    db.worm()->ResetStats();
+    Result<double> seq = runner.RunOp(*oid, Op::kSeqRead, 7);
+    Result<double> rand = runner.RunOp(*oid, Op::kRandRead, 8);
+    Result<double> local = runner.RunOp(*oid, Op::kLocalRead, 9);
+    if (!seq.ok() || !rand.ok() || !local.ok()) {
+      std::fprintf(stderr, "bench failed\n");
+      return 1;
+    }
+    const WormSmgrStats& stats = db.worm()->stats();
+    double hit_rate = static_cast<double>(stats.cache_hits) /
+                      static_cast<double>(stats.cache_hits +
+                                          stats.cache_misses + 1);
+    std::printf("%10.1f %14.1f %14.1f %14.1f %13.1f%%\n",
+                blocks * 8192.0 / (1024 * 1024), *seq, *rand, *local,
+                100.0 * hit_rate);
+  }
+  std::printf(
+      "\nExpected shape: sequential time is cache-insensitive (a cold "
+      "streaming scan);\nrandom and 80/20 collapse once the cache covers "
+      "a majority of the object.\n");
+  rc = std::system(("rm -rf '" + workdir + "'").c_str());
+  (void)rc;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pglo
+
+int main(int argc, char** argv) { return pglo::bench::Main(argc, argv); }

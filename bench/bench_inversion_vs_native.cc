@@ -1,0 +1,189 @@
+// Reproduces §10's summary claim: "As our measurements demonstrate, the
+// Inversion approach is within 1/3 of the performance of the native file
+// system. This is especially attractive because time-travel, transactions
+// and compression are automatically available."
+//
+// Unlike bench_figure2 (raw large-object API), this drives the *file
+// system* interface end to end: path resolution over the DIRECTORY class,
+// FILESTAT maintenance, then large-object I/O — against the same workload
+// on the simulated native UNIX file system.
+//
+// Run: bench_inversion_vs_native [workdir]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/harness.h"
+#include "common/random.h"
+#include "inversion/inversion_fs.h"
+
+namespace pglo {
+namespace bench {
+namespace {
+
+constexpr uint64_t kFileFrames = 2'500;  // 10 MB file
+
+struct Timings {
+  double seq_write = 0, seq_read = 0, rand_read = 0;
+};
+
+Result<Timings> RunNative(Database* db) {
+  Timings t;
+  FrameParams params;
+  PGLO_ASSIGN_OR_RETURN(uint32_t ino, db->ufs().Create("native.dat"));
+  {
+    SimTimer timer(&db->clock());
+    for (uint64_t i = 0; i < kFileFrames; ++i) {
+      Bytes frame = MakeFrame(kCreateSeed, i, params);
+      PGLO_RETURN_IF_ERROR(
+          db->ufs().WriteAt(ino, i * kFrameSize, Slice(frame)));
+    }
+    PGLO_RETURN_IF_ERROR(db->ufs().Sync());
+    t.seq_write = timer.ElapsedSeconds();
+  }
+  Bytes buf(kFrameSize);
+  {
+    SimTimer timer(&db->clock());
+    for (uint64_t i = 0; i < kFileFrames; ++i) {
+      PGLO_ASSIGN_OR_RETURN(size_t n, db->ufs().ReadAt(ino, i * kFrameSize,
+                                                       kFrameSize,
+                                                       buf.data()));
+      if (n != kFrameSize) return Status::Internal("short read");
+    }
+    t.seq_read = timer.ElapsedSeconds();
+  }
+  {
+    Random rng(7);
+    SimTimer timer(&db->clock());
+    for (int i = 0; i < 250; ++i) {
+      uint64_t frame = rng.Uniform(kFileFrames);
+      PGLO_ASSIGN_OR_RETURN(
+          size_t n, db->ufs().ReadAt(ino, frame * kFrameSize, kFrameSize,
+                                     buf.data()));
+      if (n != kFrameSize) return Status::Internal("short read");
+    }
+    t.rand_read = timer.ElapsedSeconds();
+  }
+  return t;
+}
+
+Result<Timings> RunInversion(Database* db, InversionFs* fs,
+                             const LoSpec& spec, const std::string& path) {
+  Timings t;
+  FrameParams params;
+  {
+    Transaction* txn = db->Begin();
+    PGLO_RETURN_IF_ERROR(fs->Create(txn, path, spec).status());
+    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+  }
+  {
+    Transaction* txn = db->Begin();
+    PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, /*writable=*/true));
+    SimTimer timer(&db->clock());
+    for (uint64_t i = 0; i < kFileFrames; ++i) {
+      Bytes frame = MakeFrame(kCreateSeed, i, params);
+      PGLO_RETURN_IF_ERROR(file->Write(Slice(frame)));
+    }
+    file.reset();
+    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+    t.seq_write = timer.ElapsedSeconds();
+  }
+  Bytes buf(kFrameSize);
+  {
+    Transaction* txn = db->Begin();
+    PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, false));
+    SimTimer timer(&db->clock());
+    for (uint64_t i = 0; i < kFileFrames; ++i) {
+      PGLO_ASSIGN_OR_RETURN(size_t n, file->Read(kFrameSize, buf.data()));
+      if (n != kFrameSize) return Status::Internal("short read");
+    }
+    t.seq_read = timer.ElapsedSeconds();
+    file.reset();
+    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+  }
+  {
+    Transaction* txn = db->Begin();
+    PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, false));
+    Random rng(7);
+    SimTimer timer(&db->clock());
+    for (int i = 0; i < 250; ++i) {
+      uint64_t frame = rng.Uniform(kFileFrames);
+      PGLO_RETURN_IF_ERROR(
+          file->Seek(static_cast<int64_t>(frame * kFrameSize), Whence::kSet)
+              .status());
+      PGLO_ASSIGN_OR_RETURN(size_t n, file->Read(kFrameSize, buf.data()));
+      if (n != kFrameSize) return Status::Internal("short read");
+    }
+    t.rand_read = timer.ElapsedSeconds();
+    file.reset();
+    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+  }
+  return t;
+}
+
+int Main(int argc, char** argv) {
+  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_inv";
+  int rc = std::system(("rm -rf '" + workdir + "'").c_str());
+  (void)rc;
+
+  Database db;
+  Status s = db.Open(PaperOptions(workdir + "/db"));
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  InversionFs fs(db.context(), &db.large_objects());
+  {
+    Transaction* txn = db.Begin();
+    s = fs.Bootstrap(txn);
+    if (s.ok()) s = db.Commit(txn).status();
+    if (!s.ok()) {
+      std::fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Result<Timings> native = RunNative(&db);
+  LoSpec fchunk_spec;
+  Result<Timings> fchunk =
+      RunInversion(&db, &fs, fchunk_spec, "/inv_fchunk.dat");
+  LoSpec vseg_spec;
+  vseg_spec.kind = StorageKind::kVSegment;
+  vseg_spec.codec = "lzss";
+  vseg_spec.max_segment = static_cast<uint32_t>(kFrameSize);
+  Result<Timings> vseg =
+      RunInversion(&db, &fs, vseg_spec, "/inv_vseg.dat");
+  if (!native.ok() || !fchunk.ok() || !vseg.ok()) {
+    std::fprintf(stderr, "bench failed: %s %s %s\n",
+                 native.status().ToString().c_str(),
+                 fchunk.status().ToString().c_str(),
+                 vseg.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Inversion file system vs native file system "
+              "(10 MB file, simulated seconds)\n\n");
+  std::printf("%-22s %12s %12s %14s\n", "Operation", "native",
+              "Inversion", "Inv. (v-seg+lzss)");
+  std::printf("%-22s %12.1f %12.1f %14.1f\n", "sequential write",
+              native->seq_write, fchunk->seq_write, vseg->seq_write);
+  std::printf("%-22s %12.1f %12.1f %14.1f\n", "sequential read",
+              native->seq_read, fchunk->seq_read, vseg->seq_read);
+  std::printf("%-22s %12.1f %12.1f %14.1f\n", "1MB random read",
+              native->rand_read, fchunk->rand_read, vseg->rand_read);
+
+  std::printf("\nShape check (§10): \"the Inversion approach is within 1/3 "
+              "of the performance of\nthe native file system\" — "
+              "sequential read ratio %.2fx (claim: <= ~1.33x),\nwith "
+              "time travel, transactions and compression included.\n",
+              fchunk->seq_read / native->seq_read);
+  rc = std::system(("rm -rf '" + workdir + "'").c_str());
+  (void)rc;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pglo
+
+int main(int argc, char** argv) { return pglo::bench::Main(argc, argv); }

@@ -1,0 +1,230 @@
+// Wall-clock micro-benchmarks of the individual substrates (google
+// benchmark). Unlike the figure benches — which report deterministic
+// *simulated* seconds — these measure the real CPU cost of this
+// implementation's data structures.
+
+#include <benchmark/benchmark.h>
+
+#include "btree/btree.h"
+#include "common/crc32c.h"
+#include "common/random.h"
+#include "compress/lzss.h"
+#include "compress/rle.h"
+#include "db/database.h"
+#include "heap/heap_class.h"
+#include "smgr/mm_smgr.h"
+#include "storage/page.h"
+#include "workload/frames.h"
+
+namespace pglo {
+namespace {
+
+void BM_SlottedPageAddItem(benchmark::State& state) {
+  uint8_t buf[kPageSize];
+  Bytes item(static_cast<size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    SlottedPage page(buf);
+    page.Init();
+    while (page.AddItem(Slice(item)).ok()) {
+    }
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_SlottedPageAddItem)->Arg(64)->Arg(512)->Arg(4000);
+
+void BM_SlottedPageCompact(benchmark::State& state) {
+  uint8_t buf[kPageSize];
+  for (auto _ : state) {
+    state.PauseTiming();
+    SlottedPage page(buf);
+    page.Init();
+    Bytes item(128, 1);
+    std::vector<uint16_t> slots;
+    while (true) {
+      Result<uint16_t> slot = page.AddItem(Slice(item));
+      if (!slot.ok()) break;
+      slots.push_back(slot.value());
+    }
+    for (size_t i = 0; i < slots.size(); i += 2) {
+      Status s = page.DeleteItem(slots[i]);
+      benchmark::DoNotOptimize(s.ok());
+    }
+    state.ResumeTiming();
+    page.Compact();
+  }
+}
+BENCHMARK(BM_SlottedPageCompact);
+
+void BM_Crc32c(benchmark::State& state) {
+  Bytes data = Random(1).RandomBytes(kPageSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * kPageSize);
+}
+BENCHMARK(BM_Crc32c);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  SmgrRegistry smgrs;
+  (void)smgrs.Register(0, std::make_unique<MainMemorySmgr>(nullptr));
+  BufferPool pool(&smgrs, 64);
+  (void)smgrs.Get(0).value()->CreateFile(1);
+  BlockNumber block;
+  { auto handle = pool.NewPage({0, 1}, &block); }
+  for (auto _ : state) {
+    auto handle = pool.GetPage({{0, 1}, 0});
+    benchmark::DoNotOptimize(handle.value().data());
+  }
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BtreeInsert(benchmark::State& state) {
+  SmgrRegistry smgrs;
+  (void)smgrs.Register(0, std::make_unique<MainMemorySmgr>(nullptr));
+  BufferPool pool(&smgrs, 4096);
+  (void)Btree::Create(&pool, {0, 1});
+  Btree tree(&pool, {0, 1});
+  uint64_t key = 0;
+  for (auto _ : state) {
+    Status s = tree.Insert(key, key);
+    benchmark::DoNotOptimize(s.ok());
+    ++key;
+  }
+}
+BENCHMARK(BM_BtreeInsert);
+
+void BM_BtreeLookup(benchmark::State& state) {
+  SmgrRegistry smgrs;
+  (void)smgrs.Register(0, std::make_unique<MainMemorySmgr>(nullptr));
+  BufferPool pool(&smgrs, 4096);
+  (void)Btree::Create(&pool, {0, 1});
+  Btree tree(&pool, {0, 1});
+  for (uint64_t k = 0; k < 100'000; ++k) {
+    Status s = tree.Insert(k, k);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  Random rng(3);
+  for (auto _ : state) {
+    auto values = tree.Lookup(rng.Uniform(100'000));
+    benchmark::DoNotOptimize(values.value().size());
+  }
+}
+BENCHMARK(BM_BtreeLookup);
+
+void BM_HeapInsert(benchmark::State& state) {
+  SmgrRegistry smgrs;
+  (void)smgrs.Register(0, std::make_unique<MainMemorySmgr>(nullptr));
+  BufferPool pool(&smgrs, 4096);
+  char path[] = "/tmp/pglo_micro_clog_XXXXXX";
+  int fd = ::mkstemp(path);
+  if (fd >= 0) ::close(fd);
+  CommitLog clog;
+  (void)clog.Open(path);
+  TxnManager txns(&clog, &pool);
+  (void)HeapClass::Create(&pool, {0, 1});
+  HeapClass heap(&pool, {0, 1});
+  Transaction* txn = txns.Begin();
+  Bytes payload(200, 7);
+  for (auto _ : state) {
+    auto tid = heap.Insert(txn, Slice(payload));
+    benchmark::DoNotOptimize(tid.ok());
+  }
+  (void)txns.Abort(txn);
+  ::unlink(path);
+}
+BENCHMARK(BM_HeapInsert);
+
+void BM_RleCompressFrame(benchmark::State& state) {
+  Bytes frame = MakeFrame(1, 0, FrameParams{});
+  RleCompressor rle;
+  for (auto _ : state) {
+    Bytes out;
+    Status s = rle.Compress(Slice(frame), &out);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * frame.size());
+}
+BENCHMARK(BM_RleCompressFrame);
+
+void BM_LzssCompressFrame(benchmark::State& state) {
+  Bytes frame = MakeFrame(1, 0, FrameParams{});
+  LzssCompressor lzss;
+  for (auto _ : state) {
+    Bytes out;
+    Status s = lzss.Compress(Slice(frame), &out);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * frame.size());
+}
+BENCHMARK(BM_LzssCompressFrame);
+
+void BM_LzssDecompressFrame(benchmark::State& state) {
+  Bytes frame = MakeFrame(1, 0, FrameParams{});
+  LzssCompressor lzss;
+  Bytes compressed;
+  (void)lzss.Compress(Slice(frame), &compressed);
+  for (auto _ : state) {
+    Bytes out;
+    Status s = lzss.Decompress(Slice(compressed), frame.size(), &out);
+    benchmark::DoNotOptimize(s.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * frame.size());
+}
+BENCHMARK(BM_LzssDecompressFrame);
+
+// End-to-end large-object throughput (wall clock, devices uncharged): the
+// real CPU cost of the f-chunk and v-segment read/write paths.
+void BM_LoThroughput(benchmark::State& state) {
+  const bool vsegment = state.range(0) == 1;
+  const bool write = state.range(1) == 1;
+
+  char tmpl[] = "/tmp/pglo_micro_db_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  Database database;
+  DatabaseOptions options;
+  options.dir = dir ? dir : "/tmp/pglo_micro_db";
+  options.charge_devices = false;
+  options.buffer_pool_frames = 2048;
+  if (!database.Open(options).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  Transaction* txn = database.Begin();
+  LoSpec spec;
+  spec.kind = vsegment ? StorageKind::kVSegment : StorageKind::kFChunk;
+  Oid oid = database.large_objects().Create(txn, spec).value();
+  auto lo = database.large_objects().Instantiate(txn, oid).value();
+  Bytes frame = MakeFrame(1, 0, FrameParams{});
+  // Preload 4 MB so reads have something to chew on.
+  for (uint64_t i = 0; i < 1024; ++i) {
+    benchmark::DoNotOptimize(
+        lo->Write(txn, i * frame.size(), Slice(frame)).ok());
+  }
+  uint64_t pos = 0;
+  Bytes buf(frame.size());
+  for (auto _ : state) {
+    uint64_t off = (pos++ % 1024) * frame.size();
+    if (write) {
+      Status s = lo->Write(txn, off, Slice(frame));
+      benchmark::DoNotOptimize(s.ok());
+    } else {
+      auto n = lo->Read(txn, off, frame.size(), buf.data());
+      benchmark::DoNotOptimize(n.ok());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * frame.size());
+  benchmark::DoNotOptimize(database.Abort(txn).ok());
+  benchmark::DoNotOptimize(database.Close().ok());
+  if (dir) {
+    int rc = std::system(("rm -rf '" + std::string(dir) + "'").c_str());
+    (void)rc;
+  }
+}
+BENCHMARK(BM_LoThroughput)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->ArgNames({"vseg", "write"});
+
+}  // namespace
+}  // namespace pglo
+
+BENCHMARK_MAIN();

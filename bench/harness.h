@@ -1,0 +1,83 @@
+#ifndef PGLO_BENCH_HARNESS_H_
+#define PGLO_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "workload/frames.h"
+
+namespace pglo {
+namespace bench {
+
+/// §9.1: "a 51.2MB large object was created and then logically considered
+/// a group of 12,500 frames, each of size 4096 bytes."
+constexpr uint64_t kFrameSize = 4096;
+constexpr uint64_t kNumFrames = 12'500;
+constexpr uint64_t kObjectSize = kFrameSize * kNumFrames;  // 51,200,000
+/// "Read 2,500 frames (10MB) sequentially." / "Read 250 frames (1MB) ..."
+constexpr uint64_t kSeqFrames = 2'500;
+constexpr uint64_t kRandFrames = 250;
+
+constexpr uint64_t kCreateSeed = 0xBEEF;
+
+/// One column of Figures 1–3: a large-object implementation configuration.
+struct BenchConfig {
+  std::string name;          ///< column label, paper style
+  StorageKind kind = StorageKind::kFChunk;
+  std::string codec;         ///< "", "rle" (≈30 %), or "lzss" (≈50 %)
+  uint8_t smgr = kSmgrDisk;
+  uint32_t chunk_size = 8000;
+  /// v-segment: the paper's object was created frame-by-frame, so its
+  /// segments are one frame long.
+  uint32_t max_segment = static_cast<uint32_t>(kFrameSize);
+};
+
+/// The six §9 benchmark operations.
+enum class Op {
+  kSeqRead,     ///< read 2,500 frames sequentially (10 MB)
+  kSeqWrite,    ///< replace 2,500 frames sequentially
+  kRandRead,    ///< read 250 random frames (1 MB)
+  kRandWrite,   ///< replace 250 random frames
+  kLocalRead,   ///< read 250 frames with 80/20 locality
+  kLocalWrite,  ///< replace 250 frames with 80/20 locality
+};
+
+const char* OpName(Op op);
+bool OpIsWrite(Op op);
+
+/// Calibrated 1992-scale options (device models, 10 MB caches, CPU MIPS).
+DatabaseOptions PaperOptions(const std::string& dir);
+
+/// Drives one database instance through object creation and the benchmark
+/// operations, measuring simulated elapsed time.
+class LoBenchRunner {
+ public:
+  explicit LoBenchRunner(Database* db) : db_(db) {}
+
+  /// Creates the 51.2 MB object frame by frame (one transaction), as the
+  /// paper did. Returns its oid.
+  Result<Oid> CreateObject(const BenchConfig& config);
+
+  /// Runs one benchmark operation in its own transaction; returns
+  /// simulated elapsed seconds.
+  Result<double> RunOp(Oid oid, Op op, uint64_t seed);
+
+  /// Storage accounting for Figure 1.
+  Result<LargeObject::StorageFootprint> Footprint(Oid oid);
+
+ private:
+  Database* db_;
+};
+
+/// Renders a Figure 2/3-style table: rows = operations, columns = configs,
+/// cells = elapsed seconds with the given precision.
+std::string FormatTable(const std::string& title,
+                        const std::vector<std::string>& columns,
+                        const std::vector<std::string>& row_labels,
+                        const std::vector<std::vector<double>>& cells);
+
+}  // namespace bench
+}  // namespace pglo
+
+#endif  // PGLO_BENCH_HARNESS_H_

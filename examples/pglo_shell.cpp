@@ -1,0 +1,99 @@
+// pglo_shell — an interactive POSTQUEL monitor over the library, in the
+// spirit of the POSTGRES terminal monitor. Reads statements from stdin
+// (';'-terminated or one per line), prints result tables.
+//
+//   ./build/examples/pglo_shell [dbdir]
+//
+// Extra backslash commands:
+//   \t <tick>   run subsequent retrieves as of a commit tick (0 = now)
+//   \now        print the current commit tick
+//   \q          quit
+//
+// Example session:
+//   create EMP (name = text, age = int4)
+//   append EMP (name = "Joe", age = 30)
+//   define index emp_name on EMP (name)
+//   retrieve (EMP.name, EMP.age) where EMP.name = "Joe"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "db/database.h"
+#include "query/session.h"
+
+using pglo::Database;
+using pglo::DatabaseOptions;
+using pglo::query::QueryResult;
+using pglo::query::Session;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : "/tmp/pglo_shell_db";
+  Database db;
+  DatabaseOptions options;
+  options.dir = dir;
+  pglo::Status s = db.Open(options);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", dir.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  Session session(&db);
+  std::printf("pglo shell — database %s (\\q to quit)\n", dir.c_str());
+
+  uint64_t as_of = 0;
+  std::string line;
+  while (std::printf("pglo> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    // Trim.
+    size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t;");
+    std::string text = line.substr(begin, end - begin + 1);
+    if (text.empty()) continue;
+
+    if (text == "\\q" || text == "quit" || text == "exit") break;
+    if (text == "\\now") {
+      std::printf("commit tick %llu\n",
+                  static_cast<unsigned long long>(db.Now()));
+      continue;
+    }
+    if (text.rfind("\\t", 0) == 0) {
+      as_of = std::strtoull(text.c_str() + 2, nullptr, 10);
+      if (as_of == 0) {
+        std::printf("time travel off\n");
+      } else {
+        std::printf("retrieves now run as of tick %llu\n",
+                    static_cast<unsigned long long>(as_of));
+      }
+      continue;
+    }
+    if (as_of != 0 && text.rfind("retrieve", 0) == 0 &&
+        text.find(" as of ") == std::string::npos) {
+      text += " as of " + std::to_string(as_of);
+    }
+
+    pglo::Result<QueryResult> result = session.Run(text);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->columns.empty()) {
+      auto rendered = result->ToString(session.types());
+      if (rendered.ok()) {
+        std::printf("%s", rendered.value().c_str());
+      }
+      std::printf("(%zu row%s)\n", result->rows.size(),
+                  result->rows.size() == 1 ? "" : "s");
+    } else {
+      std::printf("ok (%llu affected)\n",
+                  static_cast<unsigned long long>(result->affected));
+    }
+  }
+  s = db.Close();
+  if (!s.ok()) {
+    std::fprintf(stderr, "close failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,335 @@
+#include "btree/btree.h"
+
+#include "btree/btree_page.h"
+#include "common/logging.h"
+
+namespace pglo {
+
+Status Btree::Create(BufferPool* pool, RelFileId file) {
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, pool->smgrs()->Get(file.smgr_id));
+  PGLO_RETURN_IF_ERROR(smgr->CreateFile(file.relfile));
+  BlockNumber meta_block, root_block;
+  {
+    PGLO_ASSIGN_OR_RETURN(PageHandle meta_handle,
+                          pool->NewPage(file, &meta_block));
+    PGLO_CHECK(meta_block == 0);
+    PGLO_ASSIGN_OR_RETURN(PageHandle root_handle,
+                          pool->NewPage(file, &root_block));
+    BtreeNode root(root_handle.data());
+    root.Init(/*level=*/0);
+    root_handle.MarkDirty();
+    BtreeMeta meta(meta_handle.data());
+    meta.Init(root_block, /*height=*/1);
+    meta_handle.MarkDirty();
+  }
+  return Status::OK();
+}
+
+Result<BlockNumber> Btree::RootBlock() {
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, 0}));
+  BtreeMeta meta(handle.data());
+  if (!meta.IsValid()) return Status::Corruption("bad btree meta page");
+  return meta.root();
+}
+
+Status Btree::SetRoot(BlockNumber root, uint32_t height) {
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, 0}));
+  BtreeMeta meta(handle.data());
+  if (!meta.IsValid()) return Status::Corruption("bad btree meta page");
+  meta.Set(root, height);
+  handle.MarkDirty();
+  return Status::OK();
+}
+
+Result<uint32_t> Btree::Height() {
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, 0}));
+  BtreeMeta meta(handle.data());
+  if (!meta.IsValid()) return Status::Corruption("bad btree meta page");
+  return meta.height();
+}
+
+Result<BlockNumber> Btree::DescendToLeaf(uint64_t key, uint64_t value,
+                                         std::vector<PathEntry>* path) {
+  PGLO_ASSIGN_OR_RETURN(BlockNumber block, RootBlock());
+  for (;;) {
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, block}));
+    BtreeNode node(handle.data());
+    if (!node.IsValid()) return Status::Corruption("bad btree node");
+    if (node.is_leaf()) return block;
+    if (node.nkeys() == 0) return Status::Corruption("empty internal node");
+    // Child whose minimum bound is the last one <= (key, value). Entry 0 is
+    // the (0, 0) sentinel (negative infinity), so UpperBound is always >= 1.
+    uint16_t idx = node.UpperBound(key, value);
+    PGLO_CHECK(idx > 0);
+    --idx;
+    if (path != nullptr) path->push_back({block, idx});
+    block = node.ChildAt(idx);
+  }
+}
+
+Status Btree::InsertIntoParent(std::vector<PathEntry>* path, uint64_t sep_key,
+                               uint64_t sep_value, BlockNumber right_child) {
+  // Bubble splits upward along the recorded descent path.
+  while (!path->empty()) {
+    PathEntry at = path->back();
+    path->pop_back();
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle,
+                          pool_->GetPage({file_, at.block}));
+    BtreeNode node(handle.data());
+    uint16_t pos = node.UpperBound(sep_key, sep_value);
+    if (node.nkeys() < node.capacity()) {
+      node.InsertInternalEntry(pos, sep_key, sep_value, right_child);
+      handle.MarkDirty();
+      return Status::OK();
+    }
+    // Split this internal node.
+    BlockNumber new_block;
+    PGLO_ASSIGN_OR_RETURN(PageHandle new_handle,
+                          pool_->NewPage(file_, &new_block));
+    BtreeNode new_node(new_handle.data());
+    new_node.Init(node.level());
+    uint16_t mid = node.nkeys() / 2;
+    node.MoveUpperHalf(mid, &new_node);
+    new_node.set_right_sibling(node.right_sibling());
+    node.set_right_sibling(new_block);
+    // Route the pending entry into the proper half.
+    uint64_t boundary_key = new_node.KeyAt(0);
+    uint64_t boundary_value = new_node.ValueAt(0);
+    bool goes_right =
+        (sep_key > boundary_key) ||
+        (sep_key == boundary_key && sep_value >= boundary_value);
+    BtreeNode& dst = goes_right ? new_node : node;
+    uint16_t dpos = dst.UpperBound(sep_key, sep_value);
+    dst.InsertInternalEntry(dpos, sep_key, sep_value, right_child);
+    handle.MarkDirty();
+    new_handle.MarkDirty();
+    // Continue with the new node's minimum as the separator to push up.
+    sep_key = boundary_key;
+    sep_value = boundary_value;
+    right_child = new_block;
+  }
+  // The root itself split: grow the tree.
+  PGLO_ASSIGN_OR_RETURN(BlockNumber old_root, RootBlock());
+  PGLO_ASSIGN_OR_RETURN(uint32_t height, Height());
+  BlockNumber new_root_block;
+  PGLO_ASSIGN_OR_RETURN(PageHandle root_handle,
+                        pool_->NewPage(file_, &new_root_block));
+  BtreeNode new_root(root_handle.data());
+  {
+    PGLO_ASSIGN_OR_RETURN(PageHandle old_handle,
+                          pool_->GetPage({file_, old_root}));
+    BtreeNode old_node(old_handle.data());
+    new_root.Init(static_cast<uint16_t>(old_node.level() + 1));
+    // Entry 0 is the negative-infinity sentinel: (0, 0) compares <= every
+    // possible target, so UpperBound-based descent can always step left of
+    // the first real separator.
+    new_root.InsertInternalEntry(0, 0, 0, old_root);
+  }
+  new_root.InsertInternalEntry(1, sep_key, sep_value, right_child);
+  root_handle.MarkDirty();
+  return SetRoot(new_root_block, height + 1);
+}
+
+Status Btree::Insert(uint64_t key, uint64_t value) {
+  std::vector<PathEntry> path;
+  PGLO_ASSIGN_OR_RETURN(BlockNumber leaf_block,
+                        DescendToLeaf(key, value, &path));
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, leaf_block}));
+  BtreeNode leaf(handle.data());
+  uint16_t pos = leaf.LowerBound(key, value);
+  if (pos < leaf.nkeys() && leaf.KeyAt(pos) == key &&
+      leaf.ValueAt(pos) == value) {
+    return Status::AlreadyExists("duplicate (key, value) entry");
+  }
+  if (leaf.nkeys() < leaf.capacity()) {
+    leaf.InsertLeafEntry(pos, key, value);
+    handle.MarkDirty();
+    return Status::OK();
+  }
+  // Split the leaf.
+  BlockNumber new_block;
+  PGLO_ASSIGN_OR_RETURN(PageHandle new_handle,
+                        pool_->NewPage(file_, &new_block));
+  BtreeNode new_leaf(new_handle.data());
+  new_leaf.Init(/*level=*/0);
+  uint16_t mid = leaf.nkeys() / 2;
+  leaf.MoveUpperHalf(mid, &new_leaf);
+  new_leaf.set_right_sibling(leaf.right_sibling());
+  leaf.set_right_sibling(new_block);
+  uint64_t boundary_key = new_leaf.KeyAt(0);
+  uint64_t boundary_value = new_leaf.ValueAt(0);
+  bool goes_right = (key > boundary_key) ||
+                    (key == boundary_key && value >= boundary_value);
+  BtreeNode& dst = goes_right ? new_leaf : leaf;
+  uint16_t dpos = dst.LowerBound(key, value);
+  dst.InsertLeafEntry(dpos, key, value);
+  handle.MarkDirty();
+  new_handle.MarkDirty();
+  return InsertIntoParent(&path, boundary_key, boundary_value, new_block);
+}
+
+Status Btree::Delete(uint64_t key, uint64_t value) {
+  PGLO_ASSIGN_OR_RETURN(BlockNumber leaf_block,
+                        DescendToLeaf(key, value, nullptr));
+  // The entry may sit in a right sibling when equal keys straddle nodes.
+  BlockNumber block = leaf_block;
+  while (block != kInvalidBlock) {
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, block}));
+    BtreeNode leaf(handle.data());
+    uint16_t pos = leaf.LowerBound(key, value);
+    if (pos < leaf.nkeys()) {
+      if (leaf.KeyAt(pos) == key && leaf.ValueAt(pos) == value) {
+        leaf.RemoveEntry(pos);
+        handle.MarkDirty();
+        return Status::OK();
+      }
+      return Status::NotFound("btree entry not found");
+    }
+    block = leaf.right_sibling();
+  }
+  return Status::NotFound("btree entry not found");
+}
+
+Result<std::vector<uint64_t>> Btree::Lookup(uint64_t key) {
+  std::vector<uint64_t> out;
+  PGLO_ASSIGN_OR_RETURN(Iterator it, Seek(key));
+  while (it.valid() && it.key() == key) {
+    out.push_back(it.value());
+    PGLO_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Result<Btree::Iterator> Btree::Seek(uint64_t key) {
+  PGLO_ASSIGN_OR_RETURN(BlockNumber leaf_block, DescendToLeaf(key, 0, nullptr));
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, leaf_block}));
+  BtreeNode leaf(handle.data());
+  uint16_t pos = leaf.LowerBound(key, 0);
+  Iterator it(this, leaf_block, pos);
+  PGLO_RETURN_IF_ERROR(it.LoadCurrent());
+  return it;
+}
+
+Result<Btree::Iterator> Btree::SeekFirst() { return Seek(0); }
+
+Status Btree::Iterator::LoadCurrent() {
+  for (;;) {
+    if (block_ == kInvalidBlock) {
+      valid_ = false;
+      return Status::OK();
+    }
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle,
+                          tree_->pool_->GetPage({tree_->file_, block_}));
+    BtreeNode leaf(handle.data());
+    if (index_ < leaf.nkeys()) {
+      key_ = leaf.KeyAt(index_);
+      value_ = leaf.ValueAt(index_);
+      valid_ = true;
+      return Status::OK();
+    }
+    block_ = leaf.right_sibling();
+    index_ = 0;
+  }
+}
+
+Status Btree::Iterator::Next() {
+  PGLO_CHECK(valid_);
+  ++index_;
+  return LoadCurrent();
+}
+
+Result<uint64_t> Btree::CountEntries() {
+  PGLO_ASSIGN_OR_RETURN(Iterator it, SeekFirst());
+  uint64_t count = 0;
+  while (it.valid()) {
+    ++count;
+    PGLO_RETURN_IF_ERROR(it.Next());
+  }
+  return count;
+}
+
+Result<uint64_t> Btree::CheckStructure() {
+  PGLO_ASSIGN_OR_RETURN(BlockNumber root, RootBlock());
+  PGLO_ASSIGN_OR_RETURN(uint32_t height, Height());
+  // Recursive subtree check: every node's entries sorted; every child's
+  // minimum entry >= the parent entry's bound (entry 0 of the root level
+  // is the -infinity sentinel and is exempt); levels decrease by one.
+  struct Walker {
+    Btree* tree;
+    Status status = Status::OK();
+
+    void Check(BlockNumber block, uint32_t expected_level, uint64_t min_key,
+               uint64_t min_val, bool unbounded) {
+      if (!status.ok()) return;
+      Result<PageHandle> handle =
+          tree->pool_->GetPage({tree->file_, block});
+      if (!handle.ok()) {
+        status = handle.status();
+        return;
+      }
+      BtreeNode node(handle.value().data());
+      if (!node.IsValid()) {
+        status = Status::Corruption("bad btree node magic");
+        return;
+      }
+      if (node.level() != expected_level) {
+        status = Status::Corruption("btree level mismatch");
+        return;
+      }
+      uint16_t n = node.nkeys();
+      for (uint16_t i = 1; i < n; ++i) {
+        uint64_t pk = node.KeyAt(i - 1), pv = node.ValueAt(i - 1);
+        uint64_t k = node.KeyAt(i), v = node.ValueAt(i);
+        if (pk > k || (pk == k && pv >= v)) {
+          status = Status::Corruption("btree entries out of order");
+          return;
+        }
+      }
+      if (!unbounded && n > 0) {
+        uint64_t k = node.KeyAt(0), v = node.ValueAt(0);
+        if (k < min_key || (k == min_key && v < min_val)) {
+          status = Status::Corruption("btree child below parent bound");
+          return;
+        }
+      }
+      if (node.is_leaf()) return;
+      if (n == 0) {
+        status = Status::Corruption("empty internal node");
+        return;
+      }
+      for (uint16_t i = 0; i < n; ++i) {
+        // Entry 0 of any internal node inherits its caller's bound.
+        bool child_unbounded = (i == 0) && unbounded;
+        uint64_t bk = i == 0 ? min_key : node.KeyAt(i);
+        uint64_t bv = i == 0 ? min_val : node.ValueAt(i);
+        Check(node.ChildAt(i), expected_level - 1, bk, bv, child_unbounded);
+        if (!status.ok()) return;
+      }
+    }
+  };
+  Walker walker{this};
+  walker.Check(root, height - 1, 0, 0, /*unbounded=*/true);
+  PGLO_RETURN_IF_ERROR(walker.status);
+
+  // Leaf chain: globally sorted, and its count matches an iterator walk.
+  uint64_t count = 0;
+  PGLO_ASSIGN_OR_RETURN(Iterator it, SeekFirst());
+  bool have_prev = false;
+  uint64_t pk = 0, pv = 0;
+  while (it.valid()) {
+    if (have_prev &&
+        (pk > it.key() || (pk == it.key() && pv >= it.value()))) {
+      return Status::Corruption("leaf chain out of order");
+    }
+    pk = it.key();
+    pv = it.value();
+    have_prev = true;
+    ++count;
+    PGLO_RETURN_IF_ERROR(it.Next());
+  }
+  return count;
+}
+
+Result<BlockNumber> Btree::NumBlocks() { return pool_->NumBlocks(file_); }
+
+}  // namespace pglo

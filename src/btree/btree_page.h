@@ -1,0 +1,185 @@
+#ifndef PGLO_BTREE_BTREE_PAGE_H_
+#define PGLO_BTREE_BTREE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "storage/page.h"
+
+namespace pglo {
+
+/// Raw fixed-entry node format for Btree (not a SlottedPage: B-tree entries
+/// are fixed width, so a sorted array with memmove insertion is simpler and
+/// denser than slot indirection).
+///
+/// Node header (16 bytes):
+///   magic u16 | level u16 (0 = leaf) | nkeys u16 | pad u16 |
+///   right_sibling u32 | reserved u32
+/// Entries follow, sorted by (key, value):
+///   leaf:     key u64 | value u64                  (16 bytes)
+///   internal: key u64 | value u64 | child u32 |pad (24 bytes)
+/// Internal entry i holds the minimum (key, value) of child i's subtree;
+/// entry 0's bound is treated as -infinity during descent.
+class BtreeNode {
+ public:
+  static constexpr uint16_t kMagic = 0x4254;  // "BT"
+  static constexpr uint32_t kHeaderSize = 16;
+  static constexpr uint32_t kLeafEntrySize = 16;
+  static constexpr uint32_t kInternalEntrySize = 24;
+
+  static constexpr uint16_t LeafCapacity() {
+    return (kPageSize - kHeaderSize) / kLeafEntrySize;
+  }
+  static constexpr uint16_t InternalCapacity() {
+    return (kPageSize - kHeaderSize) / kInternalEntrySize;
+  }
+
+  explicit BtreeNode(uint8_t* buf) : buf_(buf) {}
+
+  void Init(uint16_t level) {
+    std::memset(buf_, 0, kPageSize);
+    EncodeFixed16(buf_, kMagic);
+    EncodeFixed16(buf_ + 2, level);
+    EncodeFixed16(buf_ + 4, 0);
+    EncodeFixed32(buf_ + 8, kInvalidBlock);
+  }
+
+  bool IsValid() const { return DecodeFixed16(buf_) == kMagic; }
+  uint16_t level() const { return DecodeFixed16(buf_ + 2); }
+  bool is_leaf() const { return level() == 0; }
+  uint16_t nkeys() const { return DecodeFixed16(buf_ + 4); }
+  void set_nkeys(uint16_t n) { EncodeFixed16(buf_ + 4, n); }
+  BlockNumber right_sibling() const { return DecodeFixed32(buf_ + 8); }
+  void set_right_sibling(BlockNumber b) { EncodeFixed32(buf_ + 8, b); }
+
+  uint16_t capacity() const {
+    return is_leaf() ? LeafCapacity() : InternalCapacity();
+  }
+  uint32_t entry_size() const {
+    return is_leaf() ? kLeafEntrySize : kInternalEntrySize;
+  }
+
+  uint64_t KeyAt(uint16_t i) const { return DecodeFixed64(EntryPtr(i)); }
+  uint64_t ValueAt(uint16_t i) const {
+    return DecodeFixed64(EntryPtr(i) + 8);
+  }
+  BlockNumber ChildAt(uint16_t i) const {
+    return DecodeFixed32(EntryPtr(i) + 16);
+  }
+
+  /// First index whose (key, value) >= (key, value); nkeys() if none.
+  uint16_t LowerBound(uint64_t key, uint64_t value) const {
+    uint16_t lo = 0, hi = nkeys();
+    while (lo < hi) {
+      uint16_t mid = (lo + hi) / 2;
+      uint64_t k = KeyAt(mid);
+      if (k < key || (k == key && ValueAt(mid) < value)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First index whose (key, value) > (key, value); nkeys() if none.
+  /// Internal-node descent uses UpperBound(target) - 1 so that the (0, 0)
+  /// sentinel in entry 0 (which compares <= every possible target) acts as
+  /// negative infinity and equal separators resolve to the rightmost one.
+  uint16_t UpperBound(uint64_t key, uint64_t value) const {
+    uint16_t lo = 0, hi = nkeys();
+    while (lo < hi) {
+      uint16_t mid = (lo + hi) / 2;
+      uint64_t k = KeyAt(mid);
+      if (k < key || (k == key && ValueAt(mid) <= value)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Inserts a leaf entry at sorted position `i`.
+  void InsertLeafEntry(uint16_t i, uint64_t key, uint64_t value) {
+    ShiftRight(i);
+    uint8_t* p = EntryPtr(i);
+    EncodeFixed64(p, key);
+    EncodeFixed64(p + 8, value);
+    set_nkeys(nkeys() + 1);
+  }
+
+  /// Inserts an internal entry at sorted position `i`.
+  void InsertInternalEntry(uint16_t i, uint64_t key, uint64_t value,
+                           BlockNumber child) {
+    ShiftRight(i);
+    uint8_t* p = EntryPtr(i);
+    EncodeFixed64(p, key);
+    EncodeFixed64(p + 8, value);
+    EncodeFixed32(p + 16, child);
+    set_nkeys(nkeys() + 1);
+  }
+
+  /// Removes the entry at index `i`.
+  void RemoveEntry(uint16_t i) {
+    uint32_t es = entry_size();
+    std::memmove(EntryPtr(i), EntryPtr(i) + es,
+                 static_cast<size_t>(nkeys() - i - 1) * es);
+    set_nkeys(nkeys() - 1);
+  }
+
+  /// Moves entries [from, nkeys) into `dst` (same level, must be empty).
+  void MoveUpperHalf(uint16_t from, BtreeNode* dst) {
+    uint16_t n = nkeys();
+    uint32_t es = entry_size();
+    uint16_t moved = n - from;
+    std::memcpy(dst->EntryPtr(0), EntryPtr(from),
+                static_cast<size_t>(moved) * es);
+    dst->set_nkeys(moved);
+    set_nkeys(from);
+  }
+
+ private:
+  uint8_t* EntryPtr(uint16_t i) {
+    return buf_ + kHeaderSize + static_cast<size_t>(i) * entry_size();
+  }
+  const uint8_t* EntryPtr(uint16_t i) const {
+    return buf_ + kHeaderSize + static_cast<size_t>(i) * entry_size();
+  }
+  void ShiftRight(uint16_t i) {
+    uint32_t es = entry_size();
+    std::memmove(EntryPtr(i) + es, EntryPtr(i),
+                 static_cast<size_t>(nkeys() - i) * es);
+  }
+
+  uint8_t* buf_;
+};
+
+/// Meta page (block 0): magic u32 | root u32 | height u32.
+class BtreeMeta {
+ public:
+  static constexpr uint32_t kMagic = 0x42545245;  // "BTRE"
+
+  explicit BtreeMeta(uint8_t* buf) : buf_(buf) {}
+
+  void Init(BlockNumber root, uint32_t height) {
+    std::memset(buf_, 0, kPageSize);
+    EncodeFixed32(buf_, kMagic);
+    Set(root, height);
+  }
+  bool IsValid() const { return DecodeFixed32(buf_) == kMagic; }
+  BlockNumber root() const { return DecodeFixed32(buf_ + 4); }
+  uint32_t height() const { return DecodeFixed32(buf_ + 8); }
+  void Set(BlockNumber root, uint32_t height) {
+    EncodeFixed32(buf_ + 4, root);
+    EncodeFixed32(buf_ + 8, height);
+  }
+
+ private:
+  uint8_t* buf_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_BTREE_BTREE_PAGE_H_

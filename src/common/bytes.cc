@@ -1,0 +1,58 @@
+#include "common/bytes.h"
+
+namespace pglo {
+
+void PutFixed16(Bytes* dst, uint16_t v) {
+  size_t n = dst->size();
+  dst->resize(n + sizeof(v));
+  EncodeFixed16(dst->data() + n, v);
+}
+
+void PutFixed32(Bytes* dst, uint32_t v) {
+  size_t n = dst->size();
+  dst->resize(n + sizeof(v));
+  EncodeFixed32(dst->data() + n, v);
+}
+
+void PutFixed64(Bytes* dst, uint64_t v) {
+  size_t n = dst->size();
+  dst->resize(n + sizeof(v));
+  EncodeFixed64(dst->data() + n, v);
+}
+
+void PutLengthPrefixed(Bytes* dst, Slice value) {
+  PutFixed32(dst, static_cast<uint32_t>(value.size()));
+  dst->insert(dst->end(), value.data(), value.data() + value.size());
+}
+
+bool ByteReader::GetFixed16(uint16_t* v) {
+  if (remaining() < sizeof(*v)) return false;
+  *v = DecodeFixed16(input_.data() + pos_);
+  pos_ += sizeof(*v);
+  return true;
+}
+
+bool ByteReader::GetFixed32(uint32_t* v) {
+  if (remaining() < sizeof(*v)) return false;
+  *v = DecodeFixed32(input_.data() + pos_);
+  pos_ += sizeof(*v);
+  return true;
+}
+
+bool ByteReader::GetFixed64(uint64_t* v) {
+  if (remaining() < sizeof(*v)) return false;
+  *v = DecodeFixed64(input_.data() + pos_);
+  pos_ += sizeof(*v);
+  return true;
+}
+
+bool ByteReader::GetLengthPrefixed(Slice* value) {
+  uint32_t len;
+  if (!GetFixed32(&len)) return false;
+  if (remaining() < len) return false;
+  *value = input_.Sub(pos_, len);
+  pos_ += len;
+  return true;
+}
+
+}  // namespace pglo

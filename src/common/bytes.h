@@ -1,0 +1,111 @@
+#ifndef PGLO_COMMON_BYTES_H_
+#define PGLO_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pglo {
+
+/// Owned byte buffer used for tuple payloads, chunks, and I/O staging.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning view of a byte range (read side of every I/O interface).
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  Slice(std::string_view s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+  Slice(const char* s) : Slice(std::string_view(s)) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  /// Sub-slice [off, off+len); clamps to the end of this slice.
+  Slice Sub(size_t off, size_t len) const {
+    if (off >= size_) return Slice();
+    return Slice(data_ + off, std::min(len, size_ - off));
+  }
+
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+  std::string_view ToStringView() const {
+    return std::string_view(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+// Little-endian fixed-width encoders/decoders used by every on-page format.
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+inline void EncodeFixed32(uint8_t* dst, uint32_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+inline void EncodeFixed64(uint8_t* dst, uint64_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  uint16_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+/// Appends fixed-width little-endian integers to a growable buffer.
+void PutFixed16(Bytes* dst, uint16_t v);
+void PutFixed32(Bytes* dst, uint32_t v);
+void PutFixed64(Bytes* dst, uint64_t v);
+
+/// Appends a 32-bit length prefix followed by the raw bytes.
+void PutLengthPrefixed(Bytes* dst, Slice value);
+
+/// Cursor-style decoder over a byte range; Get* methods return false when
+/// the input is exhausted or malformed (the cursor is then poisoned).
+class ByteReader {
+ public:
+  explicit ByteReader(Slice input) : input_(input) {}
+
+  bool GetFixed16(uint16_t* v);
+  bool GetFixed32(uint32_t* v);
+  bool GetFixed64(uint64_t* v);
+  bool GetLengthPrefixed(Slice* value);
+
+  size_t remaining() const { return input_.size() - pos_; }
+  bool exhausted() const { return pos_ >= input_.size(); }
+
+ private:
+  Slice input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_COMMON_BYTES_H_

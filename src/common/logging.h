@@ -1,0 +1,51 @@
+#ifndef PGLO_COMMON_LOGGING_H_
+#define PGLO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pglo {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// Global minimum level; messages below it are dropped. Default kWarning so
+/// tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pglo
+
+#define PGLO_LOG(level)                                         \
+  ::pglo::internal::LogMessage(::pglo::LogLevel::k##level,      \
+                               __FILE__, __LINE__)
+
+/// Invariant check that is active in all build types. On failure, logs the
+/// condition and aborts: pglo prefers dying loudly to silently corrupting
+/// stored data.
+#define PGLO_CHECK(cond)                                          \
+  if (!(cond))                                                    \
+  PGLO_LOG(Fatal) << "Check failed: " #cond " "
+
+#define PGLO_DCHECK(cond) PGLO_CHECK(cond)
+
+#endif  // PGLO_COMMON_LOGGING_H_

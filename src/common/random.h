@@ -1,0 +1,55 @@
+#ifndef PGLO_COMMON_RANDOM_H_
+#define PGLO_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace pglo {
+
+/// Deterministic xorshift64* PRNG.
+///
+/// Benchmarks and property tests must be reproducible, so all randomness in
+/// pglo flows through this seeded generator rather than std::random_device.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability `percent`/100.
+  bool OneInHundred(uint32_t percent) { return Uniform(100) < percent; }
+
+  double NextDouble() {  // in [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// Fills `n` bytes of uncompressible noise.
+  Bytes RandomBytes(size_t n) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = static_cast<uint8_t>(Next());
+    return out;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_COMMON_RANDOM_H_

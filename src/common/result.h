@@ -1,0 +1,85 @@
+#ifndef PGLO_COMMON_RESULT_H_
+#define PGLO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace pglo {
+
+/// A value-or-error holder: either an OK value of type T or a non-OK Status.
+///
+/// Typical use:
+///
+///   Result<Oid> Create(...);
+///   PGLO_ASSIGN_OR_RETURN(Oid oid, Create(...));
+///
+/// Accessing value() on an error result is a programming error and asserts.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Constructs from an error status (implicit so `return status;` works).
+  /// The status must be non-OK; an OK status here is a contract violation.
+  Result(Status status) : rep_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(rep_).ok() && "Result constructed from OK Status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return rep_.index() == 0; }
+
+  /// Returns the error status; OK if this holds a value.
+  Status status() const& {
+    return ok() ? Status::OK() : std::get<1>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<0>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace pglo
+
+#define PGLO_INTERNAL_CONCAT2(a, b) a##b
+#define PGLO_INTERNAL_CONCAT(a, b) PGLO_INTERNAL_CONCAT2(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status from the
+/// enclosing function, otherwise binds the value to `lhs`.
+#define PGLO_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  PGLO_ASSIGN_OR_RETURN_IMPL(                                        \
+      PGLO_INTERNAL_CONCAT(_pglo_result_, __LINE__), lhs, rexpr)
+
+#define PGLO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // PGLO_COMMON_RESULT_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace pglo {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kIOError:
+      return "I/O error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kPermissionDenied:
+      return "permission denied";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace pglo

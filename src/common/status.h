@@ -1,0 +1,140 @@
+#ifndef PGLO_COMMON_STATUS_H_
+#define PGLO_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pglo {
+
+/// Error categories used throughout pglo. Modeled after the
+/// RocksDB/Arrow Status idiom: functions that can fail return a Status (or
+/// a Result<T>, see result.h) instead of throwing; exceptions are not used.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound,        ///< A named entity (object, file, key, class) is absent.
+  kAlreadyExists,   ///< Creation collided with an existing entity.
+  kInvalidArgument, ///< Caller passed an argument that violates the contract.
+  kIOError,         ///< A device or backing-store operation failed.
+  kCorruption,      ///< Stored data failed a structural or checksum check.
+  kNotSupported,    ///< Valid request that this implementation cannot serve.
+  kPermissionDenied,///< E.g. writing a read-only descriptor or WORM block.
+  kAborted,         ///< The enclosing transaction aborted.
+  kOutOfRange,      ///< Offset/sequence number beyond the addressable range.
+  kResourceExhausted, ///< No free descriptor/buffer/space.
+  kInternal,        ///< Invariant violation inside pglo itself.
+};
+
+/// Returns the canonical lower-case name of `code`, e.g. "not found".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, movable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// human-readable message. Status must be explicitly inspected; it is
+/// marked [[nodiscard]] so dropped errors fail the build.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_unique<Rep>(Rep{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsPermissionDenied() const {
+    return code() == StatusCode::kPermissionDenied;
+  }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. Keeps the success path allocation-free after a move and
+  // the object one pointer wide.
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace pglo
+
+/// Propagates a non-OK Status to the caller.
+#define PGLO_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::pglo::Status _pglo_status = (expr);           \
+    if (!_pglo_status.ok()) return _pglo_status;    \
+  } while (0)
+
+#endif  // PGLO_COMMON_STATUS_H_

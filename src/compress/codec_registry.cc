@@ -1,0 +1,32 @@
+#include "compress/codec_registry.h"
+
+#include "compress/lzss.h"
+#include "compress/rle.h"
+
+namespace pglo {
+
+CodecRegistry::CodecRegistry() {
+  codecs_["rle"] = std::make_unique<RleCompressor>();
+  codecs_["lzss"] = std::make_unique<LzssCompressor>();
+}
+
+Status CodecRegistry::Register(std::unique_ptr<Compressor> codec) {
+  std::string name = codec->name();
+  if (name.empty() || name == "none") {
+    return Status::InvalidArgument("reserved codec name");
+  }
+  auto [it, inserted] = codecs_.emplace(name, std::move(codec));
+  if (!inserted) return Status::AlreadyExists("codec already registered");
+  return Status::OK();
+}
+
+Result<const Compressor*> CodecRegistry::Get(const std::string& name) const {
+  if (name.empty() || name == "none") {
+    return static_cast<const Compressor*>(nullptr);
+  }
+  auto it = codecs_.find(name);
+  if (it == codecs_.end()) return Status::NotFound("unknown codec " + name);
+  return static_cast<const Compressor*>(it->second.get());
+}
+
+}  // namespace pglo

@@ -1,0 +1,39 @@
+#ifndef PGLO_COMPRESS_CODEC_REGISTRY_H_
+#define PGLO_COMPRESS_CODEC_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "compress/compressor.h"
+
+namespace pglo {
+
+/// Named codec table. `create large type ... (input = ..., output = ...)`
+/// resolves its conversion-routine pair here; users may register their own
+/// type-specific compressors ("photographs, satellite images, audio
+/// streams, video streams, and documents ... will require tailored
+/// compression strategies", §3).
+///
+/// The built-ins "rle" and "lzss" are pre-registered, plus "none".
+class CodecRegistry {
+ public:
+  CodecRegistry();
+
+  /// Adds `codec` under its own name. Fails on duplicates.
+  Status Register(std::unique_ptr<Compressor> codec);
+
+  /// Looks a codec up by name; "" and "none" return nullptr (no
+  /// conversion), which callers treat as identity.
+  Result<const Compressor*> Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return codecs_.count(name) != 0; }
+
+ private:
+  std::map<std::string, std::unique_ptr<Compressor>> codecs_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_COMPRESS_CODEC_REGISTRY_H_

@@ -1,0 +1,45 @@
+#ifndef PGLO_COMPRESS_COMPRESSOR_H_
+#define PGLO_COMPRESS_COMPRESSOR_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace pglo {
+
+/// A user-defined conversion routine pair in the sense of §3/§6: the input
+/// routine compresses a value on its way into the database, the output
+/// routine uncompresses on the way out. Large ADTs apply these per chunk
+/// (f-chunk) or per segment (v-segment), which is what enables "fast random
+/// access to compressed data" and just-in-time conversion.
+///
+/// Each codec advertises a CPU price in instructions per byte; the
+/// benchmark harness charges that price to the simulated CPU, mirroring how
+/// §9.2 characterizes its two algorithms (8 instr/byte for ~30 %,
+/// 20 instr/byte for ~50 % on the paper's frame data).
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compresses `input`, appending to `output`. May expand on
+  /// incompressible data; callers keep the raw form when that happens.
+  virtual Status Compress(Slice input, Bytes* output) const = 0;
+
+  /// Decompresses `input` (produced by Compress) appending to `output`.
+  /// `raw_size` is the exact original size, known from the caller's
+  /// framing.
+  virtual Status Decompress(Slice input, size_t raw_size,
+                            Bytes* output) const = 0;
+
+  /// Simulated CPU price of Compress, per input byte.
+  virtual double compress_instr_per_byte() const = 0;
+  /// Simulated CPU price of Decompress, per output byte.
+  virtual double decompress_instr_per_byte() const = 0;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_COMPRESS_COMPRESSOR_H_

@@ -1,0 +1,136 @@
+#include "compress/lzss.h"
+
+#include <array>
+#include <cstring>
+
+namespace pglo {
+
+namespace {
+constexpr size_t kWindow = 4096;       // 12-bit offsets
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = kMinMatch + 63;  // 6-bit length field
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = 1 << kHashBits;
+
+inline uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = p[0] | (p[1] << 8) | (p[2] << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+}  // namespace
+
+Status LzssCompressor::Compress(Slice input, Bytes* output) const {
+  const uint8_t* p = input.data();
+  const size_t n = input.size();
+
+  // head[h] = most recent position with hash h; prev[] chains earlier ones.
+  std::array<int32_t, kHashSize> head;
+  head.fill(-1);
+  std::vector<int32_t> prev(n, -1);
+
+  size_t i = 0;
+  size_t flag_pos = 0;
+  int bit = 8;  // forces a fresh flag byte on the first token
+  auto begin_token = [&](bool is_copy) {
+    if (bit == 8) {
+      flag_pos = output->size();
+      output->push_back(0);
+      bit = 0;
+    }
+    if (is_copy) (*output)[flag_pos] |= static_cast<uint8_t>(1u << bit);
+    ++bit;
+  };
+
+  while (i < n) {
+    size_t best_len = 0;
+    size_t best_off = 0;
+    if (i + kMinMatch <= n) {
+      uint32_t h = Hash3(p + i);
+      int32_t cand = head[h];
+      int probes = 16;
+      while (cand >= 0 && i - static_cast<size_t>(cand) <= kWindow &&
+             probes-- > 0) {
+        size_t off = i - static_cast<size_t>(cand);
+        size_t len = 0;
+        size_t max_len = std::min(kMaxMatch, n - i);
+        while (len < max_len && p[cand + len] == p[i + len]) ++len;
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_off = off;
+          if (len == kMaxMatch) break;
+        }
+        cand = prev[cand];
+      }
+    }
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      // offset-1 in 12 bits, (len - kMinMatch) in 6 bits => 18 bits in 3 B.
+      uint32_t packed = (static_cast<uint32_t>(best_off - 1) << 6) |
+                        static_cast<uint32_t>(best_len - kMinMatch);
+      output->push_back(static_cast<uint8_t>(packed & 0xff));
+      output->push_back(static_cast<uint8_t>((packed >> 8) & 0xff));
+      output->push_back(static_cast<uint8_t>((packed >> 16) & 0xff));
+      // Index every position covered by the match.
+      size_t end = i + best_len;
+      while (i < end) {
+        if (i + kMinMatch <= n) {
+          uint32_t h = Hash3(p + i);
+          prev[i] = head[h];
+          head[h] = static_cast<int32_t>(i);
+        }
+        ++i;
+      }
+    } else {
+      begin_token(false);
+      output->push_back(p[i]);
+      if (i + kMinMatch <= n) {
+        uint32_t h = Hash3(p + i);
+        prev[i] = head[h];
+        head[h] = static_cast<int32_t>(i);
+      }
+      ++i;
+    }
+  }
+  return Status::OK();
+}
+
+Status LzssCompressor::Decompress(Slice input, size_t raw_size,
+                                  Bytes* output) const {
+  size_t out_start = output->size();
+  const uint8_t* p = input.data();
+  const size_t n = input.size();
+  size_t i = 0;
+  uint8_t flags = 0;
+  int bit = 8;
+  while (output->size() - out_start < raw_size) {
+    if (bit == 8) {
+      if (i >= n) return Status::Corruption("truncated LZSS stream");
+      flags = p[i++];
+      bit = 0;
+    }
+    bool is_copy = (flags >> bit) & 1;
+    ++bit;
+    if (is_copy) {
+      if (i + 3 > n) return Status::Corruption("truncated LZSS copy");
+      uint32_t packed = p[i] | (p[i + 1] << 8) | (p[i + 2] << 16);
+      i += 3;
+      size_t len = (packed & 0x3f) + kMinMatch;
+      size_t off = (packed >> 6) + 1;
+      size_t cur = output->size();
+      if (off > cur - out_start) {
+        return Status::Corruption("LZSS offset before window start");
+      }
+      for (size_t k = 0; k < len; ++k) {
+        output->push_back((*output)[cur - off + k]);
+      }
+    } else {
+      if (i >= n) return Status::Corruption("truncated LZSS literal");
+      output->push_back(p[i++]);
+    }
+  }
+  if (output->size() - out_start != raw_size) {
+    return Status::Corruption("LZSS raw size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace pglo

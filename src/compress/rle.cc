@@ -1,0 +1,83 @@
+#include "compress/rle.h"
+
+namespace pglo {
+
+namespace {
+constexpr uint8_t kOpLiteral = 0x00;
+constexpr uint8_t kOpRun = 0x01;
+constexpr size_t kMinRun = 4;
+constexpr size_t kMaxLen = 0xffff;
+
+void EmitLiteral(const uint8_t* data, size_t n, Bytes* out) {
+  while (n > 0) {
+    size_t take = std::min(n, kMaxLen);
+    out->push_back(kOpLiteral);
+    PutFixed16(out, static_cast<uint16_t>(take));
+    out->insert(out->end(), data, data + take);
+    data += take;
+    n -= take;
+  }
+}
+
+void EmitRun(uint8_t byte, size_t n, Bytes* out) {
+  while (n > 0) {
+    size_t take = std::min(n, kMaxLen);
+    out->push_back(kOpRun);
+    PutFixed16(out, static_cast<uint16_t>(take));
+    out->push_back(byte);
+    n -= take;
+  }
+}
+}  // namespace
+
+Status RleCompressor::Compress(Slice input, Bytes* output) const {
+  const uint8_t* p = input.data();
+  size_t n = input.size();
+  size_t lit_start = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t run = 1;
+    while (i + run < n && p[i + run] == p[i] && run < kMaxLen) ++run;
+    if (run >= kMinRun) {
+      if (i > lit_start) EmitLiteral(p + lit_start, i - lit_start, output);
+      EmitRun(p[i], run, output);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  if (n > lit_start) EmitLiteral(p + lit_start, n - lit_start, output);
+  return Status::OK();
+}
+
+Status RleCompressor::Decompress(Slice input, size_t raw_size,
+                                 Bytes* output) const {
+  size_t start = output->size();
+  const uint8_t* p = input.data();
+  size_t n = input.size();
+  size_t i = 0;
+  while (i < n) {
+    if (i + 3 > n) return Status::Corruption("truncated RLE op");
+    uint8_t op = p[i];
+    uint16_t len = DecodeFixed16(p + i + 1);
+    i += 3;
+    if (op == kOpLiteral) {
+      if (i + len > n) return Status::Corruption("truncated RLE literal");
+      output->insert(output->end(), p + i, p + i + len);
+      i += len;
+    } else if (op == kOpRun) {
+      if (i + 1 > n) return Status::Corruption("truncated RLE run");
+      output->insert(output->end(), len, p[i]);
+      i += 1;
+    } else {
+      return Status::Corruption("bad RLE opcode");
+    }
+  }
+  if (output->size() - start != raw_size) {
+    return Status::Corruption("RLE raw size mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace pglo

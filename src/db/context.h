@@ -1,0 +1,34 @@
+#ifndef PGLO_DB_CONTEXT_H_
+#define PGLO_DB_CONTEXT_H_
+
+#include "compress/codec_registry.h"
+#include "db/oid_allocator.h"
+#include "device/cpu_cost.h"
+#include "device/sim_clock.h"
+#include "smgr/smgr_registry.h"
+#include "storage/buffer_pool.h"
+#include "txn/commit_log.h"
+#include "txn/txn_manager.h"
+#include "ufs/ufs.h"
+
+namespace pglo {
+
+/// Borrowed handles to the database's shared services, passed to the
+/// subsystems (large objects, Inversion, query) so they need not depend on
+/// the Database class itself. All pointers are owned by Database and
+/// outlive every subsystem.
+struct DbContext {
+  SimClock* clock = nullptr;
+  CpuCostModel* cpu = nullptr;
+  SmgrRegistry* smgrs = nullptr;
+  BufferPool* pool = nullptr;
+  CommitLog* clog = nullptr;
+  TxnManager* txns = nullptr;
+  UnixFileSystem* ufs = nullptr;
+  CodecRegistry* codecs = nullptr;
+  OidAllocator* oids = nullptr;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_DB_CONTEXT_H_

@@ -1,0 +1,175 @@
+#include "db/database.h"
+
+#include <sys/stat.h>
+
+#include "common/logging.h"
+
+namespace pglo {
+
+Database::Database() = default;
+
+Database::~Database() {
+  if (open_) {
+    Status s = Close();
+    if (!s.ok()) {
+      PGLO_LOG(Error) << "database close failed: " << s.ToString();
+    }
+  }
+}
+
+Status Database::Open(const DatabaseOptions& options) {
+  if (open_) return Status::InvalidArgument("database already open");
+  options_ = options;
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("DatabaseOptions.dir is required");
+  }
+  // mkdir -p: create every missing component of the path.
+  for (size_t i = 1; i <= options_.dir.size(); ++i) {
+    if (i == options_.dir.size() || options_.dir[i] == '/') {
+      ::mkdir(options_.dir.substr(0, i).c_str(), 0755);
+    }
+  }
+  return OpenInternal(/*after_crash=*/false);
+}
+
+Status Database::OpenInternal(bool after_crash) {
+  (void)after_crash;
+  clock_ = std::make_unique<SimClock>();
+  cpu_ = std::make_unique<CpuCostModel>(clock_.get(), options_.cpu_mips);
+
+  DeviceModel* disk_dev = nullptr;
+  DeviceModel* ufs_dev = nullptr;
+  DeviceModel* worm_cache_dev = nullptr;
+  DeviceModel* worm_dev = nullptr;
+  DeviceModel* mem_dev = nullptr;
+  if (options_.charge_devices) {
+    disk_device_ = std::make_unique<MagneticDiskModel>(clock_.get(),
+                                                       options_.disk_params);
+    ufs_device_ = std::make_unique<MagneticDiskModel>(clock_.get(),
+                                                      options_.disk_params);
+    worm_cache_device_ = std::make_unique<MagneticDiskModel>(
+        clock_.get(), options_.disk_params);
+    worm_device_ = std::make_unique<WormJukeboxModel>(clock_.get(),
+                                                      options_.worm_params);
+    memory_device_ = std::make_unique<MemoryDeviceModel>(
+        clock_.get(), options_.memory_params);
+    disk_dev = disk_device_.get();
+    ufs_dev = ufs_device_.get();
+    worm_cache_dev = worm_cache_device_.get();
+    worm_dev = worm_device_.get();
+    mem_dev = memory_device_.get();
+  }
+
+  smgrs_ = std::make_unique<SmgrRegistry>();
+  PGLO_RETURN_IF_ERROR(smgrs_->Register(
+      kSmgrDisk,
+      std::make_unique<DiskSmgr>(options_.dir + "/disk", disk_dev)));
+  PGLO_RETURN_IF_ERROR(smgrs_->Register(
+      kSmgrMemory, std::make_unique<MainMemorySmgr>(mem_dev)));
+  auto worm = std::make_unique<WormSmgr>(options_.dir, worm_dev,
+                                         worm_cache_dev,
+                                         options_.worm_cache_blocks);
+  PGLO_RETURN_IF_ERROR(worm->Open());
+  worm_ = worm.get();
+  PGLO_RETURN_IF_ERROR(smgrs_->Register(kSmgrWorm, std::move(worm)));
+
+  pool_ = std::make_unique<BufferPool>(smgrs_.get(),
+                                       options_.buffer_pool_frames);
+  if (options_.charge_devices && options_.page_access_instructions > 0) {
+    pool_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
+  }
+
+  // Fresh database iff there is no commit log yet.
+  struct stat st;
+  bool fresh = ::stat((options_.dir + "/clog").c_str(), &st) != 0;
+
+  clog_ = std::make_unique<CommitLog>();
+  PGLO_RETURN_IF_ERROR(clog_->Open(options_.dir + "/clog"));
+  txns_ = std::make_unique<TxnManager>(clog_.get(), pool_.get());
+  txns_->RestoreNextXid();
+  PGLO_RETURN_IF_ERROR(txns_->OpenXidFile(options_.dir + "/xid"));
+
+  oids_ = std::make_unique<OidAllocator>();
+  PGLO_RETURN_IF_ERROR(oids_->Open(options_.dir + "/oids"));
+
+  ufs_ = std::make_unique<UnixFileSystem>(ufs_dev, options_.ufs_params);
+  if (options_.charge_devices && options_.page_access_instructions > 0) {
+    ufs_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
+  }
+  if (fresh) {
+    PGLO_RETURN_IF_ERROR(ufs_->Format(options_.dir + "/ufs.img"));
+  } else {
+    PGLO_RETURN_IF_ERROR(ufs_->Mount(options_.dir + "/ufs.img"));
+  }
+
+  codecs_ = std::make_unique<CodecRegistry>();
+
+  ctx_ = DbContext{clock_.get(), cpu_.get(),  smgrs_.get(),
+                   pool_.get(),  clog_.get(), txns_.get(),
+                   ufs_.get(),   codecs_.get(), oids_.get()};
+
+  lo_ = std::make_unique<LoManager>(ctx_);
+  if (fresh) {
+    Transaction* boot = txns_->Begin();
+    PGLO_RETURN_IF_ERROR(lo_->Bootstrap(boot));
+    PGLO_RETURN_IF_ERROR(txns_->Commit(boot).status());
+  }
+
+  open_ = true;
+  return Status::OK();
+}
+
+void Database::TearDown(bool crash) {
+  if (crash) {
+    // Volatile state evaporates: nothing may be flushed.
+    if (pool_ != nullptr) pool_->CrashDiscardAll();
+    if (ufs_ != nullptr) ufs_->CrashDiscard();
+    if (worm_ != nullptr) worm_->DropCache();
+  }
+  // Destruction order: consumers before providers.
+  lo_.reset();
+  codecs_.reset();
+  ufs_.reset();
+  oids_.reset();
+  txns_.reset();
+  clog_.reset();
+  pool_.reset();
+  worm_ = nullptr;
+  smgrs_.reset();
+  memory_device_.reset();
+  worm_device_.reset();
+  worm_cache_device_.reset();
+  ufs_device_.reset();
+  disk_device_.reset();
+  cpu_.reset();
+  clock_.reset();
+  ctx_ = DbContext{};
+  open_ = false;
+}
+
+Status Database::Close() {
+  if (!open_) return Status::OK();
+  PGLO_RETURN_IF_ERROR(pool_->FlushAll());
+  PGLO_RETURN_IF_ERROR(ufs_->Sync());
+  TearDown(/*crash=*/false);
+  return Status::OK();
+}
+
+Status Database::SimulateCrashAndReopen() {
+  if (!open_) return Status::InvalidArgument("database not open");
+  TearDown(/*crash=*/true);
+  return OpenInternal(/*after_crash=*/true);
+}
+
+Result<CommitTime> Database::Commit(Transaction* txn) {
+  PGLO_ASSIGN_OR_RETURN(CommitTime time, txns_->Commit(txn));
+  PGLO_RETURN_IF_ERROR(lo_->CollectGarbage());
+  return time;
+}
+
+Status Database::Abort(Transaction* txn) {
+  PGLO_RETURN_IF_ERROR(txns_->Abort(txn));
+  return lo_->CollectGarbage();
+}
+
+}  // namespace pglo

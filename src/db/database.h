@@ -1,0 +1,121 @@
+#ifndef PGLO_DB_DATABASE_H_
+#define PGLO_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "db/context.h"
+#include "lo/lo_manager.h"
+#include "smgr/disk_smgr.h"
+#include "smgr/mm_smgr.h"
+#include "smgr/worm_smgr.h"
+
+namespace pglo {
+
+/// Construction parameters for a Database.
+struct DatabaseOptions {
+  /// Host directory holding all persistent state.
+  std::string dir;
+
+  size_t buffer_pool_frames = 256;
+
+  /// Device timing models; set `charge_devices` false to run without
+  /// simulated-time accounting (unit tests).
+  bool charge_devices = true;
+  DiskModelParams disk_params;
+  WormModelParams worm_params;
+  MemoryModelParams memory_params;
+  double cpu_mips = 10.0;
+  /// Simulated instructions charged per page/block cache access (buffer
+  /// pool and OS buffer cache alike). 0 = no per-access CPU accounting.
+  uint64_t page_access_instructions = 0;
+
+  /// Magnetic-disk cache in front of the WORM jukebox, in 8 KB blocks
+  /// (§9.3). 1250 blocks = 10 MB.
+  size_t worm_cache_blocks = 1250;
+
+  /// The simulated UNIX file system hosting u-file / p-file objects.
+  UnixFileSystem::Params ufs_params;
+};
+
+/// One POSTGRES-style database instance: storage managers, buffer pool,
+/// transaction system, large objects, and the simulated UNIX file system —
+/// everything §6–§9 measures, behind one handle.
+///
+/// Single execution stream (like the 1993 system, one backend per
+/// database); not thread-safe.
+class Database {
+ public:
+  Database();
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Opens (creating on first use) the database under options.dir.
+  Status Open(const DatabaseOptions& options);
+
+  /// Flushes everything and shuts down cleanly.
+  Status Close();
+
+  /// Drops every volatile structure (buffer pool, OS cache, WORM cache)
+  /// without flushing, then reopens from stable storage — a power failure.
+  Status SimulateCrashAndReopen();
+
+  // --- transactions ---------------------------------------------------
+  Transaction* Begin() { return txns_->Begin(); }
+  Transaction* BeginAsOf(CommitTime as_of) { return txns_->BeginAsOf(as_of); }
+  /// Commits and then runs large-object garbage collection (§5).
+  Result<CommitTime> Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+  CommitTime Now() const { return txns_->Now(); }
+
+  // --- subsystems -----------------------------------------------------
+  LoManager& large_objects() { return *lo_; }
+  UnixFileSystem& ufs() { return *ufs_; }
+  SimClock& clock() { return *clock_; }
+  CpuCostModel& cpu() { return *cpu_; }
+  BufferPool& pool() { return *pool_; }
+  SmgrRegistry& smgrs() { return *smgrs_; }
+  CodecRegistry& codecs() { return *codecs_; }
+  OidAllocator& oids() { return *oids_; }
+  TxnManager& txns() { return *txns_; }
+  WormSmgr* worm() { return worm_; }
+  MagneticDiskModel* disk_device() { return disk_device_.get(); }
+  MagneticDiskModel* ufs_device() { return ufs_device_.get(); }
+  WormJukeboxModel* worm_device() { return worm_device_.get(); }
+
+  /// Borrowed handles for subsystems built on top (Inversion, query).
+  const DbContext& context() const { return ctx_; }
+
+  bool is_open() const { return open_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  Status OpenInternal(bool after_crash);
+  void TearDown(bool crash);
+
+  DatabaseOptions options_;
+  bool open_ = false;
+
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<CpuCostModel> cpu_;
+  std::unique_ptr<MagneticDiskModel> disk_device_;
+  std::unique_ptr<MagneticDiskModel> ufs_device_;
+  std::unique_ptr<MagneticDiskModel> worm_cache_device_;
+  std::unique_ptr<WormJukeboxModel> worm_device_;
+  std::unique_ptr<MemoryDeviceModel> memory_device_;
+  std::unique_ptr<SmgrRegistry> smgrs_;
+  WormSmgr* worm_ = nullptr;  // owned by smgrs_
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<CommitLog> clog_;
+  std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<UnixFileSystem> ufs_;
+  std::unique_ptr<CodecRegistry> codecs_;
+  std::unique_ptr<OidAllocator> oids_;
+  std::unique_ptr<LoManager> lo_;
+  DbContext ctx_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_DB_DATABASE_H_

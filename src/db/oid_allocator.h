@@ -1,0 +1,75 @@
+#ifndef PGLO_DB_OID_ALLOCATOR_H_
+#define PGLO_DB_OID_ALLOCATOR_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace pglo {
+
+/// Persistent monotonically increasing Oid source.
+///
+/// The high-water mark is written (without fsync) on every allocation; on
+/// reopen a slack of kCrashSlack is added so that Oids handed out just
+/// before an unsynced crash are never reissued.
+class OidAllocator {
+ public:
+  static constexpr Oid kFirstUserOid = 1000;
+  static constexpr Oid kCrashSlack = 1024;
+
+  OidAllocator() = default;
+  ~OidAllocator() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  OidAllocator(const OidAllocator&) = delete;
+  OidAllocator& operator=(const OidAllocator&) = delete;
+
+  Status Open(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+      return Status::IOError("cannot open oid file: " +
+                             std::string(std::strerror(errno)));
+    }
+    uint8_t buf[8];
+    ssize_t n = ::pread(fd_, buf, sizeof(buf), 0);
+    if (n == sizeof(buf)) {
+      next_ = static_cast<Oid>(DecodeFixed64(buf)) + kCrashSlack;
+    } else {
+      next_ = kFirstUserOid;
+    }
+    return Persist();
+  }
+
+  Oid Allocate() {
+    Oid oid = next_++;
+    Status s = Persist();
+    (void)s;  // best effort; slack covers a lost write
+    return oid;
+  }
+
+  Oid peek_next() const { return next_; }
+
+ private:
+  Status Persist() {
+    uint8_t buf[8];
+    EncodeFixed64(buf, next_);
+    if (::pwrite(fd_, buf, sizeof(buf), 0) != sizeof(buf)) {
+      return Status::IOError("oid persist failed");
+    }
+    return Status::OK();
+  }
+
+  int fd_ = -1;
+  Oid next_ = kFirstUserOid;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_DB_OID_ALLOCATOR_H_

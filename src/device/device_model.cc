@@ -1,0 +1,106 @@
+#include "device/device_model.h"
+
+namespace pglo {
+
+namespace {
+constexpr double kMsToNs = 1e6;
+
+uint64_t TransferNanos(uint64_t nblocks, uint32_t block_size,
+                       double mb_per_s) {
+  double bytes = static_cast<double>(nblocks) * block_size;
+  double seconds = bytes / (mb_per_s * 1024.0 * 1024.0);
+  return static_cast<uint64_t>(seconds * 1e9);
+}
+}  // namespace
+
+void MagneticDiskModel::Charge(uint64_t block, uint64_t nblocks) {
+  uint64_t ns = 0;
+  if (block != next_sequential_block_) {
+    ++stats_.seeks;
+    uint64_t distance = block > next_sequential_block_
+                            ? block - next_sequential_block_
+                            : next_sequential_block_ - block;
+    double seek_ms = (next_sequential_block_ != ~0ull &&
+                      distance <= params_.near_seek_blocks)
+                         ? params_.track_to_track_ms
+                         : params_.avg_seek_ms;
+    ns += static_cast<uint64_t>(
+        (seek_ms + params_.rotational_latency_ms) * kMsToNs);
+  }
+  ns += TransferNanos(nblocks, params_.block_size, params_.transfer_mb_per_s);
+  next_sequential_block_ = block + nblocks;
+  stats_.busy_ns += ns;
+  clock_->Advance(ns);
+}
+
+void MagneticDiskModel::ChargeRead(uint64_t block, uint64_t nblocks) {
+  ++stats_.reads;
+  stats_.blocks_read += nblocks;
+  Charge(block, nblocks);
+}
+
+void MagneticDiskModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
+  ++stats_.writes;
+  stats_.blocks_written += nblocks;
+  Charge(block, nblocks);
+}
+
+void WormJukeboxModel::Charge(uint64_t block, uint64_t nblocks) {
+  uint64_t ns = 0;
+  uint64_t platter = block / params_.platter_blocks;
+  if (platter != current_platter_) {
+    if (current_platter_ != ~0ull) {
+      ns += static_cast<uint64_t>(params_.platter_switch_ms * kMsToNs);
+    }
+    current_platter_ = platter;
+    next_sequential_block_ = ~0ull;  // a platter exchange loses position
+  }
+  if (block != next_sequential_block_) {
+    ++stats_.seeks;
+    bool near = next_sequential_block_ != ~0ull &&
+                block > next_sequential_block_ &&
+                block - next_sequential_block_ <= params_.near_seek_blocks;
+    ns += static_cast<uint64_t>(
+        (near ? params_.near_seek_ms : params_.seek_ms) * kMsToNs);
+  }
+  ns += TransferNanos(nblocks, params_.block_size, params_.transfer_mb_per_s);
+  next_sequential_block_ = block + nblocks;
+  stats_.busy_ns += ns;
+  clock_->Advance(ns);
+}
+
+void WormJukeboxModel::ChargeRead(uint64_t block, uint64_t nblocks) {
+  ++stats_.reads;
+  stats_.blocks_read += nblocks;
+  Charge(block, nblocks);
+}
+
+void WormJukeboxModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
+  ++stats_.writes;
+  stats_.blocks_written += nblocks;
+  Charge(block, nblocks);
+}
+
+void MemoryDeviceModel::Charge(uint64_t nblocks) {
+  uint64_t ns = static_cast<uint64_t>(params_.per_op_us * 1e3) +
+                TransferNanos(nblocks, params_.block_size,
+                              params_.transfer_mb_per_s);
+  stats_.busy_ns += ns;
+  clock_->Advance(ns);
+}
+
+void MemoryDeviceModel::ChargeRead(uint64_t block, uint64_t nblocks) {
+  (void)block;
+  ++stats_.reads;
+  stats_.blocks_read += nblocks;
+  Charge(nblocks);
+}
+
+void MemoryDeviceModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
+  (void)block;
+  ++stats_.writes;
+  stats_.blocks_written += nblocks;
+  Charge(nblocks);
+}
+
+}  // namespace pglo

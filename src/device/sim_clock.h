@@ -1,0 +1,55 @@
+#ifndef PGLO_DEVICE_SIM_CLOCK_H_
+#define PGLO_DEVICE_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace pglo {
+
+/// Accumulates simulated elapsed time.
+///
+/// The paper's evaluation ran on a 1992 Sequent Symmetry with era-appropriate
+/// disks and an optical WORM jukebox. We cannot reproduce that testbed, so
+/// every block transfer and every charged CPU instruction advances a
+/// SimClock instead; benchmarks report simulated seconds. Wall-clock time
+/// never enters a measurement, which also makes benchmark output
+/// deterministic.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Advances the clock by `ns` simulated nanoseconds.
+  void Advance(uint64_t ns) { now_ns_ += ns; }
+  void AdvanceSeconds(double s) {
+    now_ns_ += static_cast<uint64_t>(s * 1e9);
+  }
+
+  uint64_t NowNanos() const { return now_ns_; }
+  double NowSeconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+
+  void Reset() { now_ns_ = 0; }
+
+ private:
+  uint64_t now_ns_ = 0;
+};
+
+/// Scoped stopwatch over a SimClock; Elapsed* report simulated time since
+/// construction (or the last Restart).
+class SimTimer {
+ public:
+  explicit SimTimer(const SimClock* clock)
+      : clock_(clock), start_ns_(clock->NowNanos()) {}
+
+  void Restart() { start_ns_ = clock_->NowNanos(); }
+  uint64_t ElapsedNanos() const { return clock_->NowNanos() - start_ns_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  const SimClock* clock_;
+  uint64_t start_ns_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_DEVICE_SIM_CLOCK_H_

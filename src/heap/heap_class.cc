@@ -1,0 +1,229 @@
+#include "heap/heap_class.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pglo {
+
+Status HeapClass::Create(BufferPool* pool, RelFileId file) {
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, pool->smgrs()->Get(file.smgr_id));
+  return smgr->CreateFile(file.relfile);
+}
+
+Result<BlockNumber> HeapClass::NumBlocks() const {
+  // Overlay-aware: includes pages appended in the pool but not yet
+  // materialized in the storage manager.
+  return pool_->NumBlocks(file_);
+}
+
+Result<Tid> HeapClass::Insert(Transaction* txn, Slice payload) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::PermissionDenied("time-travel transactions are read-only");
+  }
+  if (payload.size() > MaxPayload()) {
+    return Status::InvalidArgument("tuple payload exceeds page capacity");
+  }
+  Bytes image = MakeTupleImage(TupleHeader{txn->xid(), kInvalidXid}, payload);
+
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks());
+  // Candidate pages: the hint, then the last page, then a fresh page.
+  BlockNumber candidates[2] = {kInvalidBlock, kInvalidBlock};
+  int ncand = 0;
+  if (insert_hint_ != kInvalidBlock && insert_hint_ < nblocks) {
+    candidates[ncand++] = insert_hint_;
+  }
+  if (nblocks > 0 && (ncand == 0 || candidates[0] != nblocks - 1)) {
+    candidates[ncand++] = nblocks - 1;
+  }
+  for (int i = 0; i < ncand; ++i) {
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle,
+                          pool_->GetPage({file_, candidates[i]}));
+    SlottedPage page(handle.data());
+    if (!page.IsInitialized()) continue;
+    Result<uint16_t> slot = page.AddItem(image);
+    if (slot.ok()) {
+      handle.MarkDirty();
+      insert_hint_ = candidates[i];
+      return Tid{candidates[i], slot.value()};
+    }
+  }
+  BlockNumber new_block;
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage(file_, &new_block));
+  SlottedPage page(handle.data());
+  page.Init();
+  PGLO_ASSIGN_OR_RETURN(uint16_t slot, page.AddItem(image));
+  handle.MarkDirty();
+  insert_hint_ = new_block;
+  return Tid{new_block, slot};
+}
+
+Status HeapClass::Delete(Transaction* txn, Tid tid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::PermissionDenied("time-travel transactions are read-only");
+  }
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, tid.block}));
+  SlottedPage page(handle.data());
+  PGLO_ASSIGN_OR_RETURN(Slice item, page.GetItem(tid.slot));
+  if (item.size() < TupleHeader::kSize) {
+    return Status::Corruption("tuple shorter than its header");
+  }
+  TupleHeader header = TupleHeader::Decode(item.data());
+  if (!txn->snapshot().IsVisible(header.xmin, header.xmax)) {
+    return Status::NotFound("tuple version not visible");
+  }
+  // A stale xmax from an aborted deleter may be overwritten. Any other
+  // foreign xmax (in progress, or committed after our snapshot) is a
+  // write-write conflict: first updater wins.
+  if (header.xmax != kInvalidXid && header.xmax != txn->xid()) {
+    TxnState deleter = txn->snapshot().StateOf(header.xmax);
+    if (deleter != TxnState::kAborted) {
+      return Status::Aborted("write-write conflict on tuple");
+    }
+  }
+  header.xmax = txn->xid();
+  // In-place stamp: same length, so OverwriteItem cannot fail for size.
+  Bytes image(item.size());
+  std::memcpy(image.data(), item.data(), item.size());
+  header.EncodeTo(image.data());
+  PGLO_RETURN_IF_ERROR(page.OverwriteItem(tid.slot, image));
+  handle.MarkDirty();
+  return Status::OK();
+}
+
+Result<Tid> HeapClass::Update(Transaction* txn, Tid tid, Slice payload) {
+  // Updating a version this same transaction created (and nobody deleted)
+  // replaces it physically: intermediate states within one transaction are
+  // not part of history, so keeping them would only bloat storage. This is
+  // what lets bulk-loading a large object leave exactly one version per
+  // chunk.
+  if (txn->active() && !txn->read_only() &&
+      payload.size() <= MaxPayload()) {
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle,
+                          pool_->GetPage({file_, tid.block}));
+    SlottedPage page(handle.data());
+    Result<Slice> item = page.GetItem(tid.slot);
+    if (item.ok() && item.value().size() >= TupleHeader::kSize) {
+      TupleHeader header = TupleHeader::Decode(item.value().data());
+      if (header.xmin == txn->xid() && header.xmax == kInvalidXid) {
+        Bytes image = MakeTupleImage(header, payload);
+        if (image.size() <= item.value().size()) {
+          PGLO_RETURN_IF_ERROR(page.OverwriteItem(tid.slot, image));
+          handle.MarkDirty();
+          return tid;
+        }
+        // Larger replacement: physically retire the old copy (it can never
+        // be visible to anyone else) and insert fresh, same page if it
+        // fits.
+        PGLO_RETURN_IF_ERROR(page.DeleteItem(tid.slot));
+        handle.MarkDirty();
+        Result<uint16_t> slot = page.AddItem(image);
+        if (slot.ok()) {
+          return Tid{tid.block, slot.value()};
+        }
+        handle.Release();
+        return Insert(txn, payload);
+      }
+    }
+  }
+  PGLO_RETURN_IF_ERROR(Delete(txn, tid));
+  return Insert(txn, payload);
+}
+
+Result<Bytes> HeapClass::Get(Transaction* txn, Tid tid) {
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, tid.block}));
+  SlottedPage page(handle.data());
+  PGLO_ASSIGN_OR_RETURN(Slice item, page.GetItem(tid.slot));
+  if (item.size() < TupleHeader::kSize) {
+    return Status::Corruption("tuple shorter than its header");
+  }
+  TupleHeader header = TupleHeader::Decode(item.data());
+  if (!txn->snapshot().IsVisible(header.xmin, header.xmax)) {
+    return Status::NotFound("tuple version not visible");
+  }
+  Slice payload = item.Sub(TupleHeader::kSize, item.size());
+  return payload.ToBytes();
+}
+
+Result<std::pair<TupleHeader, Bytes>> HeapClass::GetAnyVersion(Tid tid) {
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, tid.block}));
+  SlottedPage page(handle.data());
+  PGLO_ASSIGN_OR_RETURN(Slice item, page.GetItem(tid.slot));
+  if (item.size() < TupleHeader::kSize) {
+    return Status::Corruption("tuple shorter than its header");
+  }
+  TupleHeader header = TupleHeader::Decode(item.data());
+  return std::make_pair(header,
+                        item.Sub(TupleHeader::kSize, item.size()).ToBytes());
+}
+
+Result<uint64_t> HeapClass::Vacuum(const CommitLog& clog,
+                                   CommitTime horizon) {
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks());
+  uint64_t removed = 0;
+  for (BlockNumber b = 0; b < nblocks; ++b) {
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, b}));
+    SlottedPage page(handle.data());
+    if (!page.IsInitialized()) continue;
+    bool dirtied = false;
+    uint16_t nslots = page.NumSlots();
+    for (uint16_t s = 0; s < nslots; ++s) {
+      Result<Slice> item = page.GetItem(s);
+      if (!item.ok()) continue;
+      TupleHeader h = TupleHeader::Decode(item.value().data());
+      bool dead = false;
+      if (clog.GetState(h.xmin) == TxnState::kAborted) {
+        dead = true;  // never visible to anyone
+      } else if (h.xmax != kInvalidXid &&
+                 clog.GetState(h.xmax) == TxnState::kCommitted &&
+                 clog.GetCommitTime(h.xmax) <= horizon) {
+        dead = true;  // deleted before the retained-history horizon
+      }
+      if (dead) {
+        PGLO_RETURN_IF_ERROR(page.DeleteItem(s));
+        dirtied = true;
+        ++removed;
+      }
+    }
+    if (dirtied) {
+      page.Compact();
+      handle.MarkDirty();
+    }
+  }
+  return removed;
+}
+
+Result<bool> HeapScan::Next(Tid* tid, Bytes* payload) {
+  if (exhausted_) return false;
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, heap_->NumBlocks());
+  while (block_ < nblocks) {
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle,
+                          heap_->pool_->GetPage({heap_->file_, block_}));
+    SlottedPage page(handle.data());
+    if (page.IsInitialized()) {
+      uint16_t nslots = page.NumSlots();
+      while (slot_ < nslots) {
+        uint16_t s = slot_++;
+        Result<Slice> item = page.GetItem(s);
+        if (!item.ok()) continue;
+        if (item.value().size() < TupleHeader::kSize) {
+          return Status::Corruption("tuple shorter than its header");
+        }
+        TupleHeader header = TupleHeader::Decode(item.value().data());
+        if (!txn_->snapshot().IsVisible(header.xmin, header.xmax)) continue;
+        *tid = Tid{block_, s};
+        *payload =
+            item.value().Sub(TupleHeader::kSize, item.value().size()).ToBytes();
+        return true;
+      }
+    }
+    ++block_;
+    slot_ = 0;
+  }
+  exhausted_ = true;
+  return false;
+}
+
+}  // namespace pglo

@@ -1,0 +1,97 @@
+#ifndef PGLO_HEAP_HEAP_CLASS_H_
+#define PGLO_HEAP_HEAP_CLASS_H_
+
+#include <optional>
+
+#include "common/result.h"
+#include "heap/tuple.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "txn/transaction.h"
+
+namespace pglo {
+
+/// A POSTGRES class: a heap of versioned tuples in one relation file.
+///
+/// All mutation follows the no-overwrite discipline:
+///   * Insert appends a version stamped xmin = caller.
+///   * Delete stamps xmax = caller on the visible version (the only in-place
+///     byte change the heap ever makes).
+///   * Update = Delete(old) + Insert(new version); the new Tid is returned.
+/// Old versions stay on the pages, so historical snapshots keep working.
+///
+/// The class does not know its schema — payloads are opaque bytes; the
+/// query layer and the large-object implementations impose structure.
+class HeapClass {
+ public:
+  /// Wraps an existing relation file (create it via Create()).
+  HeapClass(BufferPool* pool, RelFileId file) : pool_(pool), file_(file) {}
+
+  /// Creates the backing relation file.
+  static Status Create(BufferPool* pool, RelFileId file);
+
+  /// Inserts a tuple version; returns its physical address.
+  Result<Tid> Insert(Transaction* txn, Slice payload);
+
+  /// Deletes the version at `tid` (it must be visible to `txn`).
+  Status Delete(Transaction* txn, Tid tid);
+
+  /// Replaces the tuple at `tid` with `payload`; returns the new version's
+  /// address. The old version remains for time travel.
+  Result<Tid> Update(Transaction* txn, Tid tid, Slice payload);
+
+  /// Fetches the payload at `tid` if that version is visible to `txn`.
+  Result<Bytes> Get(Transaction* txn, Tid tid);
+
+  /// Fetches the payload at `tid` regardless of visibility (returns the
+  /// header too); used by vacuum-style maintenance and tests.
+  Result<std::pair<TupleHeader, Bytes>> GetAnyVersion(Tid tid);
+
+  /// Reclaims space held by versions that can never become visible again
+  /// (inserted by an aborted transaction, or deleted before `horizon`).
+  /// Passing horizon = 0 reclaims only aborted versions, preserving all
+  /// time travel. Returns the number of versions removed.
+  Result<uint64_t> Vacuum(const CommitLog& clog, CommitTime horizon);
+
+  RelFileId file() const { return file_; }
+  BufferPool* pool() const { return pool_; }
+
+  /// Number of blocks currently in the relation file.
+  Result<BlockNumber> NumBlocks() const;
+
+  /// Maximum payload that fits in one tuple (page minus headers). This is
+  /// what makes byte[8000] chunks one-per-page in §6.3.
+  static constexpr uint32_t MaxPayload() {
+    return SlottedPage::MaxItemSize() - TupleHeader::kSize;
+  }
+
+ private:
+  friend class HeapScan;
+
+  BufferPool* pool_;
+  RelFileId file_;
+  // Insertion hint: last page observed to have free space.
+  BlockNumber insert_hint_ = kInvalidBlock;
+};
+
+/// Forward scan over the versions of a class visible to a transaction's
+/// snapshot.
+class HeapScan {
+ public:
+  HeapScan(HeapClass* heap, Transaction* txn) : heap_(heap), txn_(txn) {}
+
+  /// Advances to the next visible tuple. Returns false at end-of-class.
+  /// On success fills `tid` and `payload`.
+  Result<bool> Next(Tid* tid, Bytes* payload);
+
+ private:
+  HeapClass* heap_;
+  Transaction* txn_;
+  BlockNumber block_ = 0;
+  uint16_t slot_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_HEAP_HEAP_CLASS_H_

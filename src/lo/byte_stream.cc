@@ -1,0 +1,25 @@
+#include "lo/byte_stream.h"
+
+namespace pglo {
+
+Result<uint64_t> ForEachPiece(
+    ByteStream* stream, size_t piece_size,
+    const std::function<Status(uint64_t off, Slice piece)>& fn) {
+  if (piece_size == 0) {
+    return Status::InvalidArgument("piece size must be positive");
+  }
+  PGLO_ASSIGN_OR_RETURN(uint64_t size, stream->Size());
+  Bytes buf(piece_size);
+  uint64_t off = 0;
+  while (off < size) {
+    size_t want =
+        static_cast<size_t>(std::min<uint64_t>(piece_size, size - off));
+    PGLO_ASSIGN_OR_RETURN(size_t n, stream->ReadAt(off, want, buf.data()));
+    if (n == 0) break;
+    PGLO_RETURN_IF_ERROR(fn(off, Slice(buf).Sub(0, n)));
+    off += n;
+  }
+  return off;
+}
+
+}  // namespace pglo

@@ -1,0 +1,66 @@
+#ifndef PGLO_LO_BYTE_STREAM_H_
+#define PGLO_LO_BYTE_STREAM_H_
+
+#include <functional>
+
+#include "lo/large_object.h"
+#include "ufs/ufs.h"
+
+namespace pglo {
+
+/// §4's portability argument made concrete: "A function can be written and
+/// debugged using files, and then moved into the database where it can
+/// manage large objects without being rewritten."
+///
+/// ByteStream is the minimal read-only surface such a function needs —
+/// positional reads and a size. Both a UNIX file and a large object
+/// satisfy it, so the same function body runs against either.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  virtual Result<size_t> ReadAt(uint64_t off, size_t n, uint8_t* buf) = 0;
+  virtual Result<uint64_t> Size() = 0;
+};
+
+/// A UNIX file as a ByteStream (the "written and debugged using files"
+/// half).
+class UfsByteStream : public ByteStream {
+ public:
+  UfsByteStream(UnixFileSystem* fs, uint32_t inode)
+      : fs_(fs), inode_(inode) {}
+
+  Result<size_t> ReadAt(uint64_t off, size_t n, uint8_t* buf) override {
+    return fs_->ReadAt(inode_, off, n, buf);
+  }
+  Result<uint64_t> Size() override { return fs_->FileSize(inode_); }
+
+ private:
+  UnixFileSystem* fs_;
+  uint32_t inode_;
+};
+
+/// A large object as a ByteStream (the "moved into the database" half).
+class LoByteStream : public ByteStream {
+ public:
+  LoByteStream(LargeObject* lo, Transaction* txn) : lo_(lo), txn_(txn) {}
+
+  Result<size_t> ReadAt(uint64_t off, size_t n, uint8_t* buf) override {
+    return lo_->Read(txn_, off, n, buf);
+  }
+  Result<uint64_t> Size() override { return lo_->Size(txn_); }
+
+ private:
+  LargeObject* lo_;
+  Transaction* txn_;
+};
+
+/// Streams `stream` through `fn` in bounded pieces (the §3 requirement
+/// that functions "request small chunks for individual operations" rather
+/// than materializing gigabytes). Returns the number of bytes visited.
+Result<uint64_t> ForEachPiece(
+    ByteStream* stream, size_t piece_size,
+    const std::function<Status(uint64_t off, Slice piece)>& fn);
+
+}  // namespace pglo
+
+#endif  // PGLO_LO_BYTE_STREAM_H_

@@ -1,0 +1,326 @@
+#include "lo/fchunk_lo.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pglo {
+
+namespace {
+// Chunk record: seqno u32 | flags u8 | raw_len u32 | payload.
+constexpr size_t kChunkHeader = 9;
+constexpr uint8_t kFlagCompressed = 0x1;
+}  // namespace
+
+Result<FChunkLo::Files> FChunkLo::CreateStorage(const DbContext& ctx,
+                                                Transaction* txn,
+                                                uint8_t smgr) {
+  Files files;
+  files.data = RelFileId{smgr, ctx.oids->Allocate()};
+  files.index = RelFileId{smgr, ctx.oids->Allocate()};
+  PGLO_RETURN_IF_ERROR(HeapClass::Create(ctx.pool, files.data));
+  PGLO_RETURN_IF_ERROR(Btree::Create(ctx.pool, files.index));
+  // Initial size record (size 0).
+  FChunkLo lo(ctx, files, nullptr, 8000);
+  PGLO_RETURN_IF_ERROR(lo.StoreSize(txn, 0));
+  return files;
+}
+
+FChunkLo::FChunkLo(const DbContext& ctx, Files files, const Compressor* codec,
+                   uint32_t chunk_size)
+    : ctx_(ctx),
+      files_(files),
+      heap_(ctx.pool, files.data),
+      index_(ctx.pool, files.index),
+      codec_(codec),
+      chunk_size_(chunk_size) {
+  PGLO_CHECK(chunk_size_ > 0 &&
+             chunk_size_ + kChunkHeader <= HeapClass::MaxPayload());
+}
+
+Bytes FChunkLo::EncodeChunk(uint32_t seqno, bool compressed, uint32_t raw_len,
+                            Slice payload) {
+  Bytes image;
+  image.reserve(kChunkHeader + payload.size());
+  PutFixed32(&image, seqno);
+  image.push_back(compressed ? kFlagCompressed : 0);
+  PutFixed32(&image, raw_len);
+  image.insert(image.end(), payload.data(), payload.data() + payload.size());
+  return image;
+}
+
+Result<FChunkLo::ChunkRecord> FChunkLo::DecodeChunk(Slice image) {
+  if (image.size() < kChunkHeader) {
+    return Status::Corruption("chunk record too short");
+  }
+  ChunkRecord rec;
+  rec.seqno = DecodeFixed32(image.data());
+  rec.compressed = (image[4] & kFlagCompressed) != 0;
+  rec.raw_len = DecodeFixed32(image.data() + 5);
+  rec.payload = image.Sub(kChunkHeader, image.size());
+  return rec;
+}
+
+Result<std::optional<Tid>> FChunkLo::FindChunk(Transaction* txn,
+                                               uint32_t seqno) {
+  PGLO_ASSIGN_OR_RETURN(std::vector<uint64_t> candidates,
+                        index_.Lookup(seqno));
+  for (uint64_t packed : candidates) {
+    Tid tid = Btree::UnpackTid(packed);
+    Result<Bytes> image = heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;
+      return image.status();
+    }
+    Result<ChunkRecord> rec = DecodeChunk(Slice(image.value()));
+    if (!rec.ok() || rec.value().seqno != seqno) continue;  // stale entry
+    return std::optional<Tid>(tid);
+  }
+  return std::optional<Tid>();
+}
+
+Result<bool> FChunkLo::LoadChunk(Transaction* txn, uint32_t seqno,
+                                 Bytes* out) {
+  if (cached_valid_ && cached_seqno_ == seqno) {
+    *out = cached_chunk_;
+    return true;
+  }
+  PGLO_ASSIGN_OR_RETURN(std::vector<uint64_t> candidates,
+                        index_.Lookup(seqno));
+  for (uint64_t packed : candidates) {
+    Tid tid = Btree::UnpackTid(packed);
+    Result<Bytes> image = heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;  // other version
+      return image.status();
+    }
+    Result<ChunkRecord> decoded = DecodeChunk(Slice(image.value()));
+    if (!decoded.ok() || decoded.value().seqno != seqno) {
+      // Stale index entry: the slot it points at was physically recycled
+      // (an in-place self-update retired the old copy). Skip it.
+      continue;
+    }
+    const ChunkRecord& rec = decoded.value();
+    out->clear();
+    if (rec.compressed) {
+      if (codec_ == nullptr) {
+        return Status::Corruption("compressed chunk but no codec configured");
+      }
+      out->reserve(rec.raw_len);
+      PGLO_RETURN_IF_ERROR(
+          codec_->Decompress(rec.payload, rec.raw_len, out));
+      if (ctx_.cpu != nullptr) {
+        ctx_.cpu->ChargePerByte(codec_->decompress_instr_per_byte(),
+                                rec.raw_len);
+      }
+    } else {
+      out->assign(rec.payload.data(),
+                  rec.payload.data() + rec.payload.size());
+    }
+    cached_seqno_ = seqno;
+    cached_chunk_ = *out;
+    cached_valid_ = true;
+    return true;
+  }
+  return false;
+}
+
+Status FChunkLo::StoreChunk(Transaction* txn, uint32_t seqno, Slice raw) {
+  if (cached_valid_ && cached_seqno_ == seqno) {
+    cached_chunk_ = raw.ToBytes();  // keep the cache coherent with writes
+  }
+  bool compressed = false;
+  Bytes compressed_buf;
+  Slice payload = raw;
+  if (codec_ != nullptr) {
+    PGLO_RETURN_IF_ERROR(codec_->Compress(raw, &compressed_buf));
+    if (ctx_.cpu != nullptr) {
+      ctx_.cpu->ChargePerByte(codec_->compress_instr_per_byte(), raw.size());
+    }
+    if (compressed_buf.size() < raw.size()) {
+      compressed = true;
+      payload = Slice(compressed_buf);
+    }
+  }
+  Bytes image = EncodeChunk(seqno, compressed,
+                            static_cast<uint32_t>(raw.size()), payload);
+
+  PGLO_ASSIGN_OR_RETURN(std::optional<Tid> existing, FindChunk(txn, seqno));
+  Tid new_tid;
+  if (existing.has_value()) {
+    PGLO_ASSIGN_OR_RETURN(new_tid, heap_.Update(txn, *existing, Slice(image)));
+  } else {
+    PGLO_ASSIGN_OR_RETURN(new_tid, heap_.Insert(txn, Slice(image)));
+  }
+  return index_.InsertIfAbsent(seqno, new_tid);
+}
+
+Result<uint64_t> FChunkLo::LoadSize(Transaction* txn) {
+  if (size_valid_) return cached_size_;
+  PGLO_ASSIGN_OR_RETURN(std::vector<uint64_t> candidates,
+                        index_.Lookup(kSizeSeqno));
+  for (uint64_t packed : candidates) {
+    Tid tid = Btree::UnpackTid(packed);
+    Result<Bytes> image = heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;
+      return image.status();
+    }
+    Result<ChunkRecord> rec = DecodeChunk(Slice(image.value()));
+    if (!rec.ok() || rec.value().seqno != kSizeSeqno ||
+        rec.value().payload.size() < 8) {
+      continue;  // stale index entry pointing at a recycled slot
+    }
+    cached_size_ = DecodeFixed64(rec.value().payload.data());
+    size_valid_ = true;
+    return cached_size_;
+  }
+  return Status::NotFound("large object has no size record");
+}
+
+Status FChunkLo::StoreSize(Transaction* txn, uint64_t size) {
+  cached_size_ = size;
+  size_valid_ = true;
+  Bytes value(8);
+  EncodeFixed64(value.data(), size);
+  Bytes image = EncodeChunk(kSizeSeqno, false, 8, Slice(value));
+  PGLO_ASSIGN_OR_RETURN(std::optional<Tid> existing,
+                        FindChunk(txn, kSizeSeqno));
+  Tid new_tid;
+  if (existing.has_value()) {
+    PGLO_ASSIGN_OR_RETURN(new_tid, heap_.Update(txn, *existing, Slice(image)));
+  } else {
+    PGLO_ASSIGN_OR_RETURN(new_tid, heap_.Insert(txn, Slice(image)));
+  }
+  return index_.InsertIfAbsent(kSizeSeqno, new_tid);
+}
+
+Result<uint64_t> FChunkLo::Size(Transaction* txn) { return LoadSize(txn); }
+
+Result<size_t> FChunkLo::Read(Transaction* txn, uint64_t off, size_t n,
+                              uint8_t* buf) {
+  PGLO_ASSIGN_OR_RETURN(uint64_t size, LoadSize(txn));
+  if (off >= size) return static_cast<size_t>(0);
+  n = static_cast<size_t>(std::min<uint64_t>(n, size - off));
+  size_t done = 0;
+  Bytes chunk;
+  while (done < n) {
+    uint64_t pos = off + done;
+    uint32_t seqno = static_cast<uint32_t>(pos / chunk_size_);
+    uint32_t in_chunk = static_cast<uint32_t>(pos % chunk_size_);
+    size_t take = std::min<size_t>(n - done, chunk_size_ - in_chunk);
+    PGLO_ASSIGN_OR_RETURN(bool found, LoadChunk(txn, seqno, &chunk));
+    if (!found) {
+      std::memset(buf + done, 0, take);  // hole in a sparse object
+    } else {
+      if (chunk.size() < in_chunk + take) {
+        // Short final chunk within a hole-y region: zero-fill the tail.
+        size_t have = chunk.size() > in_chunk ? chunk.size() - in_chunk : 0;
+        size_t copy = std::min(take, have);
+        if (copy > 0) std::memcpy(buf + done, chunk.data() + in_chunk, copy);
+        std::memset(buf + done + copy, 0, take - copy);
+      } else {
+        std::memcpy(buf + done, chunk.data() + in_chunk, take);
+      }
+    }
+    done += take;
+  }
+  return done;
+}
+
+Status FChunkLo::Write(Transaction* txn, uint64_t off, Slice data) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  PGLO_ASSIGN_OR_RETURN(uint64_t size, LoadSize(txn));
+  size_t done = 0;
+  Bytes chunk;
+  while (done < data.size()) {
+    uint64_t pos = off + done;
+    uint32_t seqno = static_cast<uint32_t>(pos / chunk_size_);
+    uint32_t in_chunk = static_cast<uint32_t>(pos % chunk_size_);
+    size_t take = std::min<size_t>(data.size() - done, chunk_size_ - in_chunk);
+    if (in_chunk == 0 && take == chunk_size_) {
+      // Full-chunk overwrite: no fetch needed.
+      PGLO_RETURN_IF_ERROR(
+          StoreChunk(txn, seqno, data.Sub(done, chunk_size_)));
+    } else {
+      PGLO_ASSIGN_OR_RETURN(bool found, LoadChunk(txn, seqno, &chunk));
+      if (!found) chunk.clear();
+      if (chunk.size() < in_chunk + take) {
+        chunk.resize(in_chunk + take, 0);
+      }
+      std::memcpy(chunk.data() + in_chunk, data.data() + done, take);
+      // The final chunk of the object may be partial; do not pad it past
+      // the object's new end.
+      PGLO_RETURN_IF_ERROR(StoreChunk(txn, seqno, Slice(chunk)));
+    }
+    done += take;
+  }
+  if (off + data.size() > size) {
+    PGLO_RETURN_IF_ERROR(StoreSize(txn, off + data.size()));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FChunkLo::Append(Transaction* txn, Slice data) {
+  PGLO_ASSIGN_OR_RETURN(uint64_t size, LoadSize(txn));
+  PGLO_RETURN_IF_ERROR(Write(txn, size, data));
+  return size;
+}
+
+Status FChunkLo::Truncate(Transaction* txn, uint64_t size) {
+  cached_valid_ = false;  // chunks past the new end disappear
+  PGLO_ASSIGN_OR_RETURN(uint64_t old_size, LoadSize(txn));
+  if (size < old_size) {
+    uint32_t first_dead =
+        static_cast<uint32_t>((size + chunk_size_ - 1) / chunk_size_);
+    uint32_t last =
+        static_cast<uint32_t>((old_size + chunk_size_ - 1) / chunk_size_);
+    for (uint32_t seqno = first_dead; seqno < last; ++seqno) {
+      PGLO_ASSIGN_OR_RETURN(std::optional<Tid> tid, FindChunk(txn, seqno));
+      if (tid.has_value()) {
+        PGLO_RETURN_IF_ERROR(heap_.Delete(txn, *tid));
+      }
+    }
+    // Trim the chunk straddling the new end, so re-extending the object
+    // later reads zeros (not stale bytes) beyond `size`.
+    if (size % chunk_size_ != 0) {
+      uint32_t seqno = static_cast<uint32_t>(size / chunk_size_);
+      Bytes chunk;
+      PGLO_ASSIGN_OR_RETURN(bool found, LoadChunk(txn, seqno, &chunk));
+      if (found && chunk.size() > size % chunk_size_) {
+        chunk.resize(static_cast<size_t>(size % chunk_size_));
+        PGLO_RETURN_IF_ERROR(StoreChunk(txn, seqno, Slice(chunk)));
+      }
+    }
+  }
+  return StoreSize(txn, size);
+}
+
+Result<uint64_t> FChunkLo::Vacuum(const CommitLog& clog,
+                                  CommitTime horizon) {
+  cached_valid_ = false;
+  size_valid_ = false;
+  return heap_.Vacuum(clog, horizon);
+}
+
+Status FChunkLo::Destroy(Transaction* txn) {
+  (void)txn;
+  ctx_.pool->DiscardFile(files_.data, /*discard_dirty=*/true);
+  ctx_.pool->DiscardFile(files_.index, /*discard_dirty=*/true);
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr,
+                        ctx_.smgrs->Get(files_.data.smgr_id));
+  PGLO_RETURN_IF_ERROR(smgr->DropFile(files_.data.relfile));
+  return smgr->DropFile(files_.index.relfile);
+}
+
+Result<LargeObject::StorageFootprint> FChunkLo::Footprint() {
+  StorageFootprint fp;
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr,
+                        ctx_.smgrs->Get(files_.data.smgr_id));
+  PGLO_ASSIGN_OR_RETURN(fp.data_bytes, smgr->StorageBytes(files_.data.relfile));
+  PGLO_ASSIGN_OR_RETURN(fp.index_bytes,
+                        smgr->StorageBytes(files_.index.relfile));
+  return fp;
+}
+
+}  // namespace pglo

@@ -1,0 +1,497 @@
+#include "lo/lo_manager.h"
+
+#include "common/logging.h"
+#include "lo/fchunk_lo.h"
+#include "lo/ufile_lo.h"
+#include "lo/vsegment_lo.h"
+
+namespace pglo {
+
+/// Relation file of the LO catalog class (a reserved, well-known Oid).
+static constexpr Oid kLoCatalogRelfile = 10;
+/// The catalog always lives on the magnetic-disk storage manager.
+static constexpr uint8_t kCatalogSmgr = kSmgrDisk;
+
+std::string_view StorageKindToString(StorageKind kind) {
+  switch (kind) {
+    case StorageKind::kUserFile:
+      return "u-file";
+    case StorageKind::kPostgresFile:
+      return "p-file";
+    case StorageKind::kFChunk:
+      return "f-chunk";
+    case StorageKind::kVSegment:
+      return "v-segment";
+  }
+  return "?";
+}
+
+Result<StorageKind> StorageKindFromString(std::string_view name) {
+  if (name == "u-file" || name == "ufile") return StorageKind::kUserFile;
+  if (name == "p-file" || name == "pfile") return StorageKind::kPostgresFile;
+  if (name == "f-chunk" || name == "fchunk") return StorageKind::kFChunk;
+  if (name == "v-segment" || name == "vsegment") {
+    return StorageKind::kVSegment;
+  }
+  return Status::InvalidArgument("unknown storage kind: " + std::string(name));
+}
+
+// ---------------------------------------------------------------------------
+// LoDescriptor
+
+Result<size_t> LoDescriptor::Read(size_t n, uint8_t* buf) {
+  PGLO_ASSIGN_OR_RETURN(size_t got, lo_->Read(txn_, pos_, n, buf));
+  pos_ += got;
+  return got;
+}
+
+Result<Bytes> LoDescriptor::Read(size_t n) {
+  Bytes out(n);
+  PGLO_ASSIGN_OR_RETURN(size_t got, Read(n, out.data()));
+  out.resize(got);
+  return out;
+}
+
+Status LoDescriptor::Write(Slice data) {
+  if (!writable_) {
+    return Status::PermissionDenied("descriptor opened read-only");
+  }
+  PGLO_RETURN_IF_ERROR(lo_->Write(txn_, pos_, data));
+  pos_ += data.size();
+  return Status::OK();
+}
+
+Result<uint64_t> LoDescriptor::Seek(int64_t off, Whence whence) {
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = static_cast<int64_t>(pos_);
+      break;
+    case Whence::kEnd: {
+      PGLO_ASSIGN_OR_RETURN(uint64_t size, lo_->Size(txn_));
+      base = static_cast<int64_t>(size);
+      break;
+    }
+  }
+  int64_t target = base + off;
+  if (target < 0) return Status::InvalidArgument("seek before start");
+  pos_ = static_cast<uint64_t>(target);
+  return pos_;
+}
+
+Result<uint64_t> LoDescriptor::Size() { return lo_->Size(txn_); }
+
+Status LoDescriptor::Truncate(uint64_t size) {
+  if (!writable_) {
+    return Status::PermissionDenied("descriptor opened read-only");
+  }
+  return lo_->Truncate(txn_, size);
+}
+
+// ---------------------------------------------------------------------------
+// LoManager
+
+LoManager::LoManager(const DbContext& ctx)
+    : ctx_(ctx), catalog_(ctx.pool, RelFileId{kCatalogSmgr, kLoCatalogRelfile}) {}
+
+Status LoManager::Bootstrap(Transaction* txn) {
+  (void)txn;
+  return HeapClass::Create(ctx_.pool,
+                           RelFileId{kCatalogSmgr, kLoCatalogRelfile});
+}
+
+Bytes LoManager::EncodeEntry(const CatalogEntry& e) {
+  Bytes out;
+  PutFixed32(&out, e.oid);
+  out.push_back(static_cast<uint8_t>(e.spec.kind));
+  out.push_back(e.spec.smgr);
+  out.push_back(e.temp ? 1 : 0);
+  PutFixed32(&out, e.spec.chunk_size);
+  PutFixed32(&out, e.spec.max_segment);
+  PutLengthPrefixed(&out, Slice(e.spec.codec));
+  PutLengthPrefixed(&out, Slice(e.spec.ufile_path));
+  for (Oid f : e.files) PutFixed32(&out, f);
+  return out;
+}
+
+Result<LoManager::CatalogEntry> LoManager::DecodeEntry(Slice image) {
+  CatalogEntry e;
+  ByteReader reader(image);
+  uint32_t oid;
+  if (!reader.GetFixed32(&oid)) return Status::Corruption("bad LO entry");
+  e.oid = oid;
+  if (reader.remaining() < 3) return Status::Corruption("bad LO entry");
+  e.spec.kind = static_cast<StorageKind>(image[4]);
+  e.spec.smgr = image[5];
+  e.temp = image[6] != 0;
+  // Re-read from offset 7 using a fresh reader.
+  ByteReader rest(image.Sub(7, image.size()));
+  uint32_t chunk_size, max_segment;
+  Slice codec, ufile;
+  if (!rest.GetFixed32(&chunk_size) || !rest.GetFixed32(&max_segment) ||
+      !rest.GetLengthPrefixed(&codec) || !rest.GetLengthPrefixed(&ufile)) {
+    return Status::Corruption("bad LO entry");
+  }
+  e.spec.chunk_size = chunk_size;
+  e.spec.max_segment = max_segment;
+  e.spec.codec = codec.ToString();
+  e.spec.ufile_path = ufile.ToString();
+  for (Oid& f : e.files) {
+    uint32_t v;
+    if (!rest.GetFixed32(&v)) return Status::Corruption("bad LO entry");
+    f = v;
+  }
+  return e;
+}
+
+Result<std::pair<LoManager::CatalogEntry, Tid>> LoManager::FindEntry(
+    Transaction* txn, Oid oid) {
+  HeapScan scan(&catalog_, txn);
+  Tid tid;
+  Bytes payload;
+  for (;;) {
+    PGLO_ASSIGN_OR_RETURN(bool more, scan.Next(&tid, &payload));
+    if (!more) break;
+    PGLO_ASSIGN_OR_RETURN(CatalogEntry entry, DecodeEntry(Slice(payload)));
+    if (entry.oid == oid) return std::make_pair(entry, tid);
+  }
+  return Status::NotFound("no large object with oid " + std::to_string(oid));
+}
+
+Result<std::unique_ptr<LargeObject>> LoManager::InstantiateEntry(
+    const CatalogEntry& entry) {
+  PGLO_ASSIGN_OR_RETURN(const Compressor* codec,
+                        ctx_.codecs->Get(entry.spec.codec));
+  switch (entry.spec.kind) {
+    case StorageKind::kUserFile:
+    case StorageKind::kPostgresFile:
+      return std::unique_ptr<LargeObject>(
+          new UfileLo(ctx_, entry.spec.ufile_path, entry.spec.kind));
+    case StorageKind::kFChunk: {
+      FChunkLo::Files files{RelFileId{entry.spec.smgr, entry.files[0]},
+                            RelFileId{entry.spec.smgr, entry.files[1]}};
+      return std::unique_ptr<LargeObject>(
+          new FChunkLo(ctx_, files, codec, entry.spec.chunk_size));
+    }
+    case StorageKind::kVSegment: {
+      VSegmentLo::Files files;
+      files.seg_heap = RelFileId{entry.spec.smgr, entry.files[2]};
+      files.seg_index = RelFileId{entry.spec.smgr, entry.files[3]};
+      files.inner.data = RelFileId{entry.spec.smgr, entry.files[4]};
+      files.inner.index = RelFileId{entry.spec.smgr, entry.files[5]};
+      return std::unique_ptr<LargeObject>(
+          new VSegmentLo(ctx_, files, codec, entry.spec.max_segment));
+    }
+  }
+  return Status::Internal("unreachable storage kind");
+}
+
+Result<Oid> LoManager::CreateInternal(Transaction* txn, const LoSpec& spec,
+                                      bool temp) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  // Validate the codec name up front.
+  PGLO_RETURN_IF_ERROR(ctx_.codecs->Get(spec.codec).status());
+  CatalogEntry entry;
+  entry.oid = ctx_.oids->Allocate();
+  entry.spec = spec;
+  entry.temp = temp;
+
+  switch (spec.kind) {
+    case StorageKind::kUserFile: {
+      if (spec.ufile_path.empty()) {
+        return Status::InvalidArgument(
+            "u-file large object requires ufile_path");
+      }
+      PGLO_RETURN_IF_ERROR(UfileLo::CreateStorage(ctx_, spec.ufile_path));
+      break;
+    }
+    case StorageKind::kPostgresFile: {
+      entry.spec.ufile_path = NewFileName(entry.oid);
+      PGLO_RETURN_IF_ERROR(
+          UfileLo::CreateStorage(ctx_, entry.spec.ufile_path));
+      break;
+    }
+    case StorageKind::kFChunk: {
+      PGLO_ASSIGN_OR_RETURN(FChunkLo::Files files,
+                            FChunkLo::CreateStorage(ctx_, txn, spec.smgr));
+      entry.files[0] = files.data.relfile;
+      entry.files[1] = files.index.relfile;
+      break;
+    }
+    case StorageKind::kVSegment: {
+      PGLO_ASSIGN_OR_RETURN(VSegmentLo::Files files,
+                            VSegmentLo::CreateStorage(ctx_, txn, spec.smgr));
+      entry.files[2] = files.seg_heap.relfile;
+      entry.files[3] = files.seg_index.relfile;
+      entry.files[4] = files.inner.data.relfile;
+      entry.files[5] = files.inner.index.relfile;
+      break;
+    }
+  }
+
+  Bytes image = EncodeEntry(entry);
+  PGLO_RETURN_IF_ERROR(catalog_.Insert(txn, Slice(image)).status());
+
+  // If the creating transaction aborts, the catalog row never becomes
+  // visible; reclaim the physical storage. Temporaries are additionally
+  // unlinked after a *successful* commit (§5).
+  Oid oid = entry.oid;
+  txn->OnFinish([this, entry, temp, oid](bool committed) {
+    if (!committed) {
+      ScheduleDestroy(entry);
+    } else if (temp) {
+      unlink_queue_.push_back(oid);
+    }
+  });
+  return entry.oid;
+}
+
+Result<Oid> LoManager::Create(Transaction* txn, const LoSpec& spec) {
+  return CreateInternal(txn, spec, /*temp=*/false);
+}
+
+Result<Oid> LoManager::CreateTemp(Transaction* txn, const LoSpec& spec) {
+  return CreateInternal(txn, spec, /*temp=*/true);
+}
+
+Status LoManager::Promote(Transaction* txn, Oid oid) {
+  PGLO_ASSIGN_OR_RETURN(auto found, FindEntry(txn, oid));
+  CatalogEntry entry = found.first;
+  if (!entry.temp) return Status::OK();
+  entry.temp = false;
+  Bytes image = EncodeEntry(entry);
+  PGLO_RETURN_IF_ERROR(
+      catalog_.Update(txn, found.second, Slice(image)).status());
+  // Only a committed promotion rescues the object from the GC sweep (the
+  // promotion must happen inside the transaction that created the temp,
+  // before that transaction commits).
+  txn->OnFinish([this, oid](bool committed) {
+    if (committed) promoted_.insert(oid);
+  });
+  return Status::OK();
+}
+
+Status LoManager::Unlink(Transaction* txn, Oid oid, bool destroy_storage) {
+  PGLO_ASSIGN_OR_RETURN(auto found, FindEntry(txn, oid));
+  PGLO_RETURN_IF_ERROR(catalog_.Delete(txn, found.second));
+  if (destroy_storage) {
+    CatalogEntry entry = found.first;
+    txn->OnFinish([this, entry](bool committed) {
+      if (committed) ScheduleDestroy(entry);
+    });
+  }
+  return Status::OK();
+}
+
+void LoManager::ScheduleDestroy(const CatalogEntry& entry) {
+  destroy_queue_.push_back(entry);
+}
+
+Result<bool> LoManager::Exists(Transaction* txn, Oid oid) {
+  Result<std::pair<CatalogEntry, Tid>> found = FindEntry(txn, oid);
+  if (found.ok()) return true;
+  if (found.status().IsNotFound()) return false;
+  return found.status();
+}
+
+Result<std::unique_ptr<LargeObject>> LoManager::Instantiate(Transaction* txn,
+                                                            Oid oid) {
+  PGLO_ASSIGN_OR_RETURN(auto found, FindEntry(txn, oid));
+  return InstantiateEntry(found.first);
+}
+
+Result<LoDescriptor*> LoManager::Open(Transaction* txn, Oid oid,
+                                      bool writable) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (writable && txn->read_only()) {
+    return Status::PermissionDenied(
+        "cannot open for write under a time-travel snapshot");
+  }
+  PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
+                        Instantiate(txn, oid));
+  auto desc = std::unique_ptr<LoDescriptor>(
+      new LoDescriptor(this, txn, oid, std::move(lo), writable));
+  LoDescriptor* raw = desc.get();
+  open_[raw] = std::move(desc);
+  txn->OnFinish([this, raw](bool) { open_.erase(raw); });
+  return raw;
+}
+
+Status LoManager::Close(LoDescriptor* desc) {
+  auto it = open_.find(desc);
+  if (it == open_.end()) {
+    return Status::InvalidArgument("descriptor not open");
+  }
+  // Mark closed so the transaction-end callback becomes a no-op.
+  open_.erase(it);
+  return Status::OK();
+}
+
+Status LoManager::CollectGarbage() {
+  // 1. Unlink committed temporaries under a fresh system transaction.
+  if (!unlink_queue_.empty()) {
+    std::vector<Oid> pending;
+    pending.swap(unlink_queue_);
+    Transaction* txn = ctx_.txns->Begin();
+    bool any = false;
+    for (Oid oid : pending) {
+      if (promoted_.erase(oid) > 0) continue;  // kept by Promote()
+      Status s = Unlink(txn, oid, /*destroy_storage=*/true);
+      if (s.ok()) {
+        any = true;
+      } else if (!s.IsNotFound()) {
+        Status abort_status = ctx_.txns->Abort(txn);
+        (void)abort_status;
+        return s;
+      }
+    }
+    if (any) {
+      PGLO_RETURN_IF_ERROR(ctx_.txns->Commit(txn).status());
+    } else {
+      PGLO_RETURN_IF_ERROR(ctx_.txns->Abort(txn));
+    }
+  }
+  // 2. Physically reclaim queued storage.
+  std::vector<CatalogEntry> doomed;
+  doomed.swap(destroy_queue_);
+  for (const CatalogEntry& entry : doomed) {
+    PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
+                          InstantiateEntry(entry));
+    Status s = lo->Destroy(nullptr);
+    if (!s.ok() && !s.IsNotFound()) {
+      PGLO_LOG(Warning) << "LO destroy failed: " << s.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<LoManager::ObjectInfo>> LoManager::List(Transaction* txn) {
+  std::vector<ObjectInfo> out;
+  HeapScan scan(&catalog_, txn);
+  Tid tid;
+  Bytes payload;
+  for (;;) {
+    PGLO_ASSIGN_OR_RETURN(bool more, scan.Next(&tid, &payload));
+    if (!more) break;
+    PGLO_ASSIGN_OR_RETURN(CatalogEntry entry, DecodeEntry(Slice(payload)));
+    ObjectInfo info;
+    info.oid = entry.oid;
+    info.spec = entry.spec;
+    info.temp = entry.temp;
+    for (int i = 0; i < 6; ++i) info.files[i] = entry.files[i];
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status LoManager::Migrate(Transaction* txn, Oid oid, uint8_t new_smgr) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  PGLO_RETURN_IF_ERROR(ctx_.smgrs->Get(new_smgr).status());
+  PGLO_ASSIGN_OR_RETURN(auto found, FindEntry(txn, oid));
+  CatalogEntry old_entry = found.first;
+  if (old_entry.spec.kind == StorageKind::kUserFile ||
+      old_entry.spec.kind == StorageKind::kPostgresFile) {
+    return Status::NotSupported(
+        "file-backed large objects live in the UNIX file system, not a "
+        "storage manager");
+  }
+  if (old_entry.spec.smgr == new_smgr) return Status::OK();
+
+  // Build fresh storage on the target device.
+  CatalogEntry new_entry = old_entry;
+  new_entry.spec.smgr = new_smgr;
+  switch (old_entry.spec.kind) {
+    case StorageKind::kFChunk: {
+      PGLO_ASSIGN_OR_RETURN(FChunkLo::Files files,
+                            FChunkLo::CreateStorage(ctx_, txn, new_smgr));
+      new_entry.files[0] = files.data.relfile;
+      new_entry.files[1] = files.index.relfile;
+      break;
+    }
+    case StorageKind::kVSegment: {
+      PGLO_ASSIGN_OR_RETURN(VSegmentLo::Files files,
+                            VSegmentLo::CreateStorage(ctx_, txn, new_smgr));
+      new_entry.files[2] = files.seg_heap.relfile;
+      new_entry.files[3] = files.seg_index.relfile;
+      new_entry.files[4] = files.inner.data.relfile;
+      new_entry.files[5] = files.inner.index.relfile;
+      break;
+    }
+    default:
+      return Status::Internal("unreachable storage kind");
+  }
+
+  // Stream the current contents across devices.
+  PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> src,
+                        InstantiateEntry(old_entry));
+  PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> dst,
+                        InstantiateEntry(new_entry));
+  PGLO_ASSIGN_OR_RETURN(uint64_t size, src->Size(txn));
+  Bytes buf(256 * 1024);
+  for (uint64_t off = 0; off < size;) {
+    size_t want = static_cast<size_t>(
+        std::min<uint64_t>(buf.size(), size - off));
+    PGLO_ASSIGN_OR_RETURN(size_t n, src->Read(txn, off, want, buf.data()));
+    if (n == 0) return Status::Internal("short read during migration");
+    PGLO_RETURN_IF_ERROR(dst->Write(txn, off, Slice(buf).Sub(0, n)));
+    off += n;
+  }
+
+  // Swap the catalog row; reclaim the old storage once we commit, and the
+  // new storage if we abort.
+  Bytes image = EncodeEntry(new_entry);
+  PGLO_RETURN_IF_ERROR(
+      catalog_.Update(txn, found.second, Slice(image)).status());
+  txn->OnFinish([this, old_entry, new_entry](bool committed) {
+    ScheduleDestroy(committed ? old_entry : new_entry);
+  });
+  return Status::OK();
+}
+
+Result<uint64_t> LoManager::Vacuum(CommitTime horizon) {
+  uint64_t removed = 0;
+  // Collect the surviving entries under a read snapshot, then vacuum each
+  // object's heaps (vacuum itself operates below the transaction layer).
+  std::vector<CatalogEntry> entries;
+  {
+    Transaction* txn = ctx_.txns->Begin();
+    HeapScan scan(&catalog_, txn);
+    Tid tid;
+    Bytes payload;
+    for (;;) {
+      Result<bool> more = scan.Next(&tid, &payload);
+      if (!more.ok()) {
+        Status abort_status = ctx_.txns->Abort(txn);
+        (void)abort_status;
+        return more.status();
+      }
+      if (!more.value()) break;
+      PGLO_ASSIGN_OR_RETURN(CatalogEntry entry, DecodeEntry(Slice(payload)));
+      entries.push_back(std::move(entry));
+    }
+    PGLO_RETURN_IF_ERROR(ctx_.txns->Abort(txn));
+  }
+  for (const CatalogEntry& entry : entries) {
+    PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
+                          InstantiateEntry(entry));
+    PGLO_ASSIGN_OR_RETURN(uint64_t n, lo->Vacuum(*ctx_.clog, horizon));
+    removed += n;
+  }
+  PGLO_ASSIGN_OR_RETURN(uint64_t catalog_removed,
+                        catalog_.Vacuum(*ctx_.clog, horizon));
+  removed += catalog_removed;
+  PGLO_RETURN_IF_ERROR(ctx_.pool->FlushAll());
+  return removed;
+}
+
+Result<LargeObject::StorageFootprint> LoManager::Footprint(Transaction* txn,
+                                                           Oid oid) {
+  PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
+                        Instantiate(txn, oid));
+  return lo->Footprint();
+}
+
+}  // namespace pglo

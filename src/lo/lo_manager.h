@@ -1,0 +1,175 @@
+#ifndef PGLO_LO_LO_MANAGER_H_
+#define PGLO_LO_LO_MANAGER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "db/context.h"
+#include "heap/heap_class.h"
+#include "lo/large_object.h"
+
+namespace pglo {
+
+class LoManager;
+
+/// Seek origins for the file-oriented interface (§4).
+enum class Whence { kSet, kCur, kEnd };
+
+/// An open large object: the paper's file-oriented handle. "The
+/// application can then open the large object, seek to any byte location,
+/// and read any number of bytes." Bound to the transaction that opened it;
+/// closed automatically when that transaction ends.
+class LoDescriptor {
+ public:
+  LoDescriptor(const LoDescriptor&) = delete;
+  LoDescriptor& operator=(const LoDescriptor&) = delete;
+
+  /// Reads up to `n` bytes at the seek pointer, advancing it.
+  Result<size_t> Read(size_t n, uint8_t* buf);
+  /// Convenience overload returning an owned buffer (shorter at EOF).
+  Result<Bytes> Read(size_t n);
+
+  /// Writes at the seek pointer, advancing it. Requires write mode.
+  Status Write(Slice data);
+
+  /// Moves the seek pointer; returns the new absolute position.
+  Result<uint64_t> Seek(int64_t off, Whence whence);
+  uint64_t Tell() const { return pos_; }
+
+  Result<uint64_t> Size();
+  Status Truncate(uint64_t size);
+
+  Oid oid() const { return oid_; }
+  bool writable() const { return writable_; }
+  LargeObject* object() { return lo_.get(); }
+
+ private:
+  friend class LoManager;
+  LoDescriptor(LoManager* mgr, Transaction* txn, Oid oid,
+               std::unique_ptr<LargeObject> lo, bool writable)
+      : mgr_(mgr), txn_(txn), oid_(oid), lo_(std::move(lo)),
+        writable_(writable) {}
+
+  LoManager* mgr_;
+  Transaction* txn_;
+  Oid oid_;
+  std::unique_ptr<LargeObject> lo_;
+  bool writable_;
+  uint64_t pos_ = 0;
+};
+
+/// Creates, opens, and destroys large objects of all four storage kinds.
+///
+/// Each large object has a row in the LO catalog (itself a no-overwrite
+/// heap class, so creation and unlinking are transactional and
+/// time-travelable). The row records the storage kind, the conversion
+/// routine (codec) name, and the relation files / UNIX file backing the
+/// object.
+class LoManager {
+ public:
+  explicit LoManager(const DbContext& ctx);
+
+  /// Creates the LO catalog class; call once when a database is first
+  /// initialized (under the bootstrap transaction).
+  Status Bootstrap(Transaction* txn);
+
+  /// Creates a large object per `spec`; returns its name (an Oid) — what a
+  /// query returns for a large ADT field.
+  Result<Oid> Create(Transaction* txn, const LoSpec& spec);
+
+  /// §5 — creates a *temporary* large object for a function's return
+  /// value; it is garbage-collected after the transaction (query) ends,
+  /// unless promoted first.
+  Result<Oid> CreateTemp(Transaction* txn, const LoSpec& spec);
+
+  /// Makes a temporary object permanent (e.g. it was stored into a class).
+  Status Promote(Transaction* txn, Oid oid);
+
+  /// Removes the object from the catalog. When `destroy_storage` is true
+  /// the backing storage is reclaimed at commit — which forfeits time
+  /// travel for that object; when false the bytes stay for historical
+  /// snapshots until VacuumOrphans.
+  Status Unlink(Transaction* txn, Oid oid, bool destroy_storage = true);
+
+  /// Opens a descriptor. The descriptor lives until Close or transaction
+  /// end.
+  Result<LoDescriptor*> Open(Transaction* txn, Oid oid, bool writable);
+
+  Status Close(LoDescriptor* desc);
+
+  /// True if `oid` names a large object visible to `txn`.
+  Result<bool> Exists(Transaction* txn, Oid oid);
+
+  /// Instantiates the accessor without a descriptor (used by Inversion and
+  /// the function manager, which manage positions themselves).
+  Result<std::unique_ptr<LargeObject>> Instantiate(Transaction* txn, Oid oid);
+
+  /// Runs deferred physical destruction queued by Unlink/temp-GC. Called
+  /// by Database after each commit; safe to call any time.
+  Status CollectGarbage();
+
+  /// Vacuums every large object: reclaims versions deleted at or before
+  /// `horizon` plus all aborted garbage, and compacts the LO catalog
+  /// itself. Time travel earlier than `horizon` is forfeited for the
+  /// vacuumed data. Returns the number of versions removed.
+  Result<uint64_t> Vacuum(CommitTime horizon);
+
+  /// Moves a chunked large object (f-chunk / v-segment) to another
+  /// storage manager — the [OLSO91] archive/recall operation (e.g. demote
+  /// a cold video to the WORM jukebox, promote a hot one to NVRAM). The
+  /// object keeps its Oid; its current contents are copied under `txn`
+  /// and the old storage is reclaimed at commit. Version history does not
+  /// migrate (write-once targets could not hold it anyway).
+  Status Migrate(Transaction* txn, Oid oid, uint8_t new_smgr);
+
+  /// The name newfilename() would mint for a POSTGRES file object (§6.2).
+  static std::string NewFileName(Oid oid) {
+    return "pg_lo_" + std::to_string(oid);
+  }
+
+  /// Catalog listing for administrative tools (integrity checks, vacuum
+  /// UIs): every large object visible to `txn` with its spec and backing
+  /// relation files (interpretation per StorageKind; zero = unused slot).
+  struct ObjectInfo {
+    Oid oid = kInvalidOid;
+    LoSpec spec;
+    bool temp = false;
+    Oid files[6] = {};
+  };
+  Result<std::vector<ObjectInfo>> List(Transaction* txn);
+
+  /// Storage accounting for Figure 1.
+  Result<LargeObject::StorageFootprint> Footprint(Transaction* txn, Oid oid);
+
+ private:
+  struct CatalogEntry {
+    Oid oid = kInvalidOid;
+    LoSpec spec;
+    bool temp = false;
+    // Backing storage, interpretation depends on spec.kind.
+    Oid files[6] = {};  // data, index, seg_heap, seg_index, inner_data,
+                        // inner_index (relfile oids in spec.smgr)
+  };
+
+  static Bytes EncodeEntry(const CatalogEntry& e);
+  static Result<CatalogEntry> DecodeEntry(Slice image);
+
+  Result<std::pair<CatalogEntry, Tid>> FindEntry(Transaction* txn, Oid oid);
+  Result<std::unique_ptr<LargeObject>> InstantiateEntry(
+      const CatalogEntry& entry);
+  Result<Oid> CreateInternal(Transaction* txn, const LoSpec& spec, bool temp);
+  void ScheduleDestroy(const CatalogEntry& entry);
+
+  DbContext ctx_;
+  HeapClass catalog_;
+  std::unordered_map<LoDescriptor*, std::unique_ptr<LoDescriptor>> open_;
+  std::vector<CatalogEntry> destroy_queue_;
+  std::vector<Oid> unlink_queue_;       ///< committed temporaries awaiting GC
+  std::unordered_set<Oid> promoted_;    ///< temporaries rescued by Promote
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_LO_LO_MANAGER_H_

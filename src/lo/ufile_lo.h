@@ -1,0 +1,57 @@
+#ifndef PGLO_LO_UFILE_LO_H_
+#define PGLO_LO_UFILE_LO_H_
+
+#include <string>
+
+#include "db/context.h"
+#include "lo/large_object.h"
+
+namespace pglo {
+
+/// §6.1/§6.2 — a large ADT backed by a plain file in the (simulated) UNIX
+/// file system.
+///
+/// kUserFile: the user picked the file name and "has complete control over
+/// object placement". kPostgresFile: the DBMS allocated the name via
+/// newfilename(), so the file is updatable by a single user. Either way the
+/// drawbacks the paper lists apply and are observable in this
+/// implementation: writes bypass the transaction system (no atomicity, no
+/// rollback — an aborted transaction's file writes stick), there is no
+/// time travel, and access control is shared with the file system.
+class UfileLo : public LargeObject {
+ public:
+  /// Creates the backing file. For kUserFile, `path` is the caller's
+  /// name; for kPostgresFile pass the name minted by LoManager.
+  static Status CreateStorage(const DbContext& ctx, const std::string& path);
+
+  UfileLo(const DbContext& ctx, std::string path, StorageKind kind);
+
+  Result<size_t> Read(Transaction* txn, uint64_t off, size_t n,
+                      uint8_t* buf) override;
+  Status Write(Transaction* txn, uint64_t off, Slice data) override;
+  Result<uint64_t> Size(Transaction* txn) override;
+  Status Truncate(Transaction* txn, uint64_t size) override;
+  Status Destroy(Transaction* txn) override;
+  Result<uint64_t> Vacuum(const CommitLog& clog, CommitTime horizon) override {
+    (void)clog;
+    (void)horizon;
+    return static_cast<uint64_t>(0);  // files have no versions (§6.1)
+  }
+  Result<StorageFootprint> Footprint() override;
+  StorageKind kind() const override { return kind_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Result<uint32_t> Inode();
+
+  DbContext ctx_;
+  std::string path_;
+  StorageKind kind_;
+  uint32_t cached_inode_ = 0;
+  bool inode_known_ = false;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_LO_UFILE_LO_H_

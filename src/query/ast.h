@@ -1,0 +1,112 @@
+#ifndef PGLO_QUERY_AST_H_
+#define PGLO_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lo/large_object.h"
+#include "types/datum.h"
+
+namespace pglo {
+namespace query {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node of the POSTQUEL-like language.
+struct Expr {
+  enum class Kind {
+    kConst,     ///< typed literal (int4 / float8 / text)
+    kFieldRef,  ///< Class.field or bare field
+    kFuncCall,  ///< f(args...) — dispatched through the function manager
+    kBinaryOp,  ///< op in {=, !=, <, <=, >, >=, +, -, *, /, and, or}
+    kCast,      ///< expr::type — runs the target type's input routine
+  };
+
+  Kind kind;
+
+  // kConst
+  Datum constant;
+
+  // kFieldRef
+  std::string class_name;  // may be empty (bare field)
+  std::string field;
+
+  // kFuncCall / kBinaryOp (op symbol in `func`)
+  std::string func;
+  std::vector<ExprPtr> args;
+
+  // kCast
+  std::string cast_type;
+  ExprPtr operand;
+};
+
+/// One element of a retrieve target list: `name = expr` or a bare expr.
+struct Target {
+  std::string name;  ///< output column label (derived if empty)
+  ExprPtr expr;
+};
+
+/// `field = expr` in append/replace.
+struct Assignment {
+  std::string field;
+  ExprPtr expr;
+};
+
+/// A parsed statement.
+struct Stmt {
+  enum class Kind {
+    kCreateClass,      ///< create C (f = type, ...) [storage = "name"]
+    kAppend,           ///< append C (f = expr, ...)
+    kRetrieve,         ///< retrieve (targets) [where qual]
+    kReplace,          ///< replace C (f = expr, ...) [where qual]
+    kDelete,           ///< delete C [where qual]
+    kDestroy,          ///< destroy C
+    kCreateLargeType,  ///< create large type T (input=..., output=...,
+                       ///<                      storage = kind)
+    kDefineIndex,      ///< define index I on C (field)
+    kRemoveIndex,      ///< remove index I
+  };
+
+  Kind kind;
+  std::string class_name;  // or type name for kCreateLargeType
+
+  // kCreateClass
+  std::vector<std::pair<std::string, std::string>> schema;  // field, type
+  std::string storage_manager;  ///< §7: "allocated to any of these storage
+                                ///< managers, using a parameter in the
+                                ///< create command"
+
+  // kAppend / kReplace
+  std::vector<Assignment> assignments;
+
+  // kRetrieve
+  std::vector<Target> targets;
+  /// `retrieve into NEWCLASS (...)`: materialize the result rows into a
+  /// freshly created class (POSTQUEL's retrieve-into).
+  std::string into_class;
+
+  // qualification (kRetrieve/kReplace/kDelete)
+  ExprPtr where;
+
+  // kRetrieve time travel: `retrieve (...) [where ...] as of <tick>`.
+  // 0 = none (current snapshot). POSTQUEL spelled this EMP["epoch"];
+  // the clause form keeps the grammar simple.
+  uint64_t as_of = 0;
+  bool has_as_of = false;
+
+  // kCreateLargeType
+  std::string input_fn;   ///< compression conversion routine
+  std::string output_fn;  ///< uncompression conversion routine
+  std::string storage_kind;
+
+  // kDefineIndex / kRemoveIndex
+  std::string index_name;
+  std::string index_field;
+};
+
+}  // namespace query
+}  // namespace pglo
+
+#endif  // PGLO_QUERY_AST_H_

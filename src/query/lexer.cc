@@ -1,0 +1,95 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace pglo {
+namespace query {
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // "--" starts a comment running to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      out.push_back({TokenKind::kIdent, input.substr(start, i - start),
+                     start});
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])) &&
+                (out.empty() || out.back().kind == TokenKind::kSymbol))) {
+      // A '-' begins a negative literal only after a symbol (else it is
+      // the binary minus).
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') {
+          if (is_float) break;  // second dot ends the number
+          if (i + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+            break;  // "1." followed by non-digit: stop before the dot
+          }
+          is_float = true;
+        }
+        ++i;
+      }
+      out.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                     input.substr(start, i - start), start});
+    } else if (c == '"') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\\' && i + 1 < n) {
+          value.push_back(input[i + 1]);
+          i += 2;
+        } else if (input[i] == '"') {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          value.push_back(input[i++]);
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(start));
+      }
+      out.push_back({TokenKind::kString, std::move(value), start});
+    } else {
+      // Multi-character symbols first.
+      auto two = input.substr(i, 2);
+      if (two == "::" || two == "!=" || two == "<=" || two == ">=") {
+        out.push_back({TokenKind::kSymbol, two, start});
+        i += 2;
+      } else if (std::string("(),.=<>+-*/;").find(c) != std::string::npos) {
+        out.push_back({TokenKind::kSymbol, std::string(1, c), start});
+        ++i;
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at " +
+                                       std::to_string(start));
+      }
+    }
+  }
+  out.push_back({TokenKind::kEnd, "", n});
+  return out;
+}
+
+}  // namespace query
+}  // namespace pglo

@@ -1,0 +1,34 @@
+#ifndef PGLO_QUERY_LEXER_H_
+#define PGLO_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pglo {
+namespace query {
+
+enum class TokenKind {
+  kIdent,    ///< identifiers and keywords (case-insensitive keywords)
+  kString,   ///< "double-quoted literal"
+  kInteger,
+  kFloat,
+  kSymbol,   ///< punctuation / operators, value holds the symbol text
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< raw text (identifier lowered for keywords check)
+  size_t offset = 0;  ///< byte position, for error messages
+};
+
+/// Tokenizes a query string. Symbols recognized: ( ) , . = != < <= > >=
+/// + - * / :: ;
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace query
+}  // namespace pglo
+
+#endif  // PGLO_QUERY_LEXER_H_

@@ -1,0 +1,420 @@
+#include "query/parser.h"
+
+#include <algorithm>
+
+#include "types/builtin_types.h"
+
+namespace pglo {
+namespace query {
+
+namespace {
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinaryOp;
+  e->func = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+}  // namespace
+
+bool Parser::MatchSymbol(const std::string& symbol) {
+  if (Peek().kind == TokenKind::kSymbol && Peek().text == symbol) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::PeekKeyword(const std::string& keyword) const {
+  return Peek().kind == TokenKind::kIdent && Lower(Peek().text) == keyword;
+}
+
+bool Parser::MatchKeyword(const std::string& keyword) {
+  if (PeekKeyword(keyword)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectSymbol(const std::string& symbol) {
+  if (!MatchSymbol(symbol)) {
+    return Status::InvalidArgument("expected '" + symbol + "' at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Parser::ExpectIdent(const std::string& what) {
+  if (Peek().kind != TokenKind::kIdent) {
+    return Status::InvalidArgument("expected " + what + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  return Advance().text;
+}
+
+Result<std::vector<Stmt>> Parser::Parse(const std::string& input) {
+  PGLO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  std::vector<Stmt> stmts;
+  while (!parser.AtEnd()) {
+    PGLO_ASSIGN_OR_RETURN(Stmt stmt, parser.ParseStatement());
+    stmts.push_back(std::move(stmt));
+    while (parser.MatchSymbol(";")) {
+    }
+  }
+  if (stmts.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  return stmts;
+}
+
+Result<Stmt> Parser::ParseStatement() {
+  if (MatchKeyword("create")) return ParseCreate();
+  if (MatchKeyword("append")) return ParseAppend();
+  if (MatchKeyword("retrieve")) return ParseRetrieve();
+  if (MatchKeyword("replace")) return ParseReplace();
+  if (MatchKeyword("delete")) return ParseDelete();
+  if (MatchKeyword("destroy")) return ParseDestroy();
+  if (MatchKeyword("define")) return ParseDefineIndex();
+  if (MatchKeyword("remove")) return ParseRemoveIndex();
+  return Status::InvalidArgument("unknown statement at offset " +
+                                 std::to_string(Peek().offset));
+}
+
+Result<Stmt> Parser::ParseDefineIndex() {
+  // define index <name> on <Class> (<field>)
+  if (!MatchKeyword("index")) {
+    return Status::InvalidArgument("expected 'index' after 'define'");
+  }
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kDefineIndex;
+  PGLO_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdent("index name"));
+  if (!MatchKeyword("on")) {
+    return Status::InvalidArgument("expected 'on' in define index");
+  }
+  PGLO_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent("class name"));
+  PGLO_RETURN_IF_ERROR(ExpectSymbol("("));
+  PGLO_ASSIGN_OR_RETURN(stmt.index_field, ExpectIdent("field name"));
+  PGLO_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return stmt;
+}
+
+Result<Stmt> Parser::ParseRemoveIndex() {
+  if (!MatchKeyword("index")) {
+    return Status::InvalidArgument("expected 'index' after 'remove'");
+  }
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kRemoveIndex;
+  PGLO_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdent("index name"));
+  return stmt;
+}
+
+Result<Stmt> Parser::ParseCreate() {
+  if (MatchKeyword("large")) {
+    if (!MatchKeyword("type")) {
+      return Status::InvalidArgument("expected 'type' after 'create large'");
+    }
+    return ParseCreateLargeType();
+  }
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kCreateClass;
+  PGLO_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent("class name"));
+  PGLO_RETURN_IF_ERROR(ExpectSymbol("("));
+  for (;;) {
+    PGLO_ASSIGN_OR_RETURN(std::string field, ExpectIdent("field name"));
+    PGLO_RETURN_IF_ERROR(ExpectSymbol("="));
+    PGLO_ASSIGN_OR_RETURN(std::string type, ExpectIdent("type name"));
+    stmt.schema.emplace_back(field, type);
+    if (!MatchSymbol(",")) break;
+  }
+  PGLO_RETURN_IF_ERROR(ExpectSymbol(")"));
+  // Optional: storage = "disk" | "main-memory" | "worm" (§7).
+  if (MatchKeyword("storage")) {
+    PGLO_RETURN_IF_ERROR(ExpectSymbol("="));
+    if (Peek().kind != TokenKind::kString &&
+        Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected storage manager name");
+    }
+    stmt.storage_manager = Advance().text;
+  }
+  return stmt;
+}
+
+Result<Stmt> Parser::ParseCreateLargeType() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kCreateLargeType;
+  PGLO_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent("type name"));
+  PGLO_RETURN_IF_ERROR(ExpectSymbol("("));
+  for (;;) {
+    PGLO_ASSIGN_OR_RETURN(std::string key, ExpectIdent("parameter name"));
+    PGLO_RETURN_IF_ERROR(ExpectSymbol("="));
+    std::string value;
+    if (Peek().kind == TokenKind::kIdent ||
+        Peek().kind == TokenKind::kString) {
+      value = Advance().text;
+      // storage kinds may be written f-chunk / v-segment / u-file / p-file
+      while (MatchSymbol("-")) {
+        PGLO_ASSIGN_OR_RETURN(std::string rest, ExpectIdent("name"));
+        value += "-" + rest;
+      }
+    } else {
+      return Status::InvalidArgument("expected value for " + key);
+    }
+    std::string lkey = Lower(key);
+    if (lkey == "input") {
+      stmt.input_fn = value;
+    } else if (lkey == "output") {
+      stmt.output_fn = value;
+    } else if (lkey == "storage") {
+      stmt.storage_kind = value;
+    } else {
+      return Status::InvalidArgument("unknown large type parameter: " + key);
+    }
+    if (!MatchSymbol(",")) break;
+  }
+  PGLO_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return stmt;
+}
+
+Result<std::vector<Assignment>> Parser::ParseAssignments() {
+  PGLO_RETURN_IF_ERROR(ExpectSymbol("("));
+  std::vector<Assignment> out;
+  for (;;) {
+    Assignment a;
+    PGLO_ASSIGN_OR_RETURN(a.field, ExpectIdent("field name"));
+    PGLO_RETURN_IF_ERROR(ExpectSymbol("="));
+    PGLO_ASSIGN_OR_RETURN(a.expr, ParseExpr());
+    out.push_back(std::move(a));
+    if (!MatchSymbol(",")) break;
+  }
+  PGLO_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return out;
+}
+
+Result<Stmt> Parser::ParseAppend() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kAppend;
+  PGLO_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent("class name"));
+  PGLO_ASSIGN_OR_RETURN(stmt.assignments, ParseAssignments());
+  return stmt;
+}
+
+Result<Stmt> Parser::ParseRetrieve() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kRetrieve;
+  if (MatchKeyword("into")) {
+    PGLO_ASSIGN_OR_RETURN(stmt.into_class, ExpectIdent("class name"));
+  }
+  PGLO_RETURN_IF_ERROR(ExpectSymbol("("));
+  for (;;) {
+    Target t;
+    // `name = expr` or a bare expression; disambiguate by lookahead.
+    if (Peek().kind == TokenKind::kIdent &&
+        tokens_[pos_ + 1].kind == TokenKind::kSymbol &&
+        tokens_[pos_ + 1].text == "=") {
+      t.name = Advance().text;
+      Advance();  // '='
+    }
+    PGLO_ASSIGN_OR_RETURN(t.expr, ParseExpr());
+    stmt.targets.push_back(std::move(t));
+    if (!MatchSymbol(",")) break;
+  }
+  PGLO_RETURN_IF_ERROR(ExpectSymbol(")"));
+  if (MatchKeyword("where")) {
+    PGLO_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  // Time travel: `as of <commit tick>` (§6.3/§6.4).
+  if (MatchKeyword("as")) {
+    if (!MatchKeyword("of")) {
+      return Status::InvalidArgument("expected 'of' after 'as'");
+    }
+    if (Peek().kind != TokenKind::kInteger) {
+      return Status::InvalidArgument("expected commit tick after 'as of'");
+    }
+    int64_t tick;
+    if (!ParseInt64(Advance().text, &tick) || tick < 0) {
+      return Status::InvalidArgument("bad commit tick");
+    }
+    stmt.as_of = static_cast<uint64_t>(tick);
+    stmt.has_as_of = true;
+  }
+  return stmt;
+}
+
+Result<Stmt> Parser::ParseReplace() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kReplace;
+  PGLO_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent("class name"));
+  PGLO_ASSIGN_OR_RETURN(stmt.assignments, ParseAssignments());
+  if (MatchKeyword("where")) {
+    PGLO_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Stmt> Parser::ParseDelete() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kDelete;
+  PGLO_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent("class name"));
+  if (MatchKeyword("where")) {
+    PGLO_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<Stmt> Parser::ParseDestroy() {
+  Stmt stmt;
+  stmt.kind = Stmt::Kind::kDestroy;
+  PGLO_ASSIGN_OR_RETURN(stmt.class_name, ExpectIdent("class name"));
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  PGLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("or")) {
+    PGLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = MakeBinary("or", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  PGLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+  while (MatchKeyword("and")) {
+    PGLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+    lhs = MakeBinary("and", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  PGLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  for (const char* op : {"=", "!=", "<=", ">=", "<", ">"}) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == op) {
+      Advance();
+      PGLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  PGLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    if (MatchSymbol("+")) {
+      PGLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary("+", std::move(lhs), std::move(rhs));
+    } else if (MatchSymbol("-")) {
+      PGLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary("-", std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  PGLO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCast());
+  for (;;) {
+    if (MatchSymbol("*")) {
+      PGLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCast());
+      lhs = MakeBinary("*", std::move(lhs), std::move(rhs));
+    } else if (MatchSymbol("/")) {
+      PGLO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCast());
+      lhs = MakeBinary("/", std::move(lhs), std::move(rhs));
+    } else {
+      return lhs;
+    }
+  }
+}
+
+Result<ExprPtr> Parser::ParseCast() {
+  PGLO_ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+  while (MatchSymbol("::")) {
+    PGLO_ASSIGN_OR_RETURN(std::string type, ExpectIdent("type name"));
+    auto cast = std::make_unique<Expr>();
+    cast->kind = Expr::Kind::kCast;
+    cast->cast_type = std::move(type);
+    cast->operand = std::move(operand);
+    operand = std::move(cast);
+  }
+  return operand;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  if (tok.kind == TokenKind::kInteger) {
+    int64_t v;
+    if (!ParseInt64(Advance().text, &v)) {
+      return Status::InvalidArgument("bad integer literal");
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kConst;
+    e->constant = Datum::Int4(static_cast<int32_t>(v));
+    return e;
+  }
+  if (tok.kind == TokenKind::kFloat) {
+    double v;
+    if (!ParseDouble(Advance().text, &v)) {
+      return Status::InvalidArgument("bad float literal");
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kConst;
+    e->constant = Datum::Float8(v);
+    return e;
+  }
+  if (tok.kind == TokenKind::kString) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kConst;
+    e->constant = Datum::Text(Advance().text);
+    return e;
+  }
+  if (tok.kind == TokenKind::kSymbol && tok.text == "(") {
+    Advance();
+    PGLO_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    PGLO_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return inner;
+  }
+  if (tok.kind == TokenKind::kIdent) {
+    std::string name = Advance().text;
+    if (MatchSymbol("(")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kFuncCall;
+      e->func = std::move(name);
+      if (!MatchSymbol(")")) {
+        for (;;) {
+          PGLO_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+          if (!MatchSymbol(",")) break;
+        }
+        PGLO_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kFieldRef;
+    if (MatchSymbol(".")) {
+      e->class_name = std::move(name);
+      PGLO_ASSIGN_OR_RETURN(e->field, ExpectIdent("field name"));
+    } else {
+      e->field = std::move(name);
+    }
+    return e;
+  }
+  return Status::InvalidArgument("unexpected token at offset " +
+                                 std::to_string(tok.offset));
+}
+
+}  // namespace query
+}  // namespace pglo

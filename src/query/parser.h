@@ -1,0 +1,83 @@
+#ifndef PGLO_QUERY_PARSER_H_
+#define PGLO_QUERY_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "query/lexer.h"
+
+namespace pglo {
+namespace query {
+
+/// Recursive-descent parser for the POSTQUEL-like dialect used in the
+/// paper's examples:
+///
+///   create EMP (name = text, picture = image) storage = "disk"
+///   append EMP (name = "Joe", picture = "/usr/joe")
+///   retrieve (EMP.picture) where EMP.name = "Joe"
+///   retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike"
+///   retrieve (result = newfilename())
+///   replace EMP (name = "Michael") where EMP.name = "Mike"
+///   delete EMP where EMP.name = "Joe"
+///   destroy EMP
+///   create large type image (input = lzss, output = lzss,
+///                            storage = v-segment)
+///
+/// Statements may be separated by ';'.
+class Parser {
+ public:
+  /// Parses one or more statements.
+  static Result<std::vector<Stmt>> Parse(const std::string& input);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchSymbol(const std::string& symbol);
+  bool MatchKeyword(const std::string& keyword);
+  bool PeekKeyword(const std::string& keyword) const;
+  Status ExpectSymbol(const std::string& symbol);
+  Result<std::string> ExpectIdent(const std::string& what);
+
+  Result<Stmt> ParseStatement();
+  Result<Stmt> ParseCreate();
+  Result<Stmt> ParseCreateLargeType();
+  Result<Stmt> ParseAppend();
+  Result<Stmt> ParseRetrieve();
+  Result<Stmt> ParseReplace();
+  Result<Stmt> ParseDelete();
+  Result<Stmt> ParseDestroy();
+  Result<Stmt> ParseDefineIndex();
+  Result<Stmt> ParseRemoveIndex();
+  Result<std::vector<Assignment>> ParseAssignments();
+
+  // Expression grammar, lowest precedence first:
+  //   or_expr  := and_expr (OR and_expr)*
+  //   and_expr := cmp_expr (AND cmp_expr)*
+  //   cmp_expr := add_expr ((= | != | < | <= | > | >=) add_expr)?
+  //   add_expr := mul_expr ((+|-) mul_expr)*
+  //   mul_expr := cast_expr ((*|/) cast_expr)*
+  //   cast_expr := primary (:: ident)*
+  //   primary  := literal | ident[(args)] | ident.ident | ( or_expr )
+  Result<ExprPtr> ParseExpr();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseCast();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace query
+}  // namespace pglo
+
+#endif  // PGLO_QUERY_PARSER_H_

@@ -1,0 +1,84 @@
+#ifndef PGLO_QUERY_SECONDARY_INDEX_H_
+#define PGLO_QUERY_SECONDARY_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "btree/btree.h"
+#include "db/context.h"
+#include "heap/heap_class.h"
+#include "types/datum.h"
+
+namespace pglo {
+namespace query {
+
+/// Secondary (B-tree) indexes over class fields.
+///
+/// §3 motivates large ADTs partly because "indexing BLOBs can also be
+/// supported" once values live inside the DBMS. This module provides the
+/// machinery: `define index <name> on <Class> (<field>)` builds a B-tree
+/// over an order-preserving 64-bit encoding of the field, the executor
+/// maintains it on append/replace, and equality qualifications use it
+/// instead of a full scan.
+///
+/// Index entries are a *superset* filter: the encoding truncates (text
+/// keys index an 8-byte prefix) and old versions keep their entries, so
+/// every index scan re-fetches the tuple, applies MVCC visibility, and
+/// re-evaluates the full qualification — exactly how POSTGRES treated
+/// secondary indexes under no-overwrite storage.
+class IndexCatalog {
+ public:
+  struct IndexInfo {
+    std::string name;
+    std::string class_name;
+    std::string field;
+    RelFileId btree_file;
+  };
+
+  explicit IndexCatalog(const DbContext& ctx);
+
+  /// Creates the index catalog class on first use (idempotent).
+  Status Bootstrap();
+
+  /// Defines an index and back-fills it from the class's visible rows.
+  /// `field_values` supplies (tid, field datum) for each existing row.
+  Result<IndexInfo> Define(
+      Transaction* txn, const std::string& index_name,
+      const std::string& class_name, const std::string& field,
+      const std::vector<std::pair<Tid, Datum>>& existing_rows);
+
+  /// Removes the index definition (the B-tree file is reclaimed lazily).
+  Status Remove(Transaction* txn, const std::string& index_name);
+
+  /// All indexes defined on `class_name` (visible to `txn`).
+  Result<std::vector<IndexInfo>> ForClass(Transaction* txn,
+                                          const std::string& class_name);
+
+  /// Inserts an entry for a new row version. Null datums are not indexed.
+  Status InsertEntry(const IndexInfo& index, const Datum& value, Tid tid);
+
+  /// Candidate tids whose indexed field *may* equal `value` (callers must
+  /// re-check visibility and the actual value).
+  Result<std::vector<Tid>> LookupCandidates(const IndexInfo& index,
+                                            const Datum& value);
+
+  /// Candidate tids whose encoded key lies in [low_key, high_key]. The
+  /// encoding is order-preserving (monotone for truncating text keys), so
+  /// this is a superset of any value range — callers re-check.
+  Result<std::vector<Tid>> RangeCandidates(const IndexInfo& index,
+                                           uint64_t low_key,
+                                           uint64_t high_key);
+
+  /// Order-preserving 64-bit key for an indexable datum; NotSupported for
+  /// datum kinds that cannot be indexed (null handled by callers).
+  static Result<uint64_t> EncodeKey(const Datum& value);
+
+ private:
+  DbContext ctx_;
+  HeapClass catalog_;
+};
+
+}  // namespace query
+}  // namespace pglo
+
+#endif  // PGLO_QUERY_SECONDARY_INDEX_H_

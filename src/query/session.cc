@@ -1,0 +1,43 @@
+#include "query/session.h"
+
+#include "common/logging.h"
+#include "query/parser.h"
+
+namespace pglo {
+namespace query {
+
+Session::Session(Database* db)
+    : db_(db),
+      types_(&db->oids()),
+      executor_(db->context(), &db->large_objects(), &types_, &fns_) {
+  RegisterBuiltinFunctions(&fns_);
+  Status s = executor_.Bootstrap();
+  if (!s.ok()) {
+    PGLO_LOG(Error) << "query catalog bootstrap failed: " << s.ToString();
+  }
+}
+
+Result<QueryResult> Session::Run(Transaction* txn, const std::string& text) {
+  PGLO_ASSIGN_OR_RETURN(std::vector<Stmt> stmts, Parser::Parse(text));
+  QueryResult last;
+  for (const Stmt& stmt : stmts) {
+    PGLO_ASSIGN_OR_RETURN(last, executor_.Execute(txn, stmt));
+  }
+  return last;
+}
+
+Result<QueryResult> Session::Run(const std::string& text) {
+  Transaction* txn = db_->Begin();
+  Result<QueryResult> result = Run(txn, text);
+  if (result.ok()) {
+    Result<CommitTime> commit = db_->Commit(txn);
+    if (!commit.ok()) return commit.status();
+  } else {
+    Status abort_status = db_->Abort(txn);
+    (void)abort_status;
+  }
+  return result;
+}
+
+}  // namespace query
+}  // namespace pglo

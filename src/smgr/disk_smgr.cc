@@ -1,0 +1,121 @@
+#include "smgr/disk_smgr.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pglo {
+
+DiskSmgr::DiskSmgr(std::string dir, DeviceModel* device)
+    : dir_(std::move(dir)), device_(device) {
+  ::mkdir(dir_.c_str(), 0755);  // best effort; Open errors surface later
+}
+
+DiskSmgr::~DiskSmgr() {
+  for (auto& [oid, fd] : fds_) {
+    ::close(fd);
+  }
+}
+
+std::string DiskSmgr::PathFor(Oid relfile) const {
+  return dir_ + "/" + std::to_string(relfile) + ".rel";
+}
+
+Result<int> DiskSmgr::GetFd(Oid relfile) {
+  auto it = fds_.find(relfile);
+  if (it != fds_.end()) return it->second;
+  int fd = ::open(PathFor(relfile).c_str(), O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::NotFound("relation file " + std::to_string(relfile) +
+                            " does not exist");
+  }
+  fds_[relfile] = fd;
+  return fd;
+}
+
+Status DiskSmgr::CreateFile(Oid relfile) {
+  if (FileExists(relfile)) {
+    return Status::AlreadyExists("relation file already exists");
+  }
+  int fd = ::open(PathFor(relfile).c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    return Status::IOError("create failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  fds_[relfile] = fd;
+  return Status::OK();
+}
+
+Status DiskSmgr::DropFile(Oid relfile) {
+  auto it = fds_.find(relfile);
+  if (it != fds_.end()) {
+    ::close(it->second);
+    fds_.erase(it);
+  }
+  if (::unlink(PathFor(relfile).c_str()) != 0) {
+    return Status::NotFound("relation file does not exist");
+  }
+  return Status::OK();
+}
+
+bool DiskSmgr::FileExists(Oid relfile) {
+  if (fds_.count(relfile)) return true;
+  struct stat st;
+  return ::stat(PathFor(relfile).c_str(), &st) == 0;
+}
+
+Result<BlockNumber> DiskSmgr::NumBlocks(Oid relfile) {
+  PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError("fstat failed");
+  }
+  return static_cast<BlockNumber>(st.st_size / kPageSize);
+}
+
+Status DiskSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
+  PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
+  ssize_t n = ::pread(fd, buf, kPageSize,
+                      static_cast<off_t>(block) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short read of block " + std::to_string(block));
+  }
+  if (device_ != nullptr) device_->ChargeRead(PhysicalBlock(relfile, block), 1);
+  return Status::OK();
+}
+
+Status DiskSmgr::WriteBlock(Oid relfile, BlockNumber block,
+                            const uint8_t* buf) {
+  PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks(relfile));
+  if (block > nblocks) {
+    return Status::InvalidArgument("write would leave a hole in the file");
+  }
+  ssize_t n = ::pwrite(fd, buf, kPageSize,
+                       static_cast<off_t>(block) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("short write of block " + std::to_string(block));
+  }
+  if (device_ != nullptr) {
+    device_->ChargeWrite(PhysicalBlock(relfile, block), 1);
+  }
+  return Status::OK();
+}
+
+Status DiskSmgr::Sync(Oid relfile) {
+  PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
+  if (::fdatasync(fd) != 0) {
+    return Status::IOError("fdatasync failed");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> DiskSmgr::StorageBytes(Oid relfile) {
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks(relfile));
+  return static_cast<uint64_t>(nblocks) * kPageSize;
+}
+
+}  // namespace pglo

@@ -1,0 +1,71 @@
+#include "smgr/mm_smgr.h"
+
+#include <cstring>
+
+namespace pglo {
+
+Status MainMemorySmgr::CreateFile(Oid relfile) {
+  if (files_.count(relfile)) {
+    return Status::AlreadyExists("relation file already exists");
+  }
+  files_[relfile];  // default-construct an empty block vector
+  return Status::OK();
+}
+
+Status MainMemorySmgr::DropFile(Oid relfile) {
+  if (files_.erase(relfile) == 0) {
+    return Status::NotFound("relation file does not exist");
+  }
+  return Status::OK();
+}
+
+bool MainMemorySmgr::FileExists(Oid relfile) {
+  return files_.count(relfile) != 0;
+}
+
+Result<BlockNumber> MainMemorySmgr::NumBlocks(Oid relfile) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  return static_cast<BlockNumber>(it->second.size());
+}
+
+Status MainMemorySmgr::ReadBlock(Oid relfile, BlockNumber block,
+                                 uint8_t* buf) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  if (block >= it->second.size()) {
+    return Status::OutOfRange("block beyond end of file");
+  }
+  std::memcpy(buf, it->second[block].get(), kPageSize);
+  if (device_ != nullptr) device_->ChargeRead(block, 1);
+  return Status::OK();
+}
+
+Status MainMemorySmgr::WriteBlock(Oid relfile, BlockNumber block,
+                                  const uint8_t* buf) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  auto& blocks = it->second;
+  if (block > blocks.size()) {
+    return Status::InvalidArgument("write would leave a hole in the file");
+  }
+  if (block == blocks.size()) {
+    blocks.emplace_back(std::make_unique<uint8_t[]>(kPageSize));
+  }
+  std::memcpy(blocks[block].get(), buf, kPageSize);
+  if (device_ != nullptr) device_->ChargeWrite(block, 1);
+  return Status::OK();
+}
+
+Result<uint64_t> MainMemorySmgr::StorageBytes(Oid relfile) {
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks(relfile));
+  return static_cast<uint64_t>(nblocks) * kPageSize;
+}
+
+}  // namespace pglo

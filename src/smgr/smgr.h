@@ -1,0 +1,63 @@
+#ifndef PGLO_SMGR_SMGR_H_
+#define PGLO_SMGR_SMGR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace pglo {
+
+/// The storage manager abstraction of §7.
+///
+/// "Our abstraction is modelled after the UNIX file system switch, and any
+/// user can define a new storage manager by writing and registering a small
+/// set of interface routines." A storage manager owns a namespace of
+/// relation files (identified by Oid) made of kPageSize blocks. Three
+/// implementations ship with pglo — magnetic disk, main memory (NVRAM), and
+/// WORM optical jukebox — and users may register more via SmgrRegistry.
+class StorageManager {
+ public:
+  virtual ~StorageManager() = default;
+
+  /// Creates an empty relation file.
+  virtual Status CreateFile(Oid relfile) = 0;
+
+  /// Removes a relation file and its storage.
+  virtual Status DropFile(Oid relfile) = 0;
+
+  virtual bool FileExists(Oid relfile) = 0;
+
+  /// Current length of the file in blocks.
+  virtual Result<BlockNumber> NumBlocks(Oid relfile) = 0;
+
+  /// Reads block `block` into `buf` (kPageSize bytes).
+  virtual Status ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) = 0;
+
+  /// Writes block `block` from `buf`. Writing at block == NumBlocks extends
+  /// the file by one block; writing further out is an error.
+  virtual Status WriteBlock(Oid relfile, BlockNumber block,
+                            const uint8_t* buf) = 0;
+
+  /// Forces previously written blocks of the file to stable storage.
+  virtual Status Sync(Oid relfile) = 0;
+
+  /// Bytes of underlying storage consumed by the file (used by Figure 1).
+  virtual Result<uint64_t> StorageBytes(Oid relfile) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Well-known storage manager slots. The registry accepts arbitrary ids;
+/// these three are the ones POSTGRES Version 4 shipped (§7).
+enum SmgrId : uint8_t {
+  kSmgrDisk = 0,    ///< magnetic disk, a thin veneer on the file system
+  kSmgrMemory = 1,  ///< non-volatile main memory
+  kSmgrWorm = 2,    ///< optical WORM jukebox with a magnetic-disk cache
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_SMGR_SMGR_H_

@@ -1,0 +1,32 @@
+#include "smgr/smgr_registry.h"
+
+namespace pglo {
+
+Status SmgrRegistry::Register(uint8_t id,
+                              std::unique_ptr<StorageManager> smgr) {
+  if (id >= kMaxStorageManagers) {
+    return Status::InvalidArgument("storage manager slot out of range");
+  }
+  if (table_[id] != nullptr) {
+    return Status::AlreadyExists("storage manager slot occupied");
+  }
+  table_[id] = std::move(smgr);
+  return Status::OK();
+}
+
+Status SmgrRegistry::Unregister(uint8_t id) {
+  if (id >= kMaxStorageManagers || table_[id] == nullptr) {
+    return Status::NotFound("no storage manager in slot");
+  }
+  table_[id].reset();
+  return Status::OK();
+}
+
+Result<StorageManager*> SmgrRegistry::Get(uint8_t id) const {
+  if (id >= kMaxStorageManagers || table_[id] == nullptr) {
+    return Status::NotFound("no storage manager in slot");
+  }
+  return table_[id].get();
+}
+
+}  // namespace pglo

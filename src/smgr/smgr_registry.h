@@ -1,0 +1,46 @@
+#ifndef PGLO_SMGR_SMGR_REGISTRY_H_
+#define PGLO_SMGR_SMGR_REGISTRY_H_
+
+#include <array>
+#include <memory>
+
+#include "common/result.h"
+#include "smgr/smgr.h"
+
+namespace pglo {
+
+/// Table-driven storage manager switch (§7).
+///
+/// Classes (and therefore large objects and Inversion files) name the
+/// storage manager that holds them by slot id; all page traffic is routed
+/// through this table. Registering a new StorageManager implementation in a
+/// free slot makes it usable by every layer above — including Inversion
+/// files, which is the advantage §10 claims over Starburst.
+class SmgrRegistry {
+ public:
+  static constexpr size_t kMaxStorageManagers = 16;
+
+  SmgrRegistry() = default;
+  SmgrRegistry(const SmgrRegistry&) = delete;
+  SmgrRegistry& operator=(const SmgrRegistry&) = delete;
+
+  /// Installs `smgr` in slot `id`. Fails if the slot is occupied.
+  Status Register(uint8_t id, std::unique_ptr<StorageManager> smgr);
+
+  /// Removes the storage manager in slot `id` (used by tests).
+  Status Unregister(uint8_t id);
+
+  /// Resolves a slot id; NotFound if empty.
+  Result<StorageManager*> Get(uint8_t id) const;
+
+  bool Has(uint8_t id) const {
+    return id < kMaxStorageManagers && table_[id] != nullptr;
+  }
+
+ private:
+  std::array<std::unique_ptr<StorageManager>, kMaxStorageManagers> table_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_SMGR_SMGR_REGISTRY_H_

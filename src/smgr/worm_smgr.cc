@@ -1,0 +1,285 @@
+#include "smgr/worm_smgr.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace pglo {
+
+namespace {
+// Map record: relfile u32 | logical u32 | optical u32 | crc u32.
+constexpr size_t kMapRecordSize = 16;
+constexpr uint32_t kMarkerLogical = 0xffffffffu;
+constexpr uint32_t kMarkerCreate = 0;
+constexpr uint32_t kMarkerDrop = 0xffffffffu;
+}  // namespace
+
+WormSmgr::WormSmgr(std::string dir, DeviceModel* optical_device,
+                   DeviceModel* cache_device, size_t cache_blocks)
+    : dir_(std::move(dir)),
+      optical_device_(optical_device),
+      cache_device_(cache_device),
+      cache_capacity_(cache_blocks) {}
+
+WormSmgr::~WormSmgr() {
+  if (optical_fd_ >= 0) ::close(optical_fd_);
+  if (map_fd_ >= 0) ::close(map_fd_);
+}
+
+Status WormSmgr::Open() {
+  std::string optical_path = dir_ + "/worm.optical";
+  std::string map_path = dir_ + "/worm.map";
+  optical_fd_ = ::open(optical_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (optical_fd_ < 0) {
+    return Status::IOError("cannot open optical store: " +
+                           std::string(std::strerror(errno)));
+  }
+  map_fd_ = ::open(map_path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (map_fd_ < 0) {
+    return Status::IOError("cannot open worm map: " +
+                           std::string(std::strerror(errno)));
+  }
+  off_t optical_size = ::lseek(optical_fd_, 0, SEEK_END);
+  next_optical_ = static_cast<uint32_t>(optical_size / kPageSize);
+
+  files_.clear();
+  uint8_t rec[kMapRecordSize];
+  off_t pos = 0;
+  for (;;) {
+    ssize_t n = ::pread(map_fd_, rec, kMapRecordSize, pos);
+    if (n == 0) break;
+    if (n != static_cast<ssize_t>(kMapRecordSize)) {
+      if (::ftruncate(map_fd_, pos) != 0) {
+        return Status::IOError("worm map truncate failed");
+      }
+      break;
+    }
+    uint32_t stored_crc = DecodeFixed32(rec + 12);
+    if (crc32c::Unmask(stored_crc) != crc32c::Value(rec, 12)) {
+      if (::ftruncate(map_fd_, pos) != 0) {
+        return Status::IOError("worm map truncate failed");
+      }
+      break;
+    }
+    Oid relfile = DecodeFixed32(rec);
+    uint32_t logical = DecodeFixed32(rec + 4);
+    uint32_t optical = DecodeFixed32(rec + 8);
+    if (logical == kMarkerLogical) {
+      if (optical == kMarkerCreate) {
+        files_[relfile];  // (re)create empty
+      } else if (optical == kMarkerDrop) {
+        files_.erase(relfile);
+      }
+    } else {
+      FileState& fs = files_[relfile];
+      if (logical >= fs.map.size()) {
+        fs.map.resize(logical + 1, kNoOptical);
+      }
+      fs.map[logical] = optical;
+      ++fs.blocks_burned;  // every map record is one burned optical block
+    }
+    pos += kMapRecordSize;
+  }
+  return Status::OK();
+}
+
+Status WormSmgr::AppendMapRecord(Oid relfile, BlockNumber logical,
+                                 uint32_t optical) {
+  uint8_t rec[kMapRecordSize];
+  EncodeFixed32(rec, relfile);
+  EncodeFixed32(rec + 4, logical);
+  EncodeFixed32(rec + 8, optical);
+  EncodeFixed32(rec + 12, crc32c::Mask(crc32c::Value(rec, 12)));
+  off_t end = ::lseek(map_fd_, 0, SEEK_END);
+  if (end < 0 || ::pwrite(map_fd_, rec, kMapRecordSize, end) !=
+                     static_cast<ssize_t>(kMapRecordSize)) {
+    return Status::IOError("worm map append failed");
+  }
+  return Status::OK();
+}
+
+Status WormSmgr::ReadOptical(uint32_t optical, uint8_t* buf) {
+  ssize_t n = ::pread(optical_fd_, buf, kPageSize,
+                      static_cast<off_t>(optical) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("optical read failed");
+  }
+  ++stats_.optical_reads;
+  if (optical_device_ != nullptr) optical_device_->ChargeRead(optical, 1);
+  return Status::OK();
+}
+
+Status WormSmgr::BurnOptical(uint32_t optical, const uint8_t* buf) {
+  ssize_t n = ::pwrite(optical_fd_, buf, kPageSize,
+                       static_cast<off_t>(optical) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("optical write failed");
+  }
+  ++stats_.optical_writes;
+  if (optical_device_ != nullptr) optical_device_->ChargeWrite(optical, 1);
+  return Status::OK();
+}
+
+void WormSmgr::CacheInsert(Oid relfile, BlockNumber block,
+                           const uint8_t* buf) {
+  if (cache_capacity_ == 0) return;
+  CacheKey key{relfile, block};
+  uint64_t slot;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    std::memcpy(it->second.data.data(), buf, kPageSize);
+    cache_lru_.erase(it->second.lru_pos);
+    cache_lru_.push_back(key);
+    it->second.lru_pos = std::prev(cache_lru_.end());
+    slot = it->second.disk_slot;
+  } else {
+    while (cache_.size() >= cache_capacity_) {
+      cache_.erase(cache_lru_.front());
+      cache_lru_.pop_front();
+    }
+    CacheEntry entry;
+    entry.data.assign(buf, buf + kPageSize);
+    cache_lru_.push_back(key);
+    entry.lru_pos = std::prev(cache_lru_.end());
+    // The staging area is written like a circular log: consecutive fills
+    // land on consecutive magnetic blocks, so streaming fills stay cheap.
+    slot = cache_fill_rotor_;
+    cache_fill_rotor_ = (cache_fill_rotor_ + 1) % (cache_capacity_ + 1);
+    entry.disk_slot = slot;
+    cache_.emplace(key, std::move(entry));
+  }
+  // Fills are write-behind: the staging disk streams them asynchronously,
+  // overlapped with the (far slower) optical transfer, so they do not
+  // lengthen the caller's elapsed time. Only synchronous cache *reads*
+  // charge the magnetic disk (see CacheLookup). The `slot` bookkeeping
+  // still records where the block lives for those reads.
+  (void)slot;
+  ++stats_.cache_fills;
+}
+
+bool WormSmgr::CacheLookup(Oid relfile, BlockNumber block, uint8_t* buf) {
+  CacheKey key{relfile, block};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return false;
+  std::memcpy(buf, it->second.data.data(), kPageSize);
+  cache_lru_.erase(it->second.lru_pos);
+  cache_lru_.push_back(key);
+  it->second.lru_pos = std::prev(cache_lru_.end());
+  if (cache_device_ != nullptr) {
+    cache_device_->ChargeRead(it->second.disk_slot, 1);
+  }
+  return true;
+}
+
+void WormSmgr::CacheErase(Oid relfile, BlockNumber block) {
+  CacheKey key{relfile, block};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  cache_lru_.erase(it->second.lru_pos);
+  cache_.erase(it);
+}
+
+void WormSmgr::DropCache() {
+  cache_.clear();
+  cache_lru_.clear();
+}
+
+Status WormSmgr::CreateFile(Oid relfile) {
+  if (files_.count(relfile)) {
+    return Status::AlreadyExists("relation file already exists");
+  }
+  PGLO_RETURN_IF_ERROR(AppendMapRecord(relfile, kMarkerLogical,
+                                       kMarkerCreate));
+  files_[relfile];
+  return Status::OK();
+}
+
+Status WormSmgr::DropFile(Oid relfile) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  // Platter space cannot be reclaimed; only the map entry is retired.
+  PGLO_RETURN_IF_ERROR(AppendMapRecord(relfile, kMarkerLogical, kMarkerDrop));
+  for (BlockNumber b = 0; b < it->second.map.size(); ++b) {
+    CacheErase(relfile, b);
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+bool WormSmgr::FileExists(Oid relfile) { return files_.count(relfile) != 0; }
+
+Result<BlockNumber> WormSmgr::NumBlocks(Oid relfile) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  return static_cast<BlockNumber>(it->second.map.size());
+}
+
+Status WormSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  if (block >= it->second.map.size() ||
+      it->second.map[block] == kNoOptical) {
+    return Status::OutOfRange("block beyond end of file");
+  }
+  if (CacheLookup(relfile, block, buf)) {
+    ++stats_.cache_hits;
+    return Status::OK();
+  }
+  ++stats_.cache_misses;
+  PGLO_RETURN_IF_ERROR(ReadOptical(it->second.map[block], buf));
+  CacheInsert(relfile, block, buf);
+  return Status::OK();
+}
+
+Status WormSmgr::WriteBlock(Oid relfile, BlockNumber block,
+                            const uint8_t* buf) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  FileState& fs = it->second;
+  if (block > fs.map.size()) {
+    return Status::InvalidArgument("write would leave a hole in the file");
+  }
+  uint32_t optical = next_optical_++;
+  PGLO_RETURN_IF_ERROR(BurnOptical(optical, buf));
+  PGLO_RETURN_IF_ERROR(AppendMapRecord(relfile, block, optical));
+  if (block == fs.map.size()) {
+    fs.map.push_back(optical);
+  } else {
+    ++stats_.relocations;  // write-once: old block becomes dead platter
+    fs.map[block] = optical;
+  }
+  ++fs.blocks_burned;
+  CacheInsert(relfile, block, buf);
+  return Status::OK();
+}
+
+Status WormSmgr::Sync(Oid relfile) {
+  (void)relfile;
+  if (::fdatasync(optical_fd_) != 0 || ::fdatasync(map_fd_) != 0) {
+    return Status::IOError("worm sync failed");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WormSmgr::StorageBytes(Oid relfile) {
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  return it->second.blocks_burned * static_cast<uint64_t>(kPageSize);
+}
+
+}  // namespace pglo

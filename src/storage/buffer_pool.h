@@ -1,0 +1,165 @@
+#ifndef PGLO_STORAGE_BUFFER_POOL_H_
+#define PGLO_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "device/cpu_cost.h"
+#include "smgr/smgr_registry.h"
+#include "storage/page.h"
+
+namespace pglo {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a PageHandle is live the frame cannot
+/// be evicted. Call MarkDirty() after mutating the page image.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept { MoveFrom(std::move(other)); }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  uint8_t* data();
+  const uint8_t* data() const;
+  PageId page_id() const { return page_id_; }
+
+  /// Marks the frame dirty; it will be written back before eviction or at
+  /// the next flush.
+  void MarkDirty();
+
+  /// Explicitly unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId id)
+      : pool_(pool), frame_(frame), page_id_(id) {}
+  void MoveFrom(PageHandle&& other) {
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    other.pool_ = nullptr;
+  }
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_;
+};
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+};
+
+/// Fixed-size page cache over the storage manager switch.
+///
+/// LRU replacement with pin counts. Not thread-safe: pglo, like POSTGRES of
+/// the era, runs one execution stream per database instance.
+class BufferPool {
+ public:
+  BufferPool(SmgrRegistry* smgrs, size_t num_frames);
+  ~BufferPool();
+
+  /// Charges `instructions` of simulated CPU per page access (pin, hash
+  /// probe, latch, search) to `cpu`. Zero/null disables charging.
+  void SetAccessCost(CpuCostModel* cpu, uint64_t instructions) {
+    cpu_ = cpu;
+    access_instructions_ = instructions;
+  }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned handle on the given existing page, reading it from
+  /// its storage manager on a miss.
+  Result<PageHandle> GetPage(PageId id);
+
+  /// Allocates a new block at the end of `file`, zero-filled and pinned.
+  /// The new block number is returned through `block_out`. The block is
+  /// materialized in the storage manager lazily, at write-back — callers
+  /// must use BufferPool::NumBlocks (not the storage manager's) to see
+  /// file sizes that include pending appends.
+  Result<PageHandle> NewPage(RelFileId file, BlockNumber* block_out);
+
+  /// File length in blocks, including blocks appended via NewPage that
+  /// have not reached the storage manager yet.
+  Result<BlockNumber> NumBlocks(RelFileId file);
+
+  /// Writes back all dirty frames (optionally only those of `file`).
+  Status FlushAll();
+  Status FlushFile(RelFileId file);
+
+  /// Drops every frame of `file` without writing back (used by drop-class
+  /// and by tests that simulate a crash losing volatile state).
+  void DiscardFile(RelFileId file, bool discard_dirty = false);
+
+  /// Simulates losing all volatile state: drops clean *and* dirty frames.
+  void CrashDiscardAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+  size_t num_frames() const { return frames_.size(); }
+  SmgrRegistry* smgrs() const { return smgrs_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id;
+    std::unique_ptr<uint8_t[]> data;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::list<size_t>::iterator lru_pos;  // valid when unpinned & in_use
+    bool on_lru = false;
+  };
+
+  void Unpin(size_t frame);
+  void Touch(size_t frame);
+  Result<size_t> FindVictim();
+  Status WriteBack(Frame& frame);
+  /// Cleans a sorted batch of cold dirty pages, starting with
+  /// `victim_frame` (background-writer style clustering).
+  Status WriteBackBatch(size_t victim_frame);
+  /// Writes out any resident dirty blocks of `file` below `upto` that the
+  /// storage manager does not have yet, so WriteBack never leaves a hole.
+  Status EnsureMaterialized(RelFileId file, BlockNumber upto);
+  /// Stamps the checksum (when the image is a slotted page) and writes the
+  /// raw frame image to its storage manager.
+  Status WriteRaw(Frame& frame);
+  Result<StorageManager*> SmgrFor(RelFileId file) {
+    return smgrs_->Get(file.smgr_id);
+  }
+
+  SmgrRegistry* smgrs_;
+  CpuCostModel* cpu_ = nullptr;
+  uint64_t access_instructions_ = 0;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t, PageIdHash> page_table_;
+  /// Logical file sizes including not-yet-materialized appended blocks.
+  std::unordered_map<RelFileId, BlockNumber, RelFileIdHash> pending_size_;
+  std::list<size_t> lru_;  // front = least recently used, unpinned frames
+  std::vector<size_t> free_frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,155 @@
+#ifndef PGLO_STORAGE_PAGE_H_
+#define PGLO_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pglo {
+
+/// POSTGRES page size. §6.3: "The size of the data array is chosen to ensure
+/// a single record neatly fills a POSTGRES 8K page."
+constexpr uint32_t kPageSize = 8192;
+
+/// Object identifier: names classes, types, functions, and large objects.
+using Oid = uint32_t;
+constexpr Oid kInvalidOid = 0;
+
+/// Block number within a relation file.
+using BlockNumber = uint32_t;
+constexpr BlockNumber kInvalidBlock = 0xffffffffu;
+
+/// Tuple identifier: physical address of an item (block, slot).
+struct Tid {
+  BlockNumber block = kInvalidBlock;
+  uint16_t slot = 0;
+
+  bool valid() const { return block != kInvalidBlock; }
+  friend bool operator==(const Tid&, const Tid&) = default;
+};
+
+/// Identifies a relation file within a particular storage manager.
+struct RelFileId {
+  uint8_t smgr_id = 0;  ///< which registered storage manager owns the file
+  Oid relfile = kInvalidOid;
+
+  friend bool operator==(const RelFileId&, const RelFileId&) = default;
+};
+
+struct RelFileIdHash {
+  size_t operator()(const RelFileId& id) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(id.smgr_id) << 32) |
+                                 id.relfile);
+  }
+};
+
+/// Global page address: (storage manager, relation file, block).
+struct PageId {
+  RelFileId file;
+  BlockNumber block = kInvalidBlock;
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    uint64_t lo = (static_cast<uint64_t>(id.file.relfile) << 32) | id.block;
+    return std::hash<uint64_t>()(lo * 0x9e3779b97f4a7c15ull + id.file.smgr_id);
+  }
+};
+
+/// Slotted 8 KB page, PostgreSQL bufpage-style.
+///
+/// Layout:
+///   [PageHeader (24 B)] [line pointers ->] ... free ... [<- tuple data]
+///   [special area (special_size bytes, at the very end)]
+///
+/// Line pointers grow upward from the header; item payloads grow downward
+/// from the special area. Items never span pages — the property §6.3's
+/// compression analysis depends on ("POSTGRES does not break tuples across
+/// pages").
+class SlottedPage {
+ public:
+  /// Per-slot flags.
+  enum SlotState : uint16_t { kUnused = 0, kNormal = 1, kDead = 2 };
+
+  static constexpr uint32_t kHeaderSize = 24;
+  static constexpr uint32_t kSlotSize = 6;  // offset u16, len u16, state u16
+
+  /// Wraps (does not own) a kPageSize buffer.
+  explicit SlottedPage(uint8_t* buf) : buf_(buf) {}
+
+  /// Formats an empty page with `special_size` bytes reserved at the end.
+  void Init(uint16_t special_size = 0);
+
+  /// True if the buffer carries a valid page magic.
+  bool IsInitialized() const;
+
+  /// Inserts `item`; returns the slot index or ResourceExhausted when the
+  /// page lacks room. Reuses dead slots when possible.
+  Result<uint16_t> AddItem(Slice item);
+
+  /// Returns the payload of slot `slot` (NotFound for dead/unused slots).
+  Result<Slice> GetItem(uint16_t slot) const;
+
+  /// Marks slot dead; its space is reclaimed by the next Compact().
+  Status DeleteItem(uint16_t slot);
+
+  /// Replaces the payload of `slot` in place. Only allowed when the new
+  /// payload is not longer than the old one (callers needing growth must
+  /// delete + re-add).
+  Status OverwriteItem(uint16_t slot, Slice item);
+
+  /// Squeezes out space held by dead items. Slot indexes are stable.
+  void Compact();
+
+  /// Bytes available for one more item (including its line pointer).
+  uint32_t FreeSpace() const;
+
+  /// Free space counting space recoverable by Compact().
+  uint32_t FreeSpaceAfterCompact() const;
+
+  /// Number of slots ever allocated (including dead ones).
+  uint16_t NumSlots() const;
+
+  /// State of the given slot.
+  SlotState GetSlotState(uint16_t slot) const;
+
+  /// Mutable view of the special area.
+  uint8_t* SpecialArea();
+  const uint8_t* SpecialArea() const;
+  uint16_t SpecialSize() const;
+
+  /// Computes and stores the page checksum (call before writing out).
+  void UpdateChecksum();
+  /// True if the stored checksum matches the contents.
+  bool VerifyChecksum() const;
+
+  /// The maximum payload a freshly initialized page (no special area) can
+  /// store in a single item.
+  static constexpr uint32_t MaxItemSize() {
+    return kPageSize - kHeaderSize - kSlotSize;
+  }
+
+  uint8_t* raw() { return buf_; }
+  const uint8_t* raw() const { return buf_; }
+
+ private:
+  uint16_t lower() const;   // end of line-pointer array
+  uint16_t upper() const;   // start of item data
+  void set_lower(uint16_t v);
+  void set_upper(uint16_t v);
+
+  void ReadSlot(uint16_t slot, uint16_t* off, uint16_t* len,
+                uint16_t* state) const;
+  void WriteSlot(uint16_t slot, uint16_t off, uint16_t len, uint16_t state);
+
+  uint8_t* buf_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_STORAGE_PAGE_H_

@@ -1,0 +1,146 @@
+#include "txn/commit_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+
+namespace pglo {
+
+namespace {
+// Record: xid u32 | state u8 | pad u8[3] | commit_time u64 | crc u32
+constexpr size_t kRecordSize = 20;
+
+void EncodeRecord(uint8_t* buf, Xid xid, TxnState state, CommitTime time) {
+  std::memset(buf, 0, kRecordSize);
+  EncodeFixed32(buf, xid);
+  buf[4] = static_cast<uint8_t>(state);
+  EncodeFixed64(buf + 8, time);
+  uint32_t crc = crc32c::Value(buf, kRecordSize - 4);
+  EncodeFixed32(buf + kRecordSize - 4, crc32c::Mask(crc));
+}
+
+bool DecodeRecord(const uint8_t* buf, Xid* xid, TxnState* state,
+                  CommitTime* time) {
+  uint32_t stored = DecodeFixed32(buf + kRecordSize - 4);
+  if (crc32c::Unmask(stored) != crc32c::Value(buf, kRecordSize - 4)) {
+    return false;
+  }
+  *xid = DecodeFixed32(buf);
+  *state = static_cast<TxnState>(buf[4]);
+  *time = DecodeFixed64(buf + 8);
+  return true;
+}
+}  // namespace
+
+CommitLog::~CommitLog() {
+  if (fd_ >= 0) {
+    Status s = Close();
+    (void)s;
+  }
+}
+
+Status CommitLog::Open(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot open commit log " + path + ": " +
+                           std::strerror(errno));
+  }
+  entries_.clear();
+  next_commit_time_ = 1;
+  max_xid_ = kInvalidXid;
+  // Bootstrap transaction is implicitly committed at time 0 so catalog rows
+  // are visible to every snapshot.
+  entries_[kBootstrapXid] = Entry{TxnState::kCommitted, 0};
+
+  uint8_t rec[kRecordSize];
+  off_t pos = 0;
+  for (;;) {
+    ssize_t n = ::pread(fd_, rec, kRecordSize, pos);
+    if (n == 0) break;
+    if (n != static_cast<ssize_t>(kRecordSize)) {
+      // Torn tail from a crash mid-append: truncate it away.
+      if (::ftruncate(fd_, pos) != 0) {
+        return Status::IOError("commit log truncate failed");
+      }
+      break;
+    }
+    Xid xid;
+    TxnState state;
+    CommitTime time;
+    if (!DecodeRecord(rec, &xid, &state, &time)) {
+      if (::ftruncate(fd_, pos) != 0) {
+        return Status::IOError("commit log truncate failed");
+      }
+      break;
+    }
+    entries_[xid] = Entry{state, time};
+    if (xid > max_xid_) max_xid_ = xid;
+    if (state == TxnState::kCommitted && time >= next_commit_time_) {
+      next_commit_time_ = time + 1;
+    }
+    pos += kRecordSize;
+  }
+  return Status::OK();
+}
+
+Status CommitLog::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+Status CommitLog::AppendRecord(Xid xid, TxnState state, CommitTime time) {
+  if (fd_ < 0) return Status::Internal("commit log not open");
+  uint8_t rec[kRecordSize];
+  EncodeRecord(rec, xid, state, time);
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return Status::IOError("commit log seek failed");
+  if (::pwrite(fd_, rec, kRecordSize, end) !=
+      static_cast<ssize_t>(kRecordSize)) {
+    return Status::IOError("commit log append failed");
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("commit log sync failed");
+  }
+  return Status::OK();
+}
+
+Result<CommitTime> CommitLog::RecordCommit(Xid xid) {
+  CommitTime time = next_commit_time_;
+  PGLO_RETURN_IF_ERROR(AppendRecord(xid, TxnState::kCommitted, time));
+  entries_[xid] = Entry{TxnState::kCommitted, time};
+  next_commit_time_ = time + 1;
+  if (xid > max_xid_) max_xid_ = xid;
+  return time;
+}
+
+Status CommitLog::RecordAbort(Xid xid) {
+  PGLO_RETURN_IF_ERROR(
+      AppendRecord(xid, TxnState::kAborted, kInvalidCommitTime));
+  entries_[xid] = Entry{TxnState::kAborted, kInvalidCommitTime};
+  if (xid > max_xid_) max_xid_ = xid;
+  return Status::OK();
+}
+
+TxnState CommitLog::GetState(Xid xid) const {
+  auto it = entries_.find(xid);
+  if (it == entries_.end()) return TxnState::kAborted;
+  return it->second.state;
+}
+
+CommitTime CommitLog::GetCommitTime(Xid xid) const {
+  auto it = entries_.find(xid);
+  if (it == entries_.end() || it->second.state != TxnState::kCommitted) {
+    return kInvalidCommitTime;
+  }
+  return it->second.commit_time;
+}
+
+}  // namespace pglo

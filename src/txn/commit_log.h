@@ -1,0 +1,77 @@
+#ifndef PGLO_TXN_COMMIT_LOG_H_
+#define PGLO_TXN_COMMIT_LOG_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "txn/xid.h"
+
+namespace pglo {
+
+/// Persistent transaction status log.
+///
+/// POSTGRES's no-overwrite storage system needs no undo/redo log: a tuple's
+/// visibility is decided by looking up its xmin/xmax in this log. Commit is
+/// therefore a single durable append here (after forcing the transaction's
+/// dirty pages), and abort requires no data-page work at all.
+///
+/// The log is an append-only host file of fixed-size records, each CRC
+/// protected; it is replayed into memory at open. A transaction with no
+/// record (e.g. one cut off by a crash) is treated as aborted.
+class CommitLog {
+ public:
+  CommitLog() = default;
+  ~CommitLog();
+  CommitLog(const CommitLog&) = delete;
+  CommitLog& operator=(const CommitLog&) = delete;
+
+  /// Opens (creating if necessary) the log at `path` and replays it.
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Durably records `xid` as committed at the next commit-time tick, which
+  /// is returned. The caller must have forced the transaction's pages first.
+  Result<CommitTime> RecordCommit(Xid xid);
+
+  /// Durably records `xid` as aborted.
+  Status RecordAbort(Xid xid);
+
+  /// Notes `xid` as in progress (memory only — a crash forgets it, which
+  /// correctly demotes it to aborted).
+  void RecordBegin(Xid xid) {
+    entries_[xid] = Entry{TxnState::kInProgress, kInvalidCommitTime};
+  }
+
+  /// Status of `xid`. Unknown transactions are reported kAborted — exactly
+  /// the crash-recovery rule that makes no-overwrite storage atomic.
+  TxnState GetState(Xid xid) const;
+
+  /// Commit time of `xid`; kInvalidCommitTime unless committed.
+  CommitTime GetCommitTime(Xid xid) const;
+
+  /// Current value of the commit-time counter (the tick of the most recent
+  /// commit). Snapshots taken at this value see all committed data.
+  CommitTime Now() const { return next_commit_time_ - 1; }
+
+  /// Highest XID that has any record; used to restart the XID allocator.
+  Xid MaxRecordedXid() const { return max_xid_; }
+
+ private:
+  struct Entry {
+    TxnState state;
+    CommitTime commit_time;
+  };
+
+  Status AppendRecord(Xid xid, TxnState state, CommitTime time);
+
+  int fd_ = -1;
+  std::unordered_map<Xid, Entry> entries_;
+  CommitTime next_commit_time_ = 1;
+  Xid max_xid_ = kInvalidXid;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_TXN_COMMIT_LOG_H_

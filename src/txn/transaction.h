@@ -1,0 +1,53 @@
+#ifndef PGLO_TXN_TRANSACTION_H_
+#define PGLO_TXN_TRANSACTION_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/snapshot.h"
+#include "txn/xid.h"
+
+namespace pglo {
+
+class TxnManager;
+
+/// A unit of atomic work. Obtained from TxnManager::Begin (or BeginAsOf for
+/// read-only time travel); finished with Commit or Abort exactly once.
+///
+/// Writes made under a transaction stamp new tuple versions with its XID;
+/// they become visible to others only after Commit durably appends to the
+/// commit log. Abort costs nothing on the data pages — the versions simply
+/// remain stamped with an aborted XID and are invisible forever.
+class Transaction {
+ public:
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  Xid xid() const { return xid_; }
+  const Snapshot& snapshot() const { return snapshot_; }
+  bool read_only() const { return snapshot_.historical(); }
+  TxnState state() const { return state_; }
+  bool active() const { return state_ == TxnState::kInProgress; }
+
+  /// Registers a callback run at the end of the transaction; `committed`
+  /// tells the callback which way it ended. Used for temporary large object
+  /// garbage collection (§5) and descriptor cleanup.
+  void OnFinish(std::function<void(bool committed)> cb) {
+    finish_callbacks_.push_back(std::move(cb));
+  }
+
+ private:
+  friend class TxnManager;
+  Transaction(Xid xid, Snapshot snapshot)
+      : xid_(xid), snapshot_(snapshot) {}
+
+  Xid xid_;
+  Snapshot snapshot_;
+  TxnState state_ = TxnState::kInProgress;
+  std::vector<std::function<void(bool)>> finish_callbacks_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_TXN_TRANSACTION_H_

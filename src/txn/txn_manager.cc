@@ -1,0 +1,100 @@
+#include "txn/txn_manager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+
+namespace pglo {
+
+namespace {
+constexpr Xid kXidCrashSlack = 1024;
+}  // namespace
+
+TxnManager::~TxnManager() {
+  if (xid_fd_ >= 0) ::close(xid_fd_);
+}
+
+Status TxnManager::OpenXidFile(const std::string& path) {
+  xid_fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (xid_fd_ < 0) {
+    return Status::IOError("cannot open xid file: " +
+                           std::string(std::strerror(errno)));
+  }
+  uint8_t buf[4];
+  if (::pread(xid_fd_, buf, sizeof(buf), 0) == sizeof(buf)) {
+    Xid persisted = DecodeFixed32(buf) + kXidCrashSlack;
+    if (persisted > next_xid_) next_xid_ = persisted;
+  }
+  return Status::OK();
+}
+
+Xid TxnManager::AllocateXid() {
+  Xid xid = next_xid_++;
+  if (xid_fd_ >= 0) {
+    uint8_t buf[4];
+    EncodeFixed32(buf, next_xid_);
+    // Best effort, no fsync: the slack added at open covers lost writes.
+    ssize_t n = ::pwrite(xid_fd_, buf, sizeof(buf), 0);
+    (void)n;
+  }
+  return xid;
+}
+
+Transaction* TxnManager::Track(std::unique_ptr<Transaction> txn) {
+  Transaction* raw = txn.get();
+  active_[raw] = std::move(txn);
+  return raw;
+}
+
+Transaction* TxnManager::Begin() {
+  Xid xid = AllocateXid();
+  clog_->RecordBegin(xid);
+  Snapshot snap(clog_, xid, clog_->Now());
+  return Track(std::unique_ptr<Transaction>(new Transaction(xid, snap)));
+}
+
+Transaction* TxnManager::BeginAsOf(CommitTime as_of) {
+  Xid xid = AllocateXid();
+  clog_->RecordBegin(xid);
+  Snapshot snap(clog_, xid, clog_->Now(), as_of);
+  return Track(std::unique_ptr<Transaction>(new Transaction(xid, snap)));
+}
+
+void TxnManager::Finish(Transaction* txn, bool committed) {
+  for (auto& cb : txn->finish_callbacks_) {
+    cb(committed);
+  }
+  active_.erase(txn);  // destroys the Transaction
+}
+
+Result<CommitTime> TxnManager::Commit(Transaction* txn) {
+  PGLO_CHECK(txn != nullptr);
+  if (!txn->active()) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  // Force policy: all of this transaction's versions must be stable before
+  // the commit record. Flushing everything is coarse but correct.
+  PGLO_RETURN_IF_ERROR(pool_->FlushAll());
+  PGLO_ASSIGN_OR_RETURN(CommitTime time, clog_->RecordCommit(txn->xid()));
+  txn->state_ = TxnState::kCommitted;
+  Finish(txn, /*committed=*/true);
+  return time;
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  PGLO_CHECK(txn != nullptr);
+  if (!txn->active()) {
+    return Status::InvalidArgument("transaction already finished");
+  }
+  PGLO_RETURN_IF_ERROR(clog_->RecordAbort(txn->xid()));
+  txn->state_ = TxnState::kAborted;
+  Finish(txn, /*committed=*/false);
+  return Status::OK();
+}
+
+}  // namespace pglo

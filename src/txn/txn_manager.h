@@ -1,0 +1,79 @@
+#ifndef PGLO_TXN_TXN_MANAGER_H_
+#define PGLO_TXN_TXN_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "txn/commit_log.h"
+#include "txn/transaction.h"
+
+namespace pglo {
+
+/// Allocates XIDs and drives the commit protocol.
+///
+/// Commit protocol (force-at-commit, no WAL — the POSTGRES storage system):
+///   1. flush every dirty buffer (the transaction's new tuple versions
+///      reach stable storage),
+///   2. durably append the commit record.
+/// A crash between the steps leaves the XID unrecorded, which the commit
+/// log reports as aborted, so the flushed-but-uncommitted versions are
+/// invisible: atomicity without undo.
+class TxnManager {
+ public:
+  TxnManager(CommitLog* clog, BufferPool* pool)
+      : clog_(clog), pool_(pool) {}
+  ~TxnManager();
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  /// Restores the XID allocator after reopening a database.
+  void RestoreNextXid() {
+    Xid max = clog_->MaxRecordedXid();
+    if (max >= next_xid_) next_xid_ = max + 1;
+  }
+
+  /// Persists the XID high-water mark to `path` (written without fsync on
+  /// every Begin; a slack is added at open). Without this, an XID handed
+  /// to a transaction that crashed before writing any commit-log record
+  /// could be reissued — and the crashed transaction's tuples would look
+  /// like the new transaction's own writes.
+  Status OpenXidFile(const std::string& path);
+
+  /// Starts a read-write transaction with a "current" snapshot.
+  Transaction* Begin();
+
+  /// Starts a read-only time-travel transaction whose reads observe the
+  /// database exactly as committed at tick `as_of`.
+  Transaction* BeginAsOf(CommitTime as_of);
+
+  /// Commits: forces dirty pages, then durably records the commit.
+  /// Returns the transaction's commit time.
+  Result<CommitTime> Commit(Transaction* txn);
+
+  /// Aborts: records the abort; data pages are untouched.
+  Status Abort(Transaction* txn);
+
+  /// The latest commit tick — the "now" that time-travel queries address.
+  CommitTime Now() const { return clog_->Now(); }
+
+  const CommitLog& commit_log() const { return *clog_; }
+  size_t active_count() const { return active_.size(); }
+
+ private:
+  Transaction* Track(std::unique_ptr<Transaction> txn);
+  void Finish(Transaction* txn, bool committed);
+  Xid AllocateXid();
+
+  CommitLog* clog_;
+  BufferPool* pool_;
+  Xid next_xid_ = kFirstNormalXid;
+  int xid_fd_ = -1;
+  std::unordered_map<Transaction*, std::unique_ptr<Transaction>> active_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_TXN_TXN_MANAGER_H_

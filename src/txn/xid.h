@@ -1,0 +1,35 @@
+#ifndef PGLO_TXN_XID_H_
+#define PGLO_TXN_XID_H_
+
+#include <cstdint>
+
+namespace pglo {
+
+/// Transaction identifier.
+using Xid = uint32_t;
+
+constexpr Xid kInvalidXid = 0;
+/// The bootstrap transaction that creates system catalogs; always committed.
+constexpr Xid kBootstrapXid = 1;
+/// First XID handed to user transactions.
+constexpr Xid kFirstNormalXid = 2;
+
+/// Logical commit time. The commit log assigns each committing transaction
+/// the next tick of a monotonic counter; "time travel" queries address
+/// these ticks. (The 1993 system used wall-clock commit times; a logical
+/// counter is equivalent and deterministic.)
+using CommitTime = uint64_t;
+
+constexpr CommitTime kInvalidCommitTime = 0;
+/// Snapshot time meaning "now" (no historical bound).
+constexpr CommitTime kLatestTime = ~0ull;
+
+enum class TxnState : uint8_t {
+  kInProgress = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_TXN_XID_H_

@@ -1,0 +1,133 @@
+#include "types/builtin_types.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+#include "types/type_registry.h"
+
+namespace pglo {
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  // std::from_chars for double is not universally available; strtod with a
+  // NUL-terminated copy is fine off the hot path.
+  std::string copy(text);
+  char* endp = nullptr;
+  *out = std::strtod(copy.c_str(), &endp);
+  return endp == copy.c_str() + copy.size() && !copy.empty();
+}
+
+namespace {
+
+Result<Datum> BoolIn(Oid, std::string_view text) {
+  if (text == "t" || text == "true" || text == "1") return Datum::Bool(true);
+  if (text == "f" || text == "false" || text == "0") {
+    return Datum::Bool(false);
+  }
+  return Status::InvalidArgument("bad bool literal: " + std::string(text));
+}
+
+Result<std::string> BoolOut(const Datum& d) {
+  return std::string(d.as_bool() ? "t" : "f");
+}
+
+Result<Datum> Int4In(Oid, std::string_view text) {
+  int64_t v;
+  if (!ParseInt64(text, &v) || v < INT32_MIN || v > INT32_MAX) {
+    return Status::InvalidArgument("bad int4 literal: " + std::string(text));
+  }
+  return Datum::Int4(static_cast<int32_t>(v));
+}
+
+Result<std::string> Int4Out(const Datum& d) {
+  return std::to_string(d.as_int4());
+}
+
+Result<Datum> Float8In(Oid, std::string_view text) {
+  double v;
+  if (!ParseDouble(text, &v)) {
+    return Status::InvalidArgument("bad float8 literal: " +
+                                   std::string(text));
+  }
+  return Datum::Float8(v);
+}
+
+Result<std::string> Float8Out(const Datum& d) {
+  return std::to_string(d.as_float8());
+}
+
+Result<Datum> TextIn(Oid, std::string_view text) {
+  return Datum::Text(std::string(text));
+}
+
+Result<std::string> TextOut(const Datum& d) { return d.as_text(); }
+
+Result<Datum> OidIn(Oid, std::string_view text) {
+  uint64_t v;
+  if (!ParseUint64(text, &v) || v > ~0u) {
+    return Status::InvalidArgument("bad oid literal: " + std::string(text));
+  }
+  return Datum::OidVal(static_cast<Oid>(v));
+}
+
+Result<std::string> OidOut(const Datum& d) { return std::to_string(d.as_oid()); }
+
+/// "x,y,w,h" — the form used by the paper's clip() example:
+/// `clip(EMP.picture, "0,0,20,20"::rect)`.
+Result<Datum> RectIn(Oid, std::string_view text) {
+  RectValue r;
+  int32_t* fields[4] = {&r.x, &r.y, &r.w, &r.h};
+  size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    size_t comma = text.find(',', pos);
+    std::string_view part =
+        i < 3 ? text.substr(pos, comma - pos) : text.substr(pos);
+    if (i < 3 && comma == std::string_view::npos) {
+      return Status::InvalidArgument("bad rect literal: " +
+                                     std::string(text));
+    }
+    int64_t v;
+    if (!ParseInt64(part, &v)) {
+      return Status::InvalidArgument("bad rect literal: " +
+                                     std::string(text));
+    }
+    *fields[i] = static_cast<int32_t>(v);
+    pos = comma + 1;
+  }
+  return Datum::Rect(r);
+}
+
+Result<std::string> RectOut(const Datum& d) {
+  const RectValue& r = d.as_rect();
+  return std::to_string(r.x) + "," + std::to_string(r.y) + "," +
+         std::to_string(r.w) + "," + std::to_string(r.h);
+}
+
+}  // namespace
+
+void RegisterBuiltinTypes(TypeRegistry* types) {
+  auto check = [](Result<Oid> r) { (void)r; };
+  check(types->RegisterType("bool", BoolIn, BoolOut, type_oids::kBool));
+  check(types->RegisterType("int4", Int4In, Int4Out, type_oids::kInt4));
+  check(types->RegisterType("float8", Float8In, Float8Out,
+                            type_oids::kFloat8));
+  check(types->RegisterType("text", TextIn, TextOut, type_oids::kText));
+  check(types->RegisterType("oid", OidIn, OidOut, type_oids::kOid));
+  check(types->RegisterType("rect", RectIn, RectOut, type_oids::kRect));
+}
+
+}  // namespace pglo

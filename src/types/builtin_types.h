@@ -1,0 +1,17 @@
+#ifndef PGLO_TYPES_BUILTIN_TYPES_H_
+#define PGLO_TYPES_BUILTIN_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pglo {
+
+/// Exception-free numeric parsing used by type input routines and the
+/// query lexer. Each returns false on malformed or out-of-range input.
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseUint64(std::string_view text, uint64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace pglo
+
+#endif  // PGLO_TYPES_BUILTIN_TYPES_H_

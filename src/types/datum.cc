@@ -1,0 +1,19 @@
+#include "types/datum.h"
+
+namespace pglo {
+
+Result<double> Datum::ToDouble() const {
+  if (is_int4()) return static_cast<double>(as_int4());
+  if (is_float8()) return as_float8();
+  if (is_oid()) return static_cast<double>(as_oid());
+  return Status::InvalidArgument("value is not numeric");
+}
+
+Result<int64_t> Datum::ToInt64() const {
+  if (is_int4()) return static_cast<int64_t>(as_int4());
+  if (is_float8()) return static_cast<int64_t>(as_float8());
+  if (is_oid()) return static_cast<int64_t>(as_oid());
+  return Status::InvalidArgument("value is not numeric");
+}
+
+}  // namespace pglo

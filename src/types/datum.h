@@ -1,0 +1,109 @@
+#ifndef PGLO_TYPES_DATUM_H_
+#define PGLO_TYPES_DATUM_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace pglo {
+
+/// Well-known type Oids (user-defined types get oids >= 1000 from the
+/// allocator).
+namespace type_oids {
+constexpr Oid kBool = 16;
+constexpr Oid kInt4 = 23;
+constexpr Oid kFloat8 = 701;
+constexpr Oid kText = 25;
+constexpr Oid kOid = 26;
+constexpr Oid kRect = 603;   ///< example small ADT used by clip()
+}  // namespace type_oids
+
+/// Reference to a large object: the "large object name" a query returns
+/// for a large ADT field (§4).
+struct LoRef {
+  Oid oid = kInvalidOid;
+  friend bool operator==(const LoRef&, const LoRef&) = default;
+};
+
+/// A rectangle value for the §5 example
+/// `clip(EMP.picture, "0,0,20,20"::rect)`.
+struct RectValue {
+  int32_t x = 0, y = 0, w = 0, h = 0;
+  friend bool operator==(const RectValue&, const RectValue&) = default;
+};
+
+/// A runtime value flowing through the query executor and function
+/// manager. Carries its type Oid so user-defined functions can be
+/// dispatched on argument types.
+class Datum {
+ public:
+  Datum() = default;  // null, untyped
+
+  static Datum Null(Oid type = kInvalidOid) {
+    Datum d;
+    d.type_ = type;
+    return d;
+  }
+  static Datum Bool(bool v) { return Datum(type_oids::kBool, v); }
+  static Datum Int4(int32_t v) { return Datum(type_oids::kInt4, v); }
+  static Datum Float8(double v) { return Datum(type_oids::kFloat8, v); }
+  static Datum Text(std::string v) {
+    return Datum(type_oids::kText, std::move(v));
+  }
+  static Datum OidVal(Oid v) { return Datum(type_oids::kOid, v); }
+  static Datum Rect(RectValue v) { return Datum(type_oids::kRect, v); }
+  /// A large-object value of large type `type`.
+  static Datum LargeObject(Oid type, LoRef ref) { return Datum(type, ref); }
+  /// Opaque user-ADT bytes of type `type`.
+  static Datum UserBytes(Oid type, Bytes bytes) {
+    return Datum(type, std::move(bytes));
+  }
+
+  Oid type() const { return type_; }
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(value_);
+  }
+
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int4() const { return std::holds_alternative<int32_t>(value_); }
+  bool is_float8() const { return std::holds_alternative<double>(value_); }
+  bool is_text() const { return std::holds_alternative<std::string>(value_); }
+  bool is_oid() const { return std::holds_alternative<Oid>(value_); }
+  bool is_rect() const { return std::holds_alternative<RectValue>(value_); }
+  bool is_lo() const { return std::holds_alternative<LoRef>(value_); }
+  bool is_bytes() const { return std::holds_alternative<Bytes>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  int32_t as_int4() const { return std::get<int32_t>(value_); }
+  double as_float8() const { return std::get<double>(value_); }
+  const std::string& as_text() const { return std::get<std::string>(value_); }
+  Oid as_oid() const { return std::get<Oid>(value_); }
+  const RectValue& as_rect() const { return std::get<RectValue>(value_); }
+  LoRef as_lo() const { return std::get<LoRef>(value_); }
+  const Bytes& as_bytes() const { return std::get<Bytes>(value_); }
+
+  /// Numeric coercion helpers for the executor's arithmetic/comparison.
+  Result<double> ToDouble() const;
+  Result<int64_t> ToInt64() const;
+
+  friend bool operator==(const Datum& a, const Datum& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  template <typename T>
+  Datum(Oid type, T v) : type_(type), value_(std::move(v)) {}
+
+  Oid type_ = kInvalidOid;
+  std::variant<std::monostate, bool, int32_t, double, std::string, Oid,
+               RectValue, LoRef, Bytes>
+      value_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_TYPES_DATUM_H_

@@ -1,0 +1,92 @@
+#ifndef PGLO_TYPES_FMGR_H_
+#define PGLO_TYPES_FMGR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/context.h"
+#include "lo/lo_manager.h"
+#include "types/datum.h"
+#include "types/type_registry.h"
+
+namespace pglo {
+
+/// Everything a user-defined function may touch while executing inside the
+/// data manager. Crucially it includes the large-object manager: "functions
+/// that operate on the large type could be registered with the database
+/// system, and could then be run directly by the data manager" (§3) —
+/// functions receive large objects *by name* and stream the chunks they
+/// need instead of materializing gigabytes ("Functions using large objects
+/// must be able to locate them, and to request small chunks for individual
+/// operations").
+struct FunctionContext {
+  DbContext db;
+  LoManager* lo = nullptr;
+  TypeRegistry* types = nullptr;
+  Transaction* txn = nullptr;
+};
+
+/// A registered C++ function callable from the query language.
+using CFunction =
+    std::function<Result<Datum>(FunctionContext&, const std::vector<Datum>&)>;
+
+/// The function manager: name → implementations, looked up by arity (and
+/// optionally by argument types for overloads).
+///
+/// In POSTGRES these were "dynamically loaded" .o files; here registration
+/// is a C++ call, which preserves the architectural point — the DBMS
+/// executes user code next to the data — without a dlopen dependency.
+class FunctionRegistry {
+ public:
+  struct FunctionInfo {
+    std::string name;
+    std::vector<Oid> arg_types;  ///< kInvalidOid entries match any type
+    Oid return_type = kInvalidOid;
+    bool returns_large = false;  ///< result is a (temporary) large object
+    CFunction fn;
+  };
+
+  /// Registers a function; overloads on distinct arity are allowed.
+  Status Register(FunctionInfo info);
+
+  /// Finds the function matching `name` and the argument types (exact type
+  /// match preferred, wildcard entries accepted).
+  Result<const FunctionInfo*> Resolve(const std::string& name,
+                                      const std::vector<Oid>& args) const;
+
+  bool Has(const std::string& name) const {
+    return functions_.count(name) != 0;
+  }
+
+  /// Binary operator registration: maps a symbol (e.g. "~=") plus operand
+  /// types to a registered function, the "user-defined operators" of the
+  /// abstract (resolution falls back to wildcards like Resolve).
+  Status RegisterOperator(const std::string& symbol, Oid left, Oid right,
+                          const std::string& function);
+  Result<const FunctionInfo*> ResolveOperator(const std::string& symbol,
+                                              Oid left, Oid right) const;
+
+ private:
+  std::multimap<std::string, FunctionInfo> functions_;
+  struct OpKey {
+    std::string symbol;
+    Oid left, right;
+    bool operator<(const OpKey& o) const {
+      return std::tie(symbol, left, right) <
+             std::tie(o.symbol, o.left, o.right);
+    }
+  };
+  std::map<OpKey, std::string> operators_;
+};
+
+/// Registers the built-in large-object functions (lo_create, lo_size,
+/// lo_read, lo_write, clip, ...). `image_type` is the large type clip()
+/// produces; pass the oid returned by RegisterLargeType("image", ...).
+void RegisterBuiltinFunctions(FunctionRegistry* fns);
+
+}  // namespace pglo
+
+#endif  // PGLO_TYPES_FMGR_H_

@@ -1,0 +1,72 @@
+#include "types/type_registry.h"
+
+#include "types/builtin_types.h"
+
+namespace pglo {
+
+TypeRegistry::TypeRegistry(OidAllocator* oids) : oids_(oids) {
+  RegisterBuiltinTypes(this);
+}
+
+Result<Oid> TypeRegistry::RegisterType(const std::string& name, InputFn input,
+                                       OutputFn output, Oid fixed_oid) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("type exists: " + name);
+  }
+  Oid oid = fixed_oid != kInvalidOid ? fixed_oid : oids_->Allocate();
+  TypeInfo info;
+  info.oid = oid;
+  info.name = name;
+  info.input = std::move(input);
+  info.output = std::move(output);
+  by_name_[name] = oid;
+  by_oid_[oid] = std::move(info);
+  return oid;
+}
+
+Result<Oid> TypeRegistry::RegisterLargeType(const std::string& name,
+                                            const LoSpec& spec) {
+  if (by_name_.count(name)) {
+    return Status::AlreadyExists("type exists: " + name);
+  }
+  Oid oid = oids_->Allocate();
+  TypeInfo info;
+  info.oid = oid;
+  info.name = name;
+  info.is_large = true;
+  info.lo_spec = spec;
+  // A large type's textual input is a large object name (oid); output
+  // renders the same. The heavy lifting (compression) happens per chunk in
+  // the storage layer, not here — that is the whole point of §3.
+  info.input = [oid](Oid, std::string_view text) -> Result<Datum> {
+    uint64_t lo = 0;
+    if (!ParseUint64(text, &lo) || lo > ~0u) {
+      return Status::InvalidArgument("bad large object name: " +
+                                     std::string(text));
+    }
+    return Datum::LargeObject(oid, LoRef{static_cast<Oid>(lo)});
+  };
+  info.output = [](const Datum& d) -> Result<std::string> {
+    return std::to_string(d.as_lo().oid);
+  };
+  by_name_[name] = oid;
+  by_oid_[oid] = std::move(info);
+  return oid;
+}
+
+Result<const TypeRegistry::TypeInfo*> TypeRegistry::ByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("unknown type: " + name);
+  return &by_oid_.at(it->second);
+}
+
+Result<const TypeRegistry::TypeInfo*> TypeRegistry::ByOid(Oid oid) const {
+  auto it = by_oid_.find(oid);
+  if (it == by_oid_.end()) {
+    return Status::NotFound("unknown type oid " + std::to_string(oid));
+  }
+  return &it->second;
+}
+
+}  // namespace pglo

@@ -1,0 +1,69 @@
+#ifndef PGLO_TYPES_TYPE_REGISTRY_H_
+#define PGLO_TYPES_TYPE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "db/oid_allocator.h"
+#include "lo/large_object.h"
+#include "types/datum.h"
+
+namespace pglo {
+
+/// The extensible type collection of §3: "support an extensible collection
+/// of data types in the DBMS with user-defined functions."
+///
+/// A type owns an input routine (external text → Datum) and an output
+/// routine (Datum → external text). A *large* type (§4's
+/// `create large type`) additionally names its conversion-routine pair —
+/// the compression codec applied per chunk/segment — and the storage
+/// implementation to use:
+///
+///   create large type type-name (
+///       input = procedure-name-1, output = procedure-name-2,
+///       storage = storage-type)
+class TypeRegistry {
+ public:
+  using InputFn = std::function<Result<Datum>(Oid type, std::string_view)>;
+  using OutputFn = std::function<Result<std::string>(const Datum&)>;
+
+  struct TypeInfo {
+    Oid oid = kInvalidOid;
+    std::string name;
+    InputFn input;
+    OutputFn output;
+    bool is_large = false;
+    /// For large types: storage clause + conversion-routine (codec) pair.
+    LoSpec lo_spec;
+  };
+
+  explicit TypeRegistry(OidAllocator* oids);
+
+  /// Registers a small (in-record) type. Returns its type Oid.
+  Result<Oid> RegisterType(const std::string& name, InputFn input,
+                           OutputFn output, Oid fixed_oid = kInvalidOid);
+
+  /// §4 — registers a large ADT. `spec.codec` holds the conversion routine
+  /// pair; `spec.kind` the storage implementation.
+  Result<Oid> RegisterLargeType(const std::string& name, const LoSpec& spec);
+
+  Result<const TypeInfo*> ByName(const std::string& name) const;
+  Result<const TypeInfo*> ByOid(Oid oid) const;
+  bool HasName(const std::string& name) const {
+    return by_name_.count(name) != 0;
+  }
+
+ private:
+  OidAllocator* oids_;
+  std::map<std::string, Oid> by_name_;
+  std::map<Oid, TypeInfo> by_oid_;
+};
+
+/// Registers bool, int4, float8, text, oid, and rect.
+void RegisterBuiltinTypes(TypeRegistry* types);
+
+}  // namespace pglo
+
+#endif  // PGLO_TYPES_TYPE_REGISTRY_H_

@@ -1,0 +1,150 @@
+#include "ufs/block_cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace pglo {
+
+UfsBlockCache::UfsBlockCache(DeviceModel* device, size_t capacity_blocks)
+    : device_(device), capacity_(capacity_blocks > 0 ? capacity_blocks : 1) {}
+
+UfsBlockCache::~UfsBlockCache() {
+  Status s = Flush();
+  (void)s;
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status UfsBlockCache::Open(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("cannot open ufs backing file: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status UfsBlockCache::ReadBacking(uint32_t block, uint8_t* buf) {
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(block) * kPageSize);
+  if (n < 0) return Status::IOError("ufs backing read failed");
+  // Blocks past EOF read as zeros (fresh allocation).
+  if (n < static_cast<ssize_t>(kPageSize)) {
+    std::memset(buf + n, 0, kPageSize - n);
+  }
+  if (device_ != nullptr) device_->ChargeRead(block, 1);
+  return Status::OK();
+}
+
+Status UfsBlockCache::WriteBacking(uint32_t block, const uint8_t* buf) {
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(block) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("ufs backing write failed");
+  }
+  if (device_ != nullptr) device_->ChargeWrite(block, 1);
+  return Status::OK();
+}
+
+void UfsBlockCache::Touch(uint32_t block, Entry& e) {
+  lru_.erase(e.lru_pos);
+  lru_.push_back(block);
+  e.lru_pos = std::prev(lru_.end());
+}
+
+Status UfsBlockCache::EvictIfFull() {
+  while (cache_.size() >= capacity_) {
+    uint32_t victim = lru_.front();
+    lru_.pop_front();
+    auto it = cache_.find(victim);
+    if (it->second.dirty) {
+      // Clean a sorted batch of cold dirty blocks along with the victim —
+      // the OS buffer cache's clustered write-behind, without which a
+      // mixed read/write workload would pay a head seek per eviction.
+      constexpr size_t kBatch = 64;
+      std::vector<uint32_t> batch;
+      batch.push_back(victim);
+      for (auto lru_it = lru_.begin();
+           lru_it != lru_.end() && batch.size() < kBatch; ++lru_it) {
+        if (cache_[*lru_it].dirty) batch.push_back(*lru_it);
+      }
+      std::sort(batch.begin(), batch.end());
+      for (uint32_t block : batch) {
+        Entry& e = cache_[block];
+        PGLO_RETURN_IF_ERROR(WriteBacking(block, e.data.data()));
+        e.dirty = false;
+      }
+    }
+    cache_.erase(victim);
+  }
+  return Status::OK();
+}
+
+Status UfsBlockCache::Read(uint32_t block, uint8_t* buf) {
+  if (cpu_ != nullptr && access_instructions_ > 0) {
+    cpu_->ChargeInstructions(access_instructions_);
+  }
+  auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    ++hits_;
+    Touch(block, it->second);
+    std::memcpy(buf, it->second.data.data(), kPageSize);
+    return Status::OK();
+  }
+  ++misses_;
+  PGLO_RETURN_IF_ERROR(ReadBacking(block, buf));
+  PGLO_RETURN_IF_ERROR(EvictIfFull());
+  Entry e;
+  e.data.assign(buf, buf + kPageSize);
+  lru_.push_back(block);
+  e.lru_pos = std::prev(lru_.end());
+  cache_.emplace(block, std::move(e));
+  return Status::OK();
+}
+
+Status UfsBlockCache::Write(uint32_t block, const uint8_t* buf) {
+  if (cpu_ != nullptr && access_instructions_ > 0) {
+    cpu_->ChargeInstructions(access_instructions_);
+  }
+  auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    Touch(block, it->second);
+    std::memcpy(it->second.data.data(), buf, kPageSize);
+    it->second.dirty = true;
+    return Status::OK();
+  }
+  PGLO_RETURN_IF_ERROR(EvictIfFull());
+  Entry e;
+  e.data.assign(buf, buf + kPageSize);
+  e.dirty = true;
+  lru_.push_back(block);
+  e.lru_pos = std::prev(lru_.end());
+  cache_.emplace(block, std::move(e));
+  return Status::OK();
+}
+
+Status UfsBlockCache::Flush() {
+  if (fd_ < 0) return Status::OK();
+  std::vector<uint32_t> dirty;
+  for (auto& [block, e] : cache_) {
+    if (e.dirty) dirty.push_back(block);
+  }
+  std::sort(dirty.begin(), dirty.end());  // clustered writeback
+  for (uint32_t block : dirty) {
+    Entry& e = cache_[block];
+    PGLO_RETURN_IF_ERROR(WriteBacking(block, e.data.data()));
+    e.dirty = false;
+  }
+  if (::fdatasync(fd_) != 0) return Status::IOError("ufs fsync failed");
+  return Status::OK();
+}
+
+void UfsBlockCache::CrashDiscard() {
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace pglo

@@ -1,0 +1,79 @@
+#ifndef PGLO_UFS_BLOCK_CACHE_H_
+#define PGLO_UFS_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "device/cpu_cost.h"
+#include "device/device_model.h"
+#include "storage/page.h"
+
+namespace pglo {
+
+/// Write-back LRU block cache over a host backing file: the "operating
+/// system buffer cache" of the simulated UNIX file system. Device-model
+/// charges happen only on cache misses and write-backs, exactly as a real
+/// buffer cache hides disk traffic.
+class UfsBlockCache {
+ public:
+  /// `device` may be null (no time charging).
+  UfsBlockCache(DeviceModel* device, size_t capacity_blocks);
+  ~UfsBlockCache();
+
+  /// Opens (creating if necessary) the backing host file.
+  Status Open(const std::string& path);
+
+  /// Charges `instructions` of simulated CPU per block access — the OS
+  /// buffer cache's lookup/copy cost, mirroring BufferPool::SetAccessCost
+  /// so the native-file-system baseline pays comparable CPU per hop.
+  void SetAccessCost(CpuCostModel* cpu, uint64_t instructions) {
+    cpu_ = cpu;
+    access_instructions_ = instructions;
+  }
+
+  /// Copies block `block` into `buf`, reading through on a miss.
+  Status Read(uint32_t block, uint8_t* buf);
+
+  /// Installs new contents for `block` (dirty in cache; written back on
+  /// eviction or Flush). Extends the backing file as needed.
+  Status Write(uint32_t block, const uint8_t* buf);
+
+  /// Writes back all dirty blocks and fsyncs the backing file.
+  Status Flush();
+
+  /// Drops the entire cache, losing dirty blocks (crash simulation).
+  void CrashDiscard();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_pos;
+  };
+
+  Status ReadBacking(uint32_t block, uint8_t* buf);
+  Status WriteBacking(uint32_t block, const uint8_t* buf);
+  Status EvictIfFull();
+  void Touch(uint32_t block, Entry& e);
+
+  DeviceModel* device_;
+  CpuCostModel* cpu_ = nullptr;
+  uint64_t access_instructions_ = 0;
+  size_t capacity_;
+  int fd_ = -1;
+  std::unordered_map<uint32_t, Entry> cache_;
+  std::list<uint32_t> lru_;  // front = least recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_UFS_BLOCK_CACHE_H_

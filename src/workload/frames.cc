@@ -1,0 +1,52 @@
+#include "workload/frames.h"
+
+#include "compress/compressor.h"
+
+namespace pglo {
+
+Bytes MakeFrame(uint64_t seed, uint64_t index, const FrameParams& params) {
+  // Mix the frame index into the seed so each frame is distinct yet
+  // reproducible.
+  Random rng(seed * 0x9e3779b97f4a7c15ull + index + 1);
+  Bytes frame;
+  frame.reserve(params.frame_size);
+  while (frame.size() < params.frame_size) {
+    double dice = rng.NextDouble();
+    size_t remaining = params.frame_size - frame.size();
+    if (dice < params.run_fraction) {
+      size_t run = std::min<size_t>(
+          rng.Range(params.min_run, params.max_run), remaining);
+      frame.insert(frame.end(), run, static_cast<uint8_t>(rng.Next()));
+    } else if (dice < params.run_fraction + params.copy_fraction &&
+               frame.size() > params.max_copy) {
+      size_t len = std::min<size_t>(
+          rng.Range(params.min_copy, params.max_copy), remaining);
+      size_t src = rng.Uniform(frame.size() - len);
+      // Self-copy of an earlier region: LZSS finds it, RLE cannot.
+      for (size_t i = 0; i < len; ++i) frame.push_back(frame[src + i]);
+    } else {
+      size_t lit = std::min<size_t>(
+          rng.Range(params.min_noise, params.max_noise), remaining);
+      for (size_t i = 0; i < lit; ++i) {
+        frame.push_back(static_cast<uint8_t>(rng.Next()));
+      }
+    }
+  }
+  return frame;
+}
+
+double MeasureReduction(const Compressor& codec, uint64_t seed, int n,
+                        const FrameParams& params) {
+  uint64_t raw = 0, compressed = 0;
+  for (int i = 0; i < n; ++i) {
+    Bytes frame = MakeFrame(seed, i, params);
+    Bytes out;
+    Status s = codec.Compress(Slice(frame), &out);
+    if (!s.ok()) return 0.0;
+    raw += frame.size();
+    compressed += std::min(out.size(), frame.size());
+  }
+  return 1.0 - static_cast<double>(compressed) / static_cast<double>(raw);
+}
+
+}  // namespace pglo

@@ -1,0 +1,52 @@
+#ifndef PGLO_WORKLOAD_FRAMES_H_
+#define PGLO_WORKLOAD_FRAMES_H_
+
+#include "common/bytes.h"
+#include "common/random.h"
+
+namespace pglo {
+
+/// Synthetic video-frame workload for the §9 benchmark.
+///
+/// The paper's 51.2 MB object is "logically considered a group of 12,500
+/// frames, each of size 4096 bytes", and its two compression algorithms
+/// achieve ~30 % (8 instr/byte) and ~50 % (20 instr/byte) on that data. We
+/// do not have the authors' frames, so this generator synthesizes frames
+/// whose redundancy structure lets the real codecs land at the same marks:
+///   * run-shaped redundancy (flat image regions) — both RLE and LZSS
+///     remove it;
+///   * back-reference redundancy (repeated textures) — only LZSS removes
+///     it;
+///   * incompressible noise.
+/// The default mix is calibrated so RleCompressor reduces a frame by ≈30 %
+/// and LzssCompressor by ≈50 %, reproducing the paper's codec pair.
+struct FrameParams {
+  size_t frame_size = 4096;
+  // Calibrated (see tests/compress_test.cc) so that over the benchmark
+  // object RleCompressor reduces ≈30 % and LzssCompressor ≈53 %, the
+  // paper's two algorithms. The strong codec sits a few points past 50 %
+  // deliberately: two compressed 8000-byte chunks fit one 8 KB page only
+  // when each shrinks below ~49.2 % of raw (page/tuple headers eat the
+  // rest), and Figure 1's "50 % halves the storage" requires nearly every
+  // chunk to pair — so the paper's 50 % algorithm must also have cleared
+  // that bar with margin on most chunks.
+  double run_fraction = 0.15;   ///< probability mass of flat runs
+  double copy_fraction = 0.32;  ///< probability mass of repeated texture
+  uint32_t min_run = 16, max_run = 64;
+  uint32_t min_copy = 24, max_copy = 64;
+  uint32_t min_noise = 8, max_noise = 24;
+};
+
+/// Deterministically generates frame `index` of the benchmark object.
+/// Frames differ (so replaced frames are distinguishable) but share the
+/// same statistics.
+Bytes MakeFrame(uint64_t seed, uint64_t index, const FrameParams& params);
+
+/// Measured reduction (1 - compressed/raw) of a codec over `n` frames.
+class Compressor;
+double MeasureReduction(const Compressor& codec, uint64_t seed, int n,
+                        const FrameParams& params);
+
+}  // namespace pglo
+
+#endif  // PGLO_WORKLOAD_FRAMES_H_

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "btree/btree.h"
+#include "common/random.h"
+#include "smgr/mm_smgr.h"
+#include "tests/test_util.h"
+
+namespace pglo {
+namespace {
+
+class BtreeTest : public ::testing::Test {
+ protected:
+  BtreeTest() : pool_(&smgrs_, 64) {
+    EXPECT_OK(smgrs_.Register(0, std::make_unique<MainMemorySmgr>(nullptr)));
+    EXPECT_OK(Btree::Create(&pool_, file_));
+    tree_ = std::make_unique<Btree>(&pool_, file_);
+  }
+
+  SmgrRegistry smgrs_;
+  BufferPool pool_;
+  RelFileId file_{0, 1};
+  std::unique_ptr<Btree> tree_;
+};
+
+TEST_F(BtreeTest, EmptyTree) {
+  ASSERT_OK_AND_ASSIGN(auto values, tree_->Lookup(5));
+  EXPECT_TRUE(values.empty());
+  ASSERT_OK_AND_ASSIGN(uint64_t count, tree_->CountEntries());
+  EXPECT_EQ(count, 0u);
+  ASSERT_OK_AND_ASSIGN(uint32_t height, tree_->Height());
+  EXPECT_EQ(height, 1u);
+}
+
+TEST_F(BtreeTest, InsertLookup) {
+  ASSERT_OK(tree_->Insert(10, 100ull));
+  ASSERT_OK(tree_->Insert(20, 200ull));
+  ASSERT_OK_AND_ASSIGN(auto values, tree_->Lookup(10));
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], 100u);
+  ASSERT_OK_AND_ASSIGN(values, tree_->Lookup(15));
+  EXPECT_TRUE(values.empty());
+}
+
+TEST_F(BtreeTest, DuplicateKeysAllowed) {
+  ASSERT_OK(tree_->Insert(7, 1ull));
+  ASSERT_OK(tree_->Insert(7, 2ull));
+  ASSERT_OK(tree_->Insert(7, 3ull));
+  ASSERT_OK_AND_ASSIGN(auto values, tree_->Lookup(7));
+  EXPECT_EQ(values.size(), 3u);
+  // Exact duplicate (key, value) rejected.
+  EXPECT_TRUE(tree_->Insert(7, 2ull).IsAlreadyExists());
+}
+
+TEST_F(BtreeTest, DeleteExactEntry) {
+  ASSERT_OK(tree_->Insert(7, 1ull));
+  ASSERT_OK(tree_->Insert(7, 2ull));
+  ASSERT_OK(tree_->Delete(7, 1ull));
+  ASSERT_OK_AND_ASSIGN(auto values, tree_->Lookup(7));
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], 2u);
+  EXPECT_TRUE(tree_->Delete(7, 1ull).IsNotFound());
+  EXPECT_TRUE(tree_->Delete(99, 1ull).IsNotFound());
+}
+
+TEST_F(BtreeTest, SplitsGrowTree) {
+  // A leaf holds 510 entries; 2000 forces leaf and root splits.
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_OK(tree_->Insert(i, i * 10));
+  }
+  ASSERT_OK_AND_ASSIGN(uint32_t height, tree_->Height());
+  EXPECT_GE(height, 2u);
+  ASSERT_OK_AND_ASSIGN(uint64_t count, tree_->CountEntries());
+  EXPECT_EQ(count, 2000u);
+  for (uint64_t i : {0ull, 1ull, 999ull, 1500ull, 1999ull}) {
+    ASSERT_OK_AND_ASSIGN(auto values, tree_->Lookup(i));
+    ASSERT_EQ(values.size(), 1u) << i;
+    EXPECT_EQ(values[0], i * 10);
+  }
+}
+
+TEST_F(BtreeTest, ReverseInsertionOrder) {
+  for (uint64_t i = 3000; i > 0; --i) {
+    ASSERT_OK(tree_->Insert(i, i));
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t count, tree_->CountEntries());
+  EXPECT_EQ(count, 3000u);
+  ASSERT_OK_AND_ASSIGN(Btree::Iterator it, tree_->SeekFirst());
+  uint64_t prev = 0;
+  while (it.valid()) {
+    EXPECT_GT(it.key(), prev);
+    prev = it.key();
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(prev, 3000u);
+}
+
+TEST_F(BtreeTest, IteratorOrderedAndComplete) {
+  Random rng(3);
+  std::set<uint64_t> keys;
+  while (keys.size() < 1500) keys.insert(rng.Uniform(1'000'000));
+  for (uint64_t k : keys) ASSERT_OK(tree_->Insert(k, k + 1));
+  ASSERT_OK_AND_ASSIGN(Btree::Iterator it, tree_->SeekFirst());
+  auto expect = keys.begin();
+  while (it.valid()) {
+    ASSERT_NE(expect, keys.end());
+    EXPECT_EQ(it.key(), *expect);
+    EXPECT_EQ(it.value(), *expect + 1);
+    ++expect;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expect, keys.end());
+}
+
+TEST_F(BtreeTest, SeekFindsLowerBound) {
+  for (uint64_t k : {10ull, 20ull, 30ull, 40ull}) {
+    ASSERT_OK(tree_->Insert(k, k));
+  }
+  ASSERT_OK_AND_ASSIGN(Btree::Iterator it, tree_->Seek(25));
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(it.key(), 30u);
+  ASSERT_OK_AND_ASSIGN(it, tree_->Seek(30));
+  EXPECT_EQ(it.key(), 30u);
+  ASSERT_OK_AND_ASSIGN(it, tree_->Seek(100));
+  EXPECT_FALSE(it.valid());
+}
+
+TEST_F(BtreeTest, TidPackingRoundTrip) {
+  Tid tid{12345, 17};
+  EXPECT_EQ(Btree::UnpackTid(Btree::PackTid(tid)), tid);
+  ASSERT_OK(tree_->Insert(1, tid));
+  ASSERT_OK_AND_ASSIGN(Btree::Iterator it, tree_->Seek(1));
+  EXPECT_EQ(it.tid(), tid);
+}
+
+TEST_F(BtreeTest, ManyDuplicatesAcrossLeaves) {
+  // Force one key's duplicates to straddle leaf boundaries.
+  for (uint64_t v = 0; v < 1200; ++v) {
+    ASSERT_OK(tree_->Insert(42, v));
+  }
+  ASSERT_OK_AND_ASSIGN(auto values, tree_->Lookup(42));
+  ASSERT_EQ(values.size(), 1200u);
+  for (uint64_t v = 0; v < 1200; ++v) EXPECT_EQ(values[v], v);
+  // Delete a straddling entry.
+  ASSERT_OK(tree_->Delete(42, 600));
+  ASSERT_OK_AND_ASSIGN(values, tree_->Lookup(42));
+  EXPECT_EQ(values.size(), 1199u);
+}
+
+// Oracle comparison against std::multimap under random operations.
+class BtreeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BtreeFuzz, MatchesMultimapOracle) {
+  SmgrRegistry smgrs;
+  ASSERT_OK(smgrs.Register(0, std::make_unique<MainMemorySmgr>(nullptr)));
+  BufferPool pool(&smgrs, 128);
+  RelFileId file{0, 1};
+  ASSERT_OK(Btree::Create(&pool, file));
+  Btree tree(&pool, file);
+
+  Random rng(GetParam());
+  std::multimap<uint64_t, uint64_t> oracle;
+  std::set<std::pair<uint64_t, uint64_t>> entries;
+
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t key = rng.Uniform(500);
+    if (rng.OneInHundred(70)) {
+      uint64_t value = rng.Uniform(1'000'000);
+      Status s = tree.Insert(key, value);
+      if (entries.count({key, value})) {
+        EXPECT_TRUE(s.IsAlreadyExists());
+      } else {
+        ASSERT_OK(s);
+        oracle.emplace(key, value);
+        entries.insert({key, value});
+      }
+    } else if (!entries.empty()) {
+      auto it = entries.begin();
+      std::advance(it, rng.Uniform(entries.size()));
+      ASSERT_OK(tree.Delete(it->first, it->second));
+      auto range = oracle.equal_range(it->first);
+      for (auto o = range.first; o != range.second; ++o) {
+        if (o->second == it->second) {
+          oracle.erase(o);
+          break;
+        }
+      }
+      entries.erase(it);
+    }
+    if (step % 500 == 0) {
+      // Spot-check a few keys.
+      for (int probe = 0; probe < 5; ++probe) {
+        uint64_t k = rng.Uniform(500);
+        ASSERT_OK_AND_ASSIGN(auto values, tree.Lookup(k));
+        EXPECT_EQ(values.size(), oracle.count(k)) << "key " << k;
+      }
+    }
+  }
+  // Full scan must equal the oracle.
+  ASSERT_OK_AND_ASSIGN(Btree::Iterator it, tree.SeekFirst());
+  auto expect = entries.begin();
+  while (it.valid()) {
+    ASSERT_NE(expect, entries.end());
+    EXPECT_EQ(it.key(), expect->first);
+    EXPECT_EQ(it.value(), expect->second);
+    ++expect;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expect, entries.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeFuzz,
+                         ::testing::Values(13, 31, 77, 131, 317));
+
+}  // namespace
+}  // namespace pglo

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "compress/codec_registry.h"
+#include "compress/lzss.h"
+#include "compress/rle.h"
+#include "workload/frames.h"
+#include "tests/test_util.h"
+
+namespace pglo {
+namespace {
+
+class CodecRoundTrip : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Compressor> Make() const {
+    if (std::string(GetParam()) == "rle") {
+      return std::make_unique<RleCompressor>();
+    }
+    return std::make_unique<LzssCompressor>();
+  }
+
+  void ExpectRoundTrip(const Bytes& input) {
+    auto codec = Make();
+    Bytes compressed;
+    ASSERT_OK(codec->Compress(Slice(input), &compressed));
+    Bytes output;
+    ASSERT_OK(codec->Decompress(Slice(compressed), input.size(), &output));
+    EXPECT_EQ(output, input);
+  }
+};
+
+TEST_P(CodecRoundTrip, Empty) { ExpectRoundTrip({}); }
+
+TEST_P(CodecRoundTrip, SingleByte) { ExpectRoundTrip({0x42}); }
+
+TEST_P(CodecRoundTrip, AllSameByte) { ExpectRoundTrip(Bytes(10'000, 0xAA)); }
+
+TEST_P(CodecRoundTrip, AllZeros) { ExpectRoundTrip(Bytes(8192, 0)); }
+
+TEST_P(CodecRoundTrip, IncompressibleNoise) {
+  Random rng(99);
+  ExpectRoundTrip(rng.RandomBytes(8192));
+}
+
+TEST_P(CodecRoundTrip, AlternatingBytes) {
+  Bytes input(5000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = (i % 2) ? 0xFF : 0x00;
+  }
+  ExpectRoundTrip(input);
+}
+
+TEST_P(CodecRoundTrip, ShortRunsBelowThreshold) {
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) {
+    input.insert(input.end(), 3, static_cast<uint8_t>(i));
+  }
+  ExpectRoundTrip(input);
+}
+
+TEST_P(CodecRoundTrip, TextLikeData) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "the quick brown fox jumps over the lazy dog ";
+  }
+  ExpectRoundTrip(Bytes(text.begin(), text.end()));
+}
+
+TEST_P(CodecRoundTrip, RandomSizesFuzz) {
+  Random rng(7);
+  for (int i = 0; i < 50; ++i) {
+    size_t len = rng.Uniform(20'000);
+    double redundancy = rng.NextDouble();
+    Bytes input;
+    input.reserve(len);
+    while (input.size() < len) {
+      if (rng.NextDouble() < redundancy) {
+        size_t run = std::min<size_t>(rng.Range(1, 100), len - input.size());
+        input.insert(input.end(), run, static_cast<uint8_t>(rng.Next()));
+      } else {
+        input.push_back(static_cast<uint8_t>(rng.Next()));
+      }
+    }
+    ExpectRoundTrip(input);
+  }
+}
+
+TEST_P(CodecRoundTrip, DecompressRejectsGarbage) {
+  auto codec = Make();
+  Random rng(5);
+  Bytes garbage = rng.RandomBytes(100);
+  Bytes output;
+  // Either an explicit error or a size mismatch — never silent success
+  // with wrong content length.
+  Status s = codec->Decompress(Slice(garbage), 1'000'000, &output);
+  EXPECT_FALSE(s.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, CodecRoundTrip,
+                         ::testing::Values("rle", "lzss"));
+
+TEST(RleTest, CompressesRuns) {
+  RleCompressor rle;
+  Bytes input(8000, 0x11);
+  Bytes compressed;
+  ASSERT_OK(rle.Compress(Slice(input), &compressed));
+  EXPECT_LT(compressed.size(), input.size() / 10);
+}
+
+TEST(LzssTest, CompressesRepeatedPatterns) {
+  LzssCompressor lzss;
+  std::string pattern = "abcdefgh12345678";
+  Bytes input;
+  for (int i = 0; i < 500; ++i) {
+    input.insert(input.end(), pattern.begin(), pattern.end());
+  }
+  Bytes compressed;
+  ASSERT_OK(lzss.Compress(Slice(input), &compressed));
+  EXPECT_LT(compressed.size(), input.size() / 3);
+}
+
+TEST(LzssTest, StrongerThanRleOnStructuredData) {
+  RleCompressor rle;
+  LzssCompressor lzss;
+  uint64_t rle_total = 0, lzss_total = 0;
+  for (int i = 0; i < 20; ++i) {
+    Bytes frame = MakeFrame(17, i, FrameParams{});
+    Bytes rle_out, lzss_out;
+    ASSERT_OK(rle.Compress(Slice(frame), &rle_out));
+    ASSERT_OK(lzss.Compress(Slice(frame), &lzss_out));
+    rle_total += rle_out.size();
+    lzss_total += lzss_out.size();
+  }
+  EXPECT_LT(lzss_total, rle_total);
+}
+
+TEST(CodecCostModel, PaperInstructionRates) {
+  // §9.2: the weak codec costs ~8 instr/byte, the strong ~20 instr/byte.
+  RleCompressor rle;
+  LzssCompressor lzss;
+  EXPECT_DOUBLE_EQ(rle.compress_instr_per_byte(), 8.0);
+  EXPECT_DOUBLE_EQ(lzss.compress_instr_per_byte(), 20.0);
+  EXPECT_LT(rle.decompress_instr_per_byte(), rle.compress_instr_per_byte());
+}
+
+TEST(FrameWorkloadTest, RatiosMatchPaperTargets) {
+  // §9.2: "one achieved 30% compression on 4096-byte frames ... A second
+  // algorithm achieved 50% compression." The default workload must let the
+  // real codecs land near those marks.
+  RleCompressor rle;
+  LzssCompressor lzss;
+  double rle_reduction = MeasureReduction(rle, 123, 100, FrameParams{});
+  double lzss_reduction = MeasureReduction(lzss, 123, 100, FrameParams{});
+  EXPECT_NEAR(rle_reduction, 0.30, 0.03);
+  // Past 50% by design — see the FrameParams comment about Figure 1's
+  // two-chunks-per-page pairing threshold.
+  EXPECT_GT(lzss_reduction, 0.50);
+  EXPECT_LT(lzss_reduction, 0.64);
+}
+
+TEST(FrameWorkloadTest, FramesAreDeterministicAndDistinct) {
+  Bytes a = MakeFrame(1, 0, FrameParams{});
+  Bytes b = MakeFrame(1, 0, FrameParams{});
+  Bytes c = MakeFrame(1, 1, FrameParams{});
+  Bytes d = MakeFrame(2, 0, FrameParams{});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(a.size(), 4096u);
+}
+
+TEST(CodecRegistryTest, BuiltinsPresent) {
+  CodecRegistry registry;
+  ASSERT_OK_AND_ASSIGN(const Compressor* rle, registry.Get("rle"));
+  EXPECT_EQ(rle->name(), "rle");
+  ASSERT_OK_AND_ASSIGN(const Compressor* lzss, registry.Get("lzss"));
+  EXPECT_EQ(lzss->name(), "lzss");
+  ASSERT_OK_AND_ASSIGN(const Compressor* none, registry.Get("none"));
+  EXPECT_EQ(none, nullptr);
+  ASSERT_OK_AND_ASSIGN(none, registry.Get(""));
+  EXPECT_EQ(none, nullptr);
+  EXPECT_TRUE(registry.Get("zstd").status().IsNotFound());
+}
+
+TEST(CodecRegistryTest, UserDefinedCodec) {
+  // §3: "allowing an arbitrary number of data types for large objects...
+  // type-specific conversion routines." Register a custom codec.
+  class XorCodec : public Compressor {
+   public:
+    std::string name() const override { return "xor"; }
+    Status Compress(Slice in, Bytes* out) const override {
+      for (size_t i = 0; i < in.size(); ++i) out->push_back(in[i] ^ 0x5A);
+      return Status::OK();
+    }
+    Status Decompress(Slice in, size_t raw, Bytes* out) const override {
+      if (in.size() != raw) return Status::Corruption("size mismatch");
+      for (size_t i = 0; i < in.size(); ++i) out->push_back(in[i] ^ 0x5A);
+      return Status::OK();
+    }
+    double compress_instr_per_byte() const override { return 1.0; }
+    double decompress_instr_per_byte() const override { return 1.0; }
+  };
+  CodecRegistry registry;
+  ASSERT_OK(registry.Register(std::make_unique<XorCodec>()));
+  ASSERT_OK_AND_ASSIGN(const Compressor* codec, registry.Get("xor"));
+  Bytes out;
+  ASSERT_OK(codec->Compress(Slice("hi"), &out));
+  Bytes back;
+  ASSERT_OK(codec->Decompress(Slice(out), 2, &back));
+  EXPECT_EQ(Slice(back).ToString(), "hi");
+  EXPECT_TRUE(registry.Register(std::make_unique<XorCodec>())
+                  .IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace pglo

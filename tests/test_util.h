@@ -1,0 +1,65 @@
+#ifndef PGLO_TESTS_TEST_UTIL_H_
+#define PGLO_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace pglo {
+namespace testing {
+
+/// Creates a unique scratch directory under /tmp and removes it (and its
+/// contents) on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/pglo_test_XXXXXX";
+    char* dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    path_ = dir != nullptr ? dir : "/tmp/pglo_test_fallback";
+  }
+  ~TempDir() {
+    if (!path_.empty() && path_.rfind("/tmp/", 0) == 0) {
+      std::string cmd = "rm -rf '" + path_ + "'";
+      int rc = std::system(cmd.c_str());
+      (void)rc;
+    }
+  }
+  const std::string& path() const { return path_; }
+  std::string Sub(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace testing
+}  // namespace pglo
+
+/// gtest glue for pglo::Status / pglo::Result.
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    auto _s = (expr);                                          \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();       \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    auto _s = (expr);                                          \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();       \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                       \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                   \
+      PGLO_INTERNAL_CONCAT(_assert_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)             \
+  auto tmp = (rexpr);                                          \
+  ASSERT_TRUE(tmp.ok()) << "status: " << tmp.status().ToString(); \
+  lhs = std::move(tmp).value()
+
+#endif  // PGLO_TESTS_TEST_UTIL_H_

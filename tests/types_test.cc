@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "query/session.h"
+#include "tests/test_util.h"
+#include "types/builtin_types.h"
+#include "types/fmgr.h"
+#include "types/type_registry.h"
+
+namespace pglo {
+namespace {
+
+using pglo::testing::TempDir;
+
+TEST(ParseHelpersTest, Int64) {
+  int64_t v;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("4x", &v));
+  EXPECT_FALSE(ParseInt64("999999999999999999999", &v));
+}
+
+TEST(ParseHelpersTest, Double) {
+  double v;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+class TypeRegistryTest : public ::testing::Test {
+ protected:
+  TypeRegistryTest() {
+    EXPECT_OK(oids_.Open(dir_.Sub("oids")));
+  }
+  TempDir dir_;
+  OidAllocator oids_;
+};
+
+TEST_F(TypeRegistryTest, BuiltinsPreRegistered) {
+  TypeRegistry types(&oids_);
+  for (const char* name : {"bool", "int4", "float8", "text", "oid", "rect"}) {
+    ASSERT_OK_AND_ASSIGN(const TypeRegistry::TypeInfo* info,
+                         types.ByName(name));
+    EXPECT_EQ(info->name, name);
+    EXPECT_FALSE(info->is_large);
+  }
+  EXPECT_TRUE(types.ByName("no_such_type").status().IsNotFound());
+}
+
+TEST_F(TypeRegistryTest, InputOutputRoundTrip) {
+  TypeRegistry types(&oids_);
+  struct Case {
+    const char* type;
+    const char* text;
+  };
+  for (const Case& c : {Case{"bool", "t"}, Case{"int4", "-123"},
+                        Case{"text", "hello world"}, Case{"oid", "4242"},
+                        Case{"rect", "1,2,30,40"}}) {
+    ASSERT_OK_AND_ASSIGN(const TypeRegistry::TypeInfo* info,
+                         types.ByName(c.type));
+    ASSERT_OK_AND_ASSIGN(Datum value, info->input(info->oid, c.text));
+    ASSERT_OK_AND_ASSIGN(std::string rendered, info->output(value));
+    EXPECT_EQ(rendered, c.text) << c.type;
+  }
+}
+
+TEST_F(TypeRegistryTest, RectParsing) {
+  TypeRegistry types(&oids_);
+  ASSERT_OK_AND_ASSIGN(const TypeRegistry::TypeInfo* rect,
+                       types.ByName("rect"));
+  ASSERT_OK_AND_ASSIGN(Datum d, rect->input(rect->oid, "0,0,20,20"));
+  EXPECT_EQ(d.as_rect(), (RectValue{0, 0, 20, 20}));
+  EXPECT_FALSE(rect->input(rect->oid, "1,2,3").ok());
+  EXPECT_FALSE(rect->input(rect->oid, "a,b,c,d").ok());
+}
+
+TEST_F(TypeRegistryTest, UserTypeRegistration) {
+  TypeRegistry types(&oids_);
+  ASSERT_OK_AND_ASSIGN(
+      Oid oid,
+      types.RegisterType(
+          "celsius",
+          [](Oid t, std::string_view text) -> Result<Datum> {
+            double v;
+            if (!ParseDouble(text, &v)) {
+              return Status::InvalidArgument("bad celsius");
+            }
+            (void)t;
+            return Datum::Float8(v);
+          },
+          [](const Datum& d) -> Result<std::string> {
+            return std::to_string(d.as_float8()) + "C";
+          }));
+  EXPECT_GE(oid, OidAllocator::kFirstUserOid);
+  ASSERT_OK_AND_ASSIGN(const TypeRegistry::TypeInfo* info,
+                       types.ByOid(oid));
+  ASSERT_OK_AND_ASSIGN(Datum v, info->input(oid, "21.5"));
+  EXPECT_DOUBLE_EQ(v.as_float8(), 21.5);
+  EXPECT_TRUE(types.RegisterType("celsius", info->input, info->output)
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST_F(TypeRegistryTest, LargeTypeCarriesSpec) {
+  TypeRegistry types(&oids_);
+  LoSpec spec;
+  spec.kind = StorageKind::kVSegment;
+  spec.codec = "lzss";
+  ASSERT_OK_AND_ASSIGN(Oid oid, types.RegisterLargeType("image", spec));
+  ASSERT_OK_AND_ASSIGN(const TypeRegistry::TypeInfo* info, types.ByOid(oid));
+  EXPECT_TRUE(info->is_large);
+  EXPECT_EQ(info->lo_spec.kind, StorageKind::kVSegment);
+  EXPECT_EQ(info->lo_spec.codec, "lzss");
+  // Large type I/O: external form is the large object name.
+  ASSERT_OK_AND_ASSIGN(Datum value, info->input(oid, "777"));
+  EXPECT_TRUE(value.is_lo());
+  EXPECT_EQ(value.as_lo().oid, 777u);
+  ASSERT_OK_AND_ASSIGN(std::string rendered, info->output(value));
+  EXPECT_EQ(rendered, "777");
+  EXPECT_FALSE(info->input(oid, "not-an-oid").ok());
+}
+
+TEST(DatumTest, TypeTagsAndAccessors) {
+  EXPECT_TRUE(Datum().is_null());
+  EXPECT_EQ(Datum::Int4(5).type(), type_oids::kInt4);
+  EXPECT_EQ(Datum::Text("x").as_text(), "x");
+  EXPECT_TRUE(Datum::Bool(true).as_bool());
+  EXPECT_EQ(Datum::LargeObject(900, LoRef{3}).type(), 900u);
+  ASSERT_OK_AND_ASSIGN(double d, Datum::Int4(3).ToDouble());
+  EXPECT_DOUBLE_EQ(d, 3.0);
+  EXPECT_FALSE(Datum::Text("x").ToDouble().ok());
+}
+
+TEST(FunctionRegistryTest, ResolveByArityAndTypes) {
+  FunctionRegistry fns;
+  auto fn = [](FunctionContext&, const std::vector<Datum>&) {
+    return Result<Datum>(Datum::Int4(1));
+  };
+  ASSERT_OK(fns.Register({"f", {type_oids::kInt4}, type_oids::kInt4,
+                          false, fn}));
+  ASSERT_OK(fns.Register({"f", {type_oids::kText}, type_oids::kInt4,
+                          false, fn}));
+  ASSERT_OK(fns.Register(
+      {"f", {type_oids::kInt4, type_oids::kInt4}, type_oids::kInt4, false,
+       fn}));
+  ASSERT_OK_AND_ASSIGN(const FunctionRegistry::FunctionInfo* exact,
+                       fns.Resolve("f", {type_oids::kText}));
+  EXPECT_EQ(exact->arg_types[0], type_oids::kText);
+  ASSERT_OK_AND_ASSIGN(exact,
+                       fns.Resolve("f", {type_oids::kInt4, type_oids::kInt4}));
+  EXPECT_EQ(exact->arg_types.size(), 2u);
+  EXPECT_TRUE(fns.Resolve("f", {}).status().IsNotFound());
+  EXPECT_TRUE(fns.Resolve("g", {type_oids::kInt4}).status().IsNotFound());
+}
+
+TEST(FunctionRegistryTest, WildcardFallback) {
+  FunctionRegistry fns;
+  auto fn = [](FunctionContext&, const std::vector<Datum>&) {
+    return Result<Datum>(Datum::Int4(1));
+  };
+  ASSERT_OK(fns.Register({"any1", {kInvalidOid}, type_oids::kInt4, false,
+                          fn}));
+  ASSERT_OK_AND_ASSIGN(const FunctionRegistry::FunctionInfo* info,
+                       fns.Resolve("any1", {type_oids::kRect}));
+  EXPECT_EQ(info->name, "any1");
+}
+
+TEST(FunctionRegistryTest, DuplicateSignatureRejected) {
+  FunctionRegistry fns;
+  auto fn = [](FunctionContext&, const std::vector<Datum>&) {
+    return Result<Datum>(Datum::Int4(1));
+  };
+  ASSERT_OK(fns.Register({"dup", {type_oids::kInt4}, type_oids::kInt4,
+                          false, fn}));
+  EXPECT_TRUE(fns.Register({"dup", {type_oids::kInt4}, type_oids::kInt4,
+                            false, fn})
+                  .IsAlreadyExists());
+}
+
+TEST(FunctionRegistryTest, OperatorsResolveThroughFunctions) {
+  FunctionRegistry fns;
+  auto overlaps = [](FunctionContext&,
+                     const std::vector<Datum>& args) -> Result<Datum> {
+    const RectValue& a = args[0].as_rect();
+    const RectValue& b = args[1].as_rect();
+    bool overlap = a.x < b.x + b.w && b.x < a.x + a.w && a.y < b.y + b.h &&
+                   b.y < a.y + a.h;
+    return Datum::Bool(overlap);
+  };
+  ASSERT_OK(fns.Register({"rect_overlap",
+                          {type_oids::kRect, type_oids::kRect},
+                          type_oids::kBool, false, overlaps}));
+  ASSERT_OK(fns.RegisterOperator("&&", type_oids::kRect, type_oids::kRect,
+                                 "rect_overlap"));
+  ASSERT_OK_AND_ASSIGN(
+      const FunctionRegistry::FunctionInfo* op,
+      fns.ResolveOperator("&&", type_oids::kRect, type_oids::kRect));
+  FunctionContext ctx;
+  ASSERT_OK_AND_ASSIGN(
+      Datum result,
+      op->fn(ctx, {Datum::Rect({0, 0, 10, 10}), Datum::Rect({5, 5, 2, 2})}));
+  EXPECT_TRUE(result.as_bool());
+  EXPECT_TRUE(fns.ResolveOperator("||", type_oids::kRect, type_oids::kRect)
+                  .status()
+                  .IsNotFound());
+}
+
+// User-defined operator reachable from the query language — "support
+// user-defined operators and functions" (abstract).
+TEST(UserOperatorTest, DispatchedFromQueries) {
+  TempDir dir;
+  Database db;
+  DatabaseOptions options;
+  options.dir = dir.Sub("db");
+  options.charge_devices = false;
+  ASSERT_OK(db.Open(options));
+  query::Session session(&db);
+  ASSERT_OK(session.functions().Register(
+      {"text_concat_sep", {type_oids::kText, type_oids::kText},
+       type_oids::kText, false,
+       [](FunctionContext&, const std::vector<Datum>& args) -> Result<Datum> {
+         return Datum::Text(args[0].as_text() + "|" + args[1].as_text());
+       }}));
+  ASSERT_OK(session.functions().RegisterOperator(
+      "*", type_oids::kText, type_oids::kText, "text_concat_sep"));
+  ASSERT_OK_AND_ASSIGN(query::QueryResult result,
+                       session.Run("retrieve (\"a\" * \"b\")"));
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0][0].as_text(), "a|b");
+}
+
+}  // namespace
+}  // namespace pglo
