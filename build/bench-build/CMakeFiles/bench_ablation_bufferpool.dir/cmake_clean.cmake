@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bufferpool"
+  "../bench/bench_ablation_bufferpool.pdb"
+  "CMakeFiles/bench_ablation_bufferpool.dir/bench_ablation_bufferpool.cc.o"
+  "CMakeFiles/bench_ablation_bufferpool.dir/bench_ablation_bufferpool.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

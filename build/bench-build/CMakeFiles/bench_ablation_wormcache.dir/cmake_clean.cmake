@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wormcache"
+  "../bench/bench_ablation_wormcache.pdb"
+  "CMakeFiles/bench_ablation_wormcache.dir/bench_ablation_wormcache.cc.o"
+  "CMakeFiles/bench_ablation_wormcache.dir/bench_ablation_wormcache.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wormcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

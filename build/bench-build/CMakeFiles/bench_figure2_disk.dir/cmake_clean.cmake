@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure2_disk"
+  "../bench/bench_figure2_disk.pdb"
+  "CMakeFiles/bench_figure2_disk.dir/bench_figure2_disk.cc.o"
+  "CMakeFiles/bench_figure2_disk.dir/bench_figure2_disk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure2_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

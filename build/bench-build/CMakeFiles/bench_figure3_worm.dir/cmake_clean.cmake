@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure3_worm"
+  "../bench/bench_figure3_worm.pdb"
+  "CMakeFiles/bench_figure3_worm.dir/bench_figure3_worm.cc.o"
+  "CMakeFiles/bench_figure3_worm.dir/bench_figure3_worm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure3_worm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_inversion_vs_native"
+  "../bench/bench_inversion_vs_native.pdb"
+  "CMakeFiles/bench_inversion_vs_native.dir/bench_inversion_vs_native.cc.o"
+  "CMakeFiles/bench_inversion_vs_native.dir/bench_inversion_vs_native.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inversion_vs_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

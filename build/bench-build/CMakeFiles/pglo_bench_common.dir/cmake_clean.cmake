@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pglo_bench_common.dir/harness.cc.o"
+  "CMakeFiles/pglo_bench_common.dir/harness.cc.o.d"
+  "libpglo_bench_common.a"
+  "libpglo_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pglo_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpglo_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inversion_shell.dir/inversion_shell.cpp.o"
+  "CMakeFiles/inversion_shell.dir/inversion_shell.cpp.o.d"
+  "inversion_shell"
+  "inversion_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inversion_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

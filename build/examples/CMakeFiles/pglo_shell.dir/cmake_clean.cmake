@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pglo_shell.dir/pglo_shell.cpp.o"
+  "CMakeFiles/pglo_shell.dir/pglo_shell.cpp.o.d"
+  "pglo_shell"
+  "pglo_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pglo_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_album.dir/photo_album.cpp.o"
+  "CMakeFiles/photo_album.dir/photo_album.cpp.o.d"
+  "photo_album"
+  "photo_album.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_album.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_store.dir/video_store.cpp.o"
+  "CMakeFiles/video_store.dir/video_store.cpp.o.d"
+  "video_store"
+  "video_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

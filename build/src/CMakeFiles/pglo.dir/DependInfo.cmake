@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/pglo.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/pglo.dir/btree/btree.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/pglo.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/pglo.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/pglo.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/pglo.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/pglo.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/pglo.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/pglo.dir/common/status.cc.o" "gcc" "src/CMakeFiles/pglo.dir/common/status.cc.o.d"
+  "/root/repo/src/compress/codec_registry.cc" "src/CMakeFiles/pglo.dir/compress/codec_registry.cc.o" "gcc" "src/CMakeFiles/pglo.dir/compress/codec_registry.cc.o.d"
+  "/root/repo/src/compress/lzss.cc" "src/CMakeFiles/pglo.dir/compress/lzss.cc.o" "gcc" "src/CMakeFiles/pglo.dir/compress/lzss.cc.o.d"
+  "/root/repo/src/compress/rle.cc" "src/CMakeFiles/pglo.dir/compress/rle.cc.o" "gcc" "src/CMakeFiles/pglo.dir/compress/rle.cc.o.d"
+  "/root/repo/src/db/check.cc" "src/CMakeFiles/pglo.dir/db/check.cc.o" "gcc" "src/CMakeFiles/pglo.dir/db/check.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/CMakeFiles/pglo.dir/db/database.cc.o" "gcc" "src/CMakeFiles/pglo.dir/db/database.cc.o.d"
+  "/root/repo/src/device/device_model.cc" "src/CMakeFiles/pglo.dir/device/device_model.cc.o" "gcc" "src/CMakeFiles/pglo.dir/device/device_model.cc.o.d"
+  "/root/repo/src/heap/heap_class.cc" "src/CMakeFiles/pglo.dir/heap/heap_class.cc.o" "gcc" "src/CMakeFiles/pglo.dir/heap/heap_class.cc.o.d"
+  "/root/repo/src/inversion/inversion_fs.cc" "src/CMakeFiles/pglo.dir/inversion/inversion_fs.cc.o" "gcc" "src/CMakeFiles/pglo.dir/inversion/inversion_fs.cc.o.d"
+  "/root/repo/src/lo/byte_stream.cc" "src/CMakeFiles/pglo.dir/lo/byte_stream.cc.o" "gcc" "src/CMakeFiles/pglo.dir/lo/byte_stream.cc.o.d"
+  "/root/repo/src/lo/fchunk_lo.cc" "src/CMakeFiles/pglo.dir/lo/fchunk_lo.cc.o" "gcc" "src/CMakeFiles/pglo.dir/lo/fchunk_lo.cc.o.d"
+  "/root/repo/src/lo/lo_manager.cc" "src/CMakeFiles/pglo.dir/lo/lo_manager.cc.o" "gcc" "src/CMakeFiles/pglo.dir/lo/lo_manager.cc.o.d"
+  "/root/repo/src/lo/ufile_lo.cc" "src/CMakeFiles/pglo.dir/lo/ufile_lo.cc.o" "gcc" "src/CMakeFiles/pglo.dir/lo/ufile_lo.cc.o.d"
+  "/root/repo/src/lo/vsegment_lo.cc" "src/CMakeFiles/pglo.dir/lo/vsegment_lo.cc.o" "gcc" "src/CMakeFiles/pglo.dir/lo/vsegment_lo.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/pglo.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/pglo.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/pglo.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/pglo.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/pglo.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/pglo.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/secondary_index.cc" "src/CMakeFiles/pglo.dir/query/secondary_index.cc.o" "gcc" "src/CMakeFiles/pglo.dir/query/secondary_index.cc.o.d"
+  "/root/repo/src/query/session.cc" "src/CMakeFiles/pglo.dir/query/session.cc.o" "gcc" "src/CMakeFiles/pglo.dir/query/session.cc.o.d"
+  "/root/repo/src/smgr/disk_smgr.cc" "src/CMakeFiles/pglo.dir/smgr/disk_smgr.cc.o" "gcc" "src/CMakeFiles/pglo.dir/smgr/disk_smgr.cc.o.d"
+  "/root/repo/src/smgr/mm_smgr.cc" "src/CMakeFiles/pglo.dir/smgr/mm_smgr.cc.o" "gcc" "src/CMakeFiles/pglo.dir/smgr/mm_smgr.cc.o.d"
+  "/root/repo/src/smgr/smgr_registry.cc" "src/CMakeFiles/pglo.dir/smgr/smgr_registry.cc.o" "gcc" "src/CMakeFiles/pglo.dir/smgr/smgr_registry.cc.o.d"
+  "/root/repo/src/smgr/worm_smgr.cc" "src/CMakeFiles/pglo.dir/smgr/worm_smgr.cc.o" "gcc" "src/CMakeFiles/pglo.dir/smgr/worm_smgr.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/pglo.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/pglo.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/pglo.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/pglo.dir/storage/page.cc.o.d"
+  "/root/repo/src/txn/commit_log.cc" "src/CMakeFiles/pglo.dir/txn/commit_log.cc.o" "gcc" "src/CMakeFiles/pglo.dir/txn/commit_log.cc.o.d"
+  "/root/repo/src/txn/txn_manager.cc" "src/CMakeFiles/pglo.dir/txn/txn_manager.cc.o" "gcc" "src/CMakeFiles/pglo.dir/txn/txn_manager.cc.o.d"
+  "/root/repo/src/types/builtin_types.cc" "src/CMakeFiles/pglo.dir/types/builtin_types.cc.o" "gcc" "src/CMakeFiles/pglo.dir/types/builtin_types.cc.o.d"
+  "/root/repo/src/types/datum.cc" "src/CMakeFiles/pglo.dir/types/datum.cc.o" "gcc" "src/CMakeFiles/pglo.dir/types/datum.cc.o.d"
+  "/root/repo/src/types/fmgr.cc" "src/CMakeFiles/pglo.dir/types/fmgr.cc.o" "gcc" "src/CMakeFiles/pglo.dir/types/fmgr.cc.o.d"
+  "/root/repo/src/types/type_registry.cc" "src/CMakeFiles/pglo.dir/types/type_registry.cc.o" "gcc" "src/CMakeFiles/pglo.dir/types/type_registry.cc.o.d"
+  "/root/repo/src/ufs/block_cache.cc" "src/CMakeFiles/pglo.dir/ufs/block_cache.cc.o" "gcc" "src/CMakeFiles/pglo.dir/ufs/block_cache.cc.o.d"
+  "/root/repo/src/ufs/ufs.cc" "src/CMakeFiles/pglo.dir/ufs/ufs.cc.o" "gcc" "src/CMakeFiles/pglo.dir/ufs/ufs.cc.o.d"
+  "/root/repo/src/workload/frames.cc" "src/CMakeFiles/pglo.dir/workload/frames.cc.o" "gcc" "src/CMakeFiles/pglo.dir/workload/frames.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pglo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inversion_test.dir/inversion_test.cc.o"
+  "CMakeFiles/inversion_test.dir/inversion_test.cc.o.d"
+  "inversion_test"
+  "inversion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inversion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

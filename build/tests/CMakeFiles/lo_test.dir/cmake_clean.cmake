@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lo_test.dir/lo_test.cc.o"
+  "CMakeFiles/lo_test.dir/lo_test.cc.o.d"
+  "lo_test"
+  "lo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pglo_fsck.dir/pglo_fsck.cpp.o"
+  "CMakeFiles/pglo_fsck.dir/pglo_fsck.cpp.o.d"
+  "pglo_fsck"
+  "pglo_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pglo_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
