@@ -1,6 +1,8 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <functional>
+#include <string_view>
 
 #include "common/random.h"
 
@@ -148,6 +150,120 @@ Result<LargeObject::StorageFootprint> LoBenchRunner::Footprint(Oid oid) {
       db_->large_objects().Footprint(txn, oid);
   PGLO_RETURN_IF_ERROR(db_->Abort(txn));
   return fp;
+}
+
+namespace {
+
+/// Sum of every counter whose name starts with `prefix` and ends with
+/// `suffix` — e.g. ("smgr.", ".blocks_read") totals block reads across all
+/// storage managers.
+uint64_t SumMatching(const StatsSnapshot& snap, std::string_view prefix,
+                     std::string_view suffix) {
+  uint64_t total = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.size() < prefix.size() + suffix.size()) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0) {
+      continue;
+    }
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace
+
+BenchArgs ParseBenchArgs(int argc, char** argv,
+                         const std::string& default_workdir) {
+  BenchArgs args;
+  args.workdir = default_workdir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--no-stats") {
+      args.stats = false;
+    } else {
+      args.workdir = arg;
+    }
+  }
+  return args;
+}
+
+std::string FormatStatsTable(const std::string& title,
+                             const std::vector<std::string>& columns,
+                             const std::vector<StatsSnapshot>& snapshots) {
+  struct Row {
+    const char* label;
+    std::function<double(const StatsSnapshot&)> value;
+    int precision;
+  };
+  auto hit_rate = [](const StatsSnapshot& s) {
+    double hits = static_cast<double>(s.Value("bufpool.hits"));
+    double misses = static_cast<double>(s.Value("bufpool.misses"));
+    return hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0;
+  };
+  const std::vector<Row> rows = {
+      {"bufpool hit rate %", hit_rate, 1},
+      {"bufpool misses",
+       [](const StatsSnapshot& s) {
+         return static_cast<double>(s.Value("bufpool.misses"));
+       },
+       0},
+      {"smgr blocks read",
+       [](const StatsSnapshot& s) {
+         return static_cast<double>(SumMatching(s, "smgr.", ".blocks_read"));
+       },
+       0},
+      {"smgr blocks written",
+       [](const StatsSnapshot& s) {
+         return static_cast<double>(
+             SumMatching(s, "smgr.", ".blocks_written"));
+       },
+       0},
+      {"ufs blocks read",
+       [](const StatsSnapshot& s) {
+         return static_cast<double>(s.Value("ufs.blocks_read"));
+       },
+       0},
+      {"ufs blocks written",
+       [](const StatsSnapshot& s) {
+         return static_cast<double>(s.Value("ufs.blocks_written"));
+       },
+       0},
+      {"device seeks",
+       [](const StatsSnapshot& s) {
+         return static_cast<double>(SumMatching(s, "device.", ".seeks"));
+       },
+       0},
+      {"device blocks transferred",
+       [](const StatsSnapshot& s) {
+         return static_cast<double>(
+             SumMatching(s, "device.", ".blocks_read") +
+             SumMatching(s, "device.", ".blocks_written"));
+       },
+       0},
+  };
+
+  std::string out = title + "\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s", "Counter");
+  out += buf;
+  for (const std::string& col : columns) {
+    std::snprintf(buf, sizeof(buf), " %12s", col.c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    std::snprintf(buf, sizeof(buf), "%-28s", row.label);
+    out += buf;
+    for (const StatsSnapshot& snap : snapshots) {
+      std::snprintf(buf, sizeof(buf), " %12.*f", row.precision,
+                    row.value(snap));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 std::string FormatTable(const std::string& title,

@@ -77,6 +77,22 @@ std::string FormatTable(const std::string& title,
                         const std::vector<std::string>& row_labels,
                         const std::vector<std::vector<double>>& cells);
 
+/// Renders the observability companion to a figure: one column per config,
+/// rows for the physical work each layer reported (buffer-pool hit rate,
+/// storage-manager block I/O, device seeks/transfers). Snapshots come from
+/// Database::Stats(); pass one per config, in column order.
+std::string FormatStatsTable(const std::string& title,
+                             const std::vector<std::string>& columns,
+                             const std::vector<StatsSnapshot>& snapshots);
+
+/// Shared flag handling for the figure benches: `[--no-stats] [workdir]`.
+struct BenchArgs {
+  std::string workdir;
+  bool stats = true;
+};
+BenchArgs ParseBenchArgs(int argc, char** argv,
+                         const std::string& default_workdir);
+
 }  // namespace bench
 }  // namespace pglo
 

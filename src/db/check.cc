@@ -73,14 +73,14 @@ Result<IntegrityReport> CheckIntegrity(Database* db) {
     }
     // 2. Validate the index structures by storage kind.
     std::vector<RelFileId> btrees;
-    if (obj.spec.kind == StorageKind::kFChunk && obj.files[1] != 0) {
-      btrees.push_back(RelFileId{obj.spec.smgr, obj.files[1]});
+    if (obj.spec.kind == StorageKind::kFChunk && obj.files.index != 0) {
+      btrees.push_back(RelFileId{obj.spec.smgr, obj.files.index});
     } else if (obj.spec.kind == StorageKind::kVSegment) {
-      if (obj.files[3] != 0) {
-        btrees.push_back(RelFileId{obj.spec.smgr, obj.files[3]});
+      if (obj.files.seg_index != 0) {
+        btrees.push_back(RelFileId{obj.spec.smgr, obj.files.seg_index});
       }
-      if (obj.files[5] != 0) {
-        btrees.push_back(RelFileId{obj.spec.smgr, obj.files[5]});
+      if (obj.files.inner_index != 0) {
+        btrees.push_back(RelFileId{obj.spec.smgr, obj.files.inner_index});
       }
     }
     for (RelFileId file : btrees) {

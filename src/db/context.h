@@ -5,6 +5,7 @@
 #include "db/oid_allocator.h"
 #include "device/cpu_cost.h"
 #include "device/sim_clock.h"
+#include "obs/stats.h"
 #include "smgr/smgr_registry.h"
 #include "storage/buffer_pool.h"
 #include "txn/commit_log.h"
@@ -27,6 +28,9 @@ struct DbContext {
   UnixFileSystem* ufs = nullptr;
   CodecRegistry* codecs = nullptr;
   OidAllocator* oids = nullptr;
+  /// Observability registry; null when stats are disabled — every consumer
+  /// must tolerate null and skip its instrumentation.
+  StatsRegistry* stats = nullptr;
 };
 
 }  // namespace pglo

@@ -36,6 +36,10 @@ Status Database::OpenInternal(bool after_crash) {
   (void)after_crash;
   clock_ = std::make_unique<SimClock>();
   cpu_ = std::make_unique<CpuCostModel>(clock_.get(), options_.cpu_mips);
+  if (options_.enable_stats) {
+    stats_ = std::make_unique<StatsRegistry>();
+    stats_->SetClock(clock_.get());
+  }
 
   DeviceModel* disk_dev = nullptr;
   DeviceModel* ufs_dev = nullptr;
@@ -58,6 +62,13 @@ Status Database::OpenInternal(bool after_crash) {
     worm_cache_dev = worm_cache_device_.get();
     worm_dev = worm_device_.get();
     mem_dev = memory_device_.get();
+    if (stats_ != nullptr) {
+      disk_device_->BindStats(stats_.get(), "disk");
+      ufs_device_->BindStats(stats_.get(), "ufs");
+      worm_cache_device_->BindStats(stats_.get(), "worm-cache");
+      worm_device_->BindStats(stats_.get(), "worm");
+      memory_device_->BindStats(stats_.get(), "nvram");
+    }
   }
 
   smgrs_ = std::make_unique<SmgrRegistry>();
@@ -72,9 +83,16 @@ Status Database::OpenInternal(bool after_crash) {
   PGLO_RETURN_IF_ERROR(worm->Open());
   worm_ = worm.get();
   PGLO_RETURN_IF_ERROR(smgrs_->Register(kSmgrWorm, std::move(worm)));
+  if (stats_ != nullptr) {
+    for (uint8_t id : {kSmgrDisk, kSmgrMemory, kSmgrWorm}) {
+      Result<StorageManager*> smgr = smgrs_->Get(id);
+      if (smgr.ok()) smgr.value()->BindStats(stats_.get());
+    }
+  }
 
   pool_ = std::make_unique<BufferPool>(smgrs_.get(),
                                        options_.buffer_pool_frames);
+  if (stats_ != nullptr) pool_->BindStats(stats_.get());
   if (options_.charge_devices && options_.page_access_instructions > 0) {
     pool_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
   }
@@ -96,6 +114,7 @@ Status Database::OpenInternal(bool after_crash) {
   if (options_.charge_devices && options_.page_access_instructions > 0) {
     ufs_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
   }
+  if (stats_ != nullptr) ufs_->BindStats(stats_.get());
   if (fresh) {
     PGLO_RETURN_IF_ERROR(ufs_->Format(options_.dir + "/ufs.img"));
   } else {
@@ -106,7 +125,8 @@ Status Database::OpenInternal(bool after_crash) {
 
   ctx_ = DbContext{clock_.get(), cpu_.get(),  smgrs_.get(),
                    pool_.get(),  clog_.get(), txns_.get(),
-                   ufs_.get(),   codecs_.get(), oids_.get()};
+                   ufs_.get(),   codecs_.get(), oids_.get(),
+                   stats_.get()};
 
   lo_ = std::make_unique<LoManager>(ctx_);
   if (fresh) {
@@ -141,6 +161,7 @@ void Database::TearDown(bool crash) {
   worm_cache_device_.reset();
   ufs_device_.reset();
   disk_device_.reset();
+  stats_.reset();
   cpu_.reset();
   clock_.reset();
   ctx_ = DbContext{};

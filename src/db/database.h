@@ -36,6 +36,11 @@ struct DatabaseOptions {
 
   /// The simulated UNIX file system hosting u-file / p-file objects.
   UnixFileSystem::Params ufs_params;
+
+  /// When true, every layer reports its physical operations into a
+  /// StatsRegistry readable via Database::Stats(). Stats never advance the
+  /// simulated clock, so reported times are identical either way.
+  bool enable_stats = true;
 };
 
 /// One POSTGRES-style database instance: storage managers, buffer pool,
@@ -87,6 +92,19 @@ class Database {
   /// Borrowed handles for subsystems built on top (Inversion, query).
   const DbContext& context() const { return ctx_; }
 
+  // --- observability ---------------------------------------------------
+  /// Point-in-time copy of every counter/histogram; empty snapshot when
+  /// stats are disabled.
+  StatsSnapshot Stats() const {
+    return stats_ != nullptr ? stats_->Snapshot() : StatsSnapshot{};
+  }
+  /// Null when options.enable_stats is false.
+  StatsRegistry* stats_registry() { return stats_.get(); }
+  /// Zeroes every counter and histogram (no-op when disabled).
+  void ResetStats() {
+    if (stats_ != nullptr) stats_->Reset();
+  }
+
   bool is_open() const { return open_; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -99,6 +117,7 @@ class Database {
 
   std::unique_ptr<SimClock> clock_;
   std::unique_ptr<CpuCostModel> cpu_;
+  std::unique_ptr<StatsRegistry> stats_;
   std::unique_ptr<MagneticDiskModel> disk_device_;
   std::unique_ptr<MagneticDiskModel> ufs_device_;
   std::unique_ptr<MagneticDiskModel> worm_cache_device_;

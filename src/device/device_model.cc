@@ -16,7 +16,7 @@ uint64_t TransferNanos(uint64_t nblocks, uint32_t block_size,
 void MagneticDiskModel::Charge(uint64_t block, uint64_t nblocks) {
   uint64_t ns = 0;
   if (block != next_sequential_block_) {
-    ++stats_.seeks;
+    NoteSeek();
     uint64_t distance = block > next_sequential_block_
                             ? block - next_sequential_block_
                             : next_sequential_block_ - block;
@@ -29,19 +29,17 @@ void MagneticDiskModel::Charge(uint64_t block, uint64_t nblocks) {
   }
   ns += TransferNanos(nblocks, params_.block_size, params_.transfer_mb_per_s);
   next_sequential_block_ = block + nblocks;
-  stats_.busy_ns += ns;
+  NoteBusy(ns);
   clock_->Advance(ns);
 }
 
 void MagneticDiskModel::ChargeRead(uint64_t block, uint64_t nblocks) {
-  ++stats_.reads;
-  stats_.blocks_read += nblocks;
+  NoteRead(nblocks);
   Charge(block, nblocks);
 }
 
 void MagneticDiskModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
-  ++stats_.writes;
-  stats_.blocks_written += nblocks;
+  NoteWrite(nblocks);
   Charge(block, nblocks);
 }
 
@@ -56,7 +54,7 @@ void WormJukeboxModel::Charge(uint64_t block, uint64_t nblocks) {
     next_sequential_block_ = ~0ull;  // a platter exchange loses position
   }
   if (block != next_sequential_block_) {
-    ++stats_.seeks;
+    NoteSeek();
     bool near = next_sequential_block_ != ~0ull &&
                 block > next_sequential_block_ &&
                 block - next_sequential_block_ <= params_.near_seek_blocks;
@@ -65,19 +63,17 @@ void WormJukeboxModel::Charge(uint64_t block, uint64_t nblocks) {
   }
   ns += TransferNanos(nblocks, params_.block_size, params_.transfer_mb_per_s);
   next_sequential_block_ = block + nblocks;
-  stats_.busy_ns += ns;
+  NoteBusy(ns);
   clock_->Advance(ns);
 }
 
 void WormJukeboxModel::ChargeRead(uint64_t block, uint64_t nblocks) {
-  ++stats_.reads;
-  stats_.blocks_read += nblocks;
+  NoteRead(nblocks);
   Charge(block, nblocks);
 }
 
 void WormJukeboxModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
-  ++stats_.writes;
-  stats_.blocks_written += nblocks;
+  NoteWrite(nblocks);
   Charge(block, nblocks);
 }
 
@@ -85,21 +81,19 @@ void MemoryDeviceModel::Charge(uint64_t nblocks) {
   uint64_t ns = static_cast<uint64_t>(params_.per_op_us * 1e3) +
                 TransferNanos(nblocks, params_.block_size,
                               params_.transfer_mb_per_s);
-  stats_.busy_ns += ns;
+  NoteBusy(ns);
   clock_->Advance(ns);
 }
 
 void MemoryDeviceModel::ChargeRead(uint64_t block, uint64_t nblocks) {
   (void)block;
-  ++stats_.reads;
-  stats_.blocks_read += nblocks;
+  NoteRead(nblocks);
   Charge(nblocks);
 }
 
 void MemoryDeviceModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
   (void)block;
-  ++stats_.writes;
-  stats_.blocks_written += nblocks;
+  NoteWrite(nblocks);
   Charge(nblocks);
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "device/sim_clock.h"
+#include "obs/stats.h"
 
 namespace pglo {
 
@@ -41,8 +42,45 @@ class DeviceModel {
   const DeviceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DeviceStats(); }
 
+  /// Mirrors per-op accounting into `registry` counters named
+  /// `device.<label>.{seeks,blocks_read,blocks_written,busy_ns}`. Call once
+  /// at setup; a null registry leaves the device unbound (no overhead).
+  void BindStats(StatsRegistry* registry, const std::string& label) {
+    if (registry == nullptr) return;
+    c_seeks_ = registry->counter("device." + label + ".seeks");
+    c_blocks_read_ = registry->counter("device." + label + ".blocks_read");
+    c_blocks_written_ =
+        registry->counter("device." + label + ".blocks_written");
+    c_busy_ns_ = registry->counter("device." + label + ".busy_ns");
+  }
+
  protected:
+  void NoteRead(uint64_t nblocks) {
+    ++stats_.reads;
+    stats_.blocks_read += nblocks;
+    StatAdd(c_blocks_read_, nblocks);
+  }
+  void NoteWrite(uint64_t nblocks) {
+    ++stats_.writes;
+    stats_.blocks_written += nblocks;
+    StatAdd(c_blocks_written_, nblocks);
+  }
+  void NoteSeek() {
+    ++stats_.seeks;
+    StatInc(c_seeks_);
+  }
+  void NoteBusy(uint64_t ns) {
+    stats_.busy_ns += ns;
+    StatAdd(c_busy_ns_, ns);
+  }
+
   DeviceStats stats_;
+
+ private:
+  Counter* c_seeks_ = nullptr;
+  Counter* c_blocks_read_ = nullptr;
+  Counter* c_blocks_written_ = nullptr;
+  Counter* c_busy_ns_ = nullptr;
 };
 
 /// Magnetic disk parameters (defaults are a circa-1992 5.25" SCSI drive of

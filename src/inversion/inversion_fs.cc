@@ -17,66 +17,30 @@ constexpr uint8_t kMetaSmgr = kSmgrDisk;
 // ---------------------------------------------------------------------------
 // InversionFile
 
-Result<size_t> InversionFile::Read(size_t n, uint8_t* buf) {
-  PGLO_ASSIGN_OR_RETURN(size_t got, lo_->Read(txn_, pos_, n, buf));
-  pos_ += got;
-  return got;
-}
-
-Result<Bytes> InversionFile::Read(size_t n) {
-  Bytes out(n);
-  PGLO_ASSIGN_OR_RETURN(size_t got, Read(n, out.data()));
-  out.resize(got);
-  return out;
-}
-
-Status InversionFile::Write(Slice data) {
-  if (!writable_) {
-    return Status::PermissionDenied("file opened read-only");
-  }
-  PGLO_RETURN_IF_ERROR(lo_->Write(txn_, pos_, data));
-  pos_ += data.size();
+Status InversionFile::MarkDirty() {
   if (!dirty_) {
     dirty_ = true;
-    // Stamp mtime on first write under this handle (not per write — one
+    // Stamp mtime on first mutation under this handle (not per write — one
     // FILESTAT version per open-for-write, not per I/O).
     PGLO_RETURN_IF_ERROR(fs_->TouchMtime(txn_, file_id_));
   }
   return Status::OK();
 }
 
-Result<uint64_t> InversionFile::Seek(int64_t off, Whence whence) {
-  int64_t base = 0;
-  switch (whence) {
-    case Whence::kSet:
-      base = 0;
-      break;
-    case Whence::kCur:
-      base = static_cast<int64_t>(pos_);
-      break;
-    case Whence::kEnd: {
-      PGLO_ASSIGN_OR_RETURN(uint64_t size, lo_->Size(txn_));
-      base = static_cast<int64_t>(size);
-      break;
-    }
+Status InversionFile::Write(Slice data) {
+  if (!writable_) {
+    return Status::PermissionDenied("file opened read-only");
   }
-  int64_t target = base + off;
-  if (target < 0) return Status::InvalidArgument("seek before start");
-  pos_ = static_cast<uint64_t>(target);
-  return pos_;
+  PGLO_RETURN_IF_ERROR(cursor_.Write(data));
+  return MarkDirty();
 }
-
-Result<uint64_t> InversionFile::Size() { return lo_->Size(txn_); }
 
 Status InversionFile::Truncate(uint64_t size) {
   if (!writable_) {
     return Status::PermissionDenied("file opened read-only");
   }
-  if (!dirty_) {
-    dirty_ = true;
-    PGLO_RETURN_IF_ERROR(fs_->TouchMtime(txn_, file_id_));
-  }
-  return lo_->Truncate(txn_, size);
+  PGLO_RETURN_IF_ERROR(MarkDirty());
+  return cursor_.Truncate(size);
 }
 
 // ---------------------------------------------------------------------------
@@ -162,7 +126,13 @@ InversionFs::InversionFs(const DbContext& ctx, LoManager* lo)
       directory_(ctx.pool, RelFileId{kMetaSmgr, kDirectoryRelfile}),
       storage_(ctx.pool, RelFileId{kMetaSmgr, kStorageRelfile}),
       filestat_(ctx.pool, RelFileId{kMetaSmgr, kFilestatRelfile}),
-      dir_index_(ctx.pool, RelFileId{kMetaSmgr, kDirIndexRelfile}) {}
+      dir_index_(ctx.pool, RelFileId{kMetaSmgr, kDirIndexRelfile}) {
+  if (ctx_.stats != nullptr) {
+    c_path_resolutions_ = ctx_.stats->counter("inversion.path_resolutions");
+    c_index_probes_ = ctx_.stats->counter("inversion.index_probes");
+    h_resolve_ = ctx_.stats->histogram("inversion.resolve_ns");
+  }
+}
 
 uint64_t InversionFs::DirKey(FileId parent, const std::string& name) {
   // FNV-1a over the name, mixed with the parent id.
@@ -224,6 +194,7 @@ Result<std::pair<InversionFs::DirRecord, Tid>> InversionFs::LookupIn(
     Transaction* txn, FileId parent, const std::string& name) {
   // Index probe: candidates are (possibly colliding or stale) tuple
   // addresses; visibility and the actual (parent, name) are rechecked.
+  StatInc(c_index_probes_);
   PGLO_ASSIGN_OR_RETURN(std::vector<uint64_t> candidates,
                         dir_index_.Lookup(DirKey(parent, name)));
   for (uint64_t packed : candidates) {
@@ -244,6 +215,8 @@ Result<std::pair<InversionFs::DirRecord, Tid>> InversionFs::LookupIn(
 
 Result<std::pair<InversionFs::DirRecord, Tid>> InversionFs::Resolve(
     Transaction* txn, const std::string& path) {
+  TraceSpan span(ctx_.stats, h_resolve_, "inversion.resolve");
+  StatInc(c_path_resolutions_);
   PGLO_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
   DirRecord current{"/", kRootFileId, kInvalidFileId, true};
   Tid tid{0, 0};  // root's tid is never needed by callers that mutate
@@ -260,6 +233,8 @@ Result<std::pair<InversionFs::DirRecord, Tid>> InversionFs::Resolve(
 
 Result<std::pair<FileId, std::string>> InversionFs::ResolveParent(
     Transaction* txn, const std::string& path) {
+  TraceSpan span(ctx_.stats, h_resolve_, "inversion.resolve_parent");
+  StatInc(c_path_resolutions_);
   PGLO_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
   if (parts.empty()) {
     return Status::InvalidArgument("cannot operate on the root directory");

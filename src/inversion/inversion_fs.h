@@ -18,16 +18,18 @@ constexpr FileId kInvalidFileId = 0;
 constexpr FileId kRootFileId = 1;
 
 /// An open Inversion file: read/write/seek over the backing large object.
-/// Close (or transaction end) stamps the FILESTAT modification time if the
-/// file was written.
+/// The seek pointer is a SeekableCursor over the object's ByteStream. The
+/// first write under the handle stamps the FILESTAT modification time.
 class InversionFile {
  public:
-  Result<size_t> Read(size_t n, uint8_t* buf);
-  Result<Bytes> Read(size_t n);
+  Result<size_t> Read(size_t n, uint8_t* buf) { return cursor_.Read(n, buf); }
+  Result<Bytes> Read(size_t n) { return cursor_.Read(n); }
   Status Write(Slice data);
-  Result<uint64_t> Seek(int64_t off, Whence whence);
-  uint64_t Tell() const { return pos_; }
-  Result<uint64_t> Size();
+  Result<uint64_t> Seek(int64_t off, Whence whence) {
+    return cursor_.Seek(off, whence);
+  }
+  uint64_t Tell() const { return cursor_.Tell(); }
+  Result<uint64_t> Size() { return cursor_.Size(); }
   Status Truncate(uint64_t size);
 
   FileId file_id() const { return file_id_; }
@@ -37,14 +39,18 @@ class InversionFile {
   InversionFile(class InversionFs* fs, Transaction* txn, FileId file_id,
                 std::unique_ptr<LargeObject> lo, bool writable)
       : fs_(fs), txn_(txn), file_id_(file_id), lo_(std::move(lo)),
-        writable_(writable) {}
+        stream_(lo_.get(), txn), cursor_(&stream_), writable_(writable) {}
+
+  /// Stamps FILESTAT.mtime on the first mutation under this handle.
+  Status MarkDirty();
 
   class InversionFs* fs_;
   Transaction* txn_;
   FileId file_id_;
   std::unique_ptr<LargeObject> lo_;
+  LoByteStream stream_;
+  SeekableCursor cursor_;
   bool writable_;
-  uint64_t pos_ = 0;
   bool dirty_ = false;
 };
 
@@ -191,6 +197,10 @@ class InversionFs {
   HeapClass storage_;
   HeapClass filestat_;
   Btree dir_index_;  ///< hash(parent, name) -> DIRECTORY tuple address
+  // Observability (null when ctx.stats is null).
+  Counter* c_path_resolutions_ = nullptr;
+  Counter* c_index_probes_ = nullptr;
+  Histogram* h_resolve_ = nullptr;
 };
 
 }  // namespace pglo

@@ -2,6 +2,46 @@
 
 namespace pglo {
 
+Result<size_t> SeekableCursor::Read(size_t n, uint8_t* buf) {
+  PGLO_ASSIGN_OR_RETURN(size_t got, stream_->ReadAt(pos_, n, buf));
+  pos_ += got;
+  return got;
+}
+
+Result<Bytes> SeekableCursor::Read(size_t n) {
+  Bytes out(n);
+  PGLO_ASSIGN_OR_RETURN(size_t got, Read(n, out.data()));
+  out.resize(got);
+  return out;
+}
+
+Status SeekableCursor::Write(Slice data) {
+  PGLO_RETURN_IF_ERROR(stream_->WriteAt(pos_, data));
+  pos_ += data.size();
+  return Status::OK();
+}
+
+Result<uint64_t> SeekableCursor::Seek(int64_t off, Whence whence) {
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCur:
+      base = static_cast<int64_t>(pos_);
+      break;
+    case Whence::kEnd: {
+      PGLO_ASSIGN_OR_RETURN(uint64_t size, stream_->Size());
+      base = static_cast<int64_t>(size);
+      break;
+    }
+  }
+  int64_t target = base + off;
+  if (target < 0) return Status::InvalidArgument("seek before start");
+  pos_ = static_cast<uint64_t>(target);
+  return pos_;
+}
+
 Result<uint64_t> ForEachPiece(
     ByteStream* stream, size_t piece_size,
     const std::function<Status(uint64_t off, Slice piece)>& fn) {

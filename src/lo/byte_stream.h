@@ -8,18 +8,32 @@
 
 namespace pglo {
 
+/// Seek origins for the file-oriented interfaces (§4).
+enum class Whence { kSet, kCur, kEnd };
+
 /// §4's portability argument made concrete: "A function can be written and
 /// debugged using files, and then moved into the database where it can
 /// manage large objects without being rewritten."
 ///
-/// ByteStream is the minimal read-only surface such a function needs —
-/// positional reads and a size. Both a UNIX file and a large object
-/// satisfy it, so the same function body runs against either.
+/// ByteStream is the positional byte surface such a function needs —
+/// reads, writes, a size, and truncation. Both a UNIX file and a large
+/// object satisfy it, so the same function body runs against either. The
+/// write operations default to NotSupported so read-only sources can
+/// implement just the read half.
 class ByteStream {
  public:
   virtual ~ByteStream() = default;
   virtual Result<size_t> ReadAt(uint64_t off, size_t n, uint8_t* buf) = 0;
   virtual Result<uint64_t> Size() = 0;
+  virtual Status WriteAt(uint64_t off, Slice data) {
+    (void)off;
+    (void)data;
+    return Status::NotSupported("byte stream is read-only");
+  }
+  virtual Status Truncate(uint64_t size) {
+    (void)size;
+    return Status::NotSupported("byte stream is read-only");
+  }
 };
 
 /// A UNIX file as a ByteStream (the "written and debugged using files"
@@ -33,6 +47,12 @@ class UfsByteStream : public ByteStream {
     return fs_->ReadAt(inode_, off, n, buf);
   }
   Result<uint64_t> Size() override { return fs_->FileSize(inode_); }
+  Status WriteAt(uint64_t off, Slice data) override {
+    return fs_->WriteAt(inode_, off, data);
+  }
+  Status Truncate(uint64_t size) override {
+    return fs_->Truncate(inode_, size);
+  }
 
  private:
   UnixFileSystem* fs_;
@@ -48,10 +68,44 @@ class LoByteStream : public ByteStream {
     return lo_->Read(txn_, off, n, buf);
   }
   Result<uint64_t> Size() override { return lo_->Size(txn_); }
+  Status WriteAt(uint64_t off, Slice data) override {
+    return lo_->Write(txn_, off, data);
+  }
+  Status Truncate(uint64_t size) override { return lo_->Truncate(txn_, size); }
 
  private:
   LargeObject* lo_;
   Transaction* txn_;
+};
+
+/// The seek-pointer half of a file-oriented handle: "the application can
+/// then open the large object, seek to any byte location, and read any
+/// number of bytes" (§4). Both LoDescriptor and Inversion's open-file
+/// handle are a SeekableCursor over their respective ByteStream; the
+/// position bookkeeping and Whence arithmetic live here once.
+class SeekableCursor {
+ public:
+  explicit SeekableCursor(ByteStream* stream) : stream_(stream) {}
+
+  /// Reads up to `n` bytes at the cursor, advancing it.
+  Result<size_t> Read(size_t n, uint8_t* buf);
+  /// Convenience overload returning an owned buffer (shorter at EOF).
+  Result<Bytes> Read(size_t n);
+
+  /// Writes at the cursor, advancing it.
+  Status Write(Slice data);
+
+  /// Moves the cursor; returns the new absolute position. Seeking past EOF
+  /// is legal (a later write leaves a hole).
+  Result<uint64_t> Seek(int64_t off, Whence whence);
+  uint64_t Tell() const { return pos_; }
+
+  Result<uint64_t> Size() { return stream_->Size(); }
+  Status Truncate(uint64_t size) { return stream_->Truncate(size); }
+
+ private:
+  ByteStream* stream_;
+  uint64_t pos_ = 0;
 };
 
 /// Streams `stream` through `fn` in bounded pieces (the §3 requirement

@@ -27,7 +27,7 @@ Result<FChunkLo::Files> FChunkLo::CreateStorage(const DbContext& ctx,
 }
 
 FChunkLo::FChunkLo(const DbContext& ctx, Files files, const Compressor* codec,
-                   uint32_t chunk_size)
+                   uint32_t chunk_size, const std::string& stats_prefix)
     : ctx_(ctx),
       files_(files),
       heap_(ctx.pool, files.data),
@@ -36,6 +36,19 @@ FChunkLo::FChunkLo(const DbContext& ctx, Files files, const Compressor* codec,
       chunk_size_(chunk_size) {
   PGLO_CHECK(chunk_size_ > 0 &&
              chunk_size_ + kChunkHeader <= HeapClass::MaxPayload());
+  if (ctx_.stats != nullptr) {
+    c_reads_ = ctx_.stats->counter(stats_prefix + ".reads");
+    c_writes_ = ctx_.stats->counter(stats_prefix + ".writes");
+    c_bytes_read_ = ctx_.stats->counter(stats_prefix + ".bytes_read");
+    c_bytes_written_ = ctx_.stats->counter(stats_prefix + ".bytes_written");
+    c_compress_ns_ = ctx_.stats->counter(stats_prefix + ".codec_compress_ns");
+    c_decompress_ns_ =
+        ctx_.stats->counter(stats_prefix + ".codec_decompress_ns");
+    h_read_ = ctx_.stats->histogram(stats_prefix + ".read_ns");
+    h_write_ = ctx_.stats->histogram(stats_prefix + ".write_ns");
+    span_read_name_ = stats_prefix + ".read";
+    span_write_name_ = stats_prefix + ".write";
+  }
 }
 
 Bytes FChunkLo::EncodeChunk(uint32_t seqno, bool compressed, uint32_t raw_len,
@@ -110,8 +123,13 @@ Result<bool> FChunkLo::LoadChunk(Transaction* txn, uint32_t seqno,
       PGLO_RETURN_IF_ERROR(
           codec_->Decompress(rec.payload, rec.raw_len, out));
       if (ctx_.cpu != nullptr) {
+        uint64_t before =
+            ctx_.clock != nullptr ? ctx_.clock->NowNanos() : 0;
         ctx_.cpu->ChargePerByte(codec_->decompress_instr_per_byte(),
                                 rec.raw_len);
+        if (ctx_.clock != nullptr) {
+          StatAdd(c_decompress_ns_, ctx_.clock->NowNanos() - before);
+        }
       }
     } else {
       out->assign(rec.payload.data(),
@@ -135,7 +153,11 @@ Status FChunkLo::StoreChunk(Transaction* txn, uint32_t seqno, Slice raw) {
   if (codec_ != nullptr) {
     PGLO_RETURN_IF_ERROR(codec_->Compress(raw, &compressed_buf));
     if (ctx_.cpu != nullptr) {
+      uint64_t before = ctx_.clock != nullptr ? ctx_.clock->NowNanos() : 0;
       ctx_.cpu->ChargePerByte(codec_->compress_instr_per_byte(), raw.size());
+      if (ctx_.clock != nullptr) {
+        StatAdd(c_compress_ns_, ctx_.clock->NowNanos() - before);
+      }
     }
     if (compressed_buf.size() < raw.size()) {
       compressed = true;
@@ -199,6 +221,8 @@ Result<uint64_t> FChunkLo::Size(Transaction* txn) { return LoadSize(txn); }
 
 Result<size_t> FChunkLo::Read(Transaction* txn, uint64_t off, size_t n,
                               uint8_t* buf) {
+  TraceSpan span(ctx_.stats, h_read_, span_read_name_);
+  StatInc(c_reads_);
   PGLO_ASSIGN_OR_RETURN(uint64_t size, LoadSize(txn));
   if (off >= size) return static_cast<size_t>(0);
   n = static_cast<size_t>(std::min<uint64_t>(n, size - off));
@@ -225,11 +249,15 @@ Result<size_t> FChunkLo::Read(Transaction* txn, uint64_t off, size_t n,
     }
     done += take;
   }
+  StatAdd(c_bytes_read_, done);
   return done;
 }
 
 Status FChunkLo::Write(Transaction* txn, uint64_t off, Slice data) {
   if (!txn->active()) return Status::Aborted("transaction not active");
+  TraceSpan span(ctx_.stats, h_write_, span_write_name_);
+  StatInc(c_writes_);
+  StatAdd(c_bytes_written_, data.size());
   PGLO_ASSIGN_OR_RETURN(uint64_t size, LoadSize(txn));
   size_t done = 0;
   Bytes chunk;

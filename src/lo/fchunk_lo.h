@@ -37,8 +37,11 @@ class FChunkLo : public LargeObject {
   static Result<Files> CreateStorage(const DbContext& ctx, Transaction* txn,
                                      uint8_t smgr);
 
+  /// `stats_prefix` names this instance's observability counters (the
+  /// v-segment inner byte store uses "lo.vseg.store" so its traffic is not
+  /// conflated with first-class f-chunk objects).
   FChunkLo(const DbContext& ctx, Files files, const Compressor* codec,
-           uint32_t chunk_size);
+           uint32_t chunk_size, const std::string& stats_prefix = "lo.fchunk");
 
   Result<size_t> Read(Transaction* txn, uint64_t off, size_t n,
                       uint8_t* buf) override;
@@ -106,6 +109,17 @@ class FChunkLo : public LargeObject {
   // Size record cache (same lifetime rules as the chunk cache).
   bool size_valid_ = false;
   uint64_t cached_size_ = 0;
+  // Observability (null when ctx.stats is null).
+  Counter* c_reads_ = nullptr;
+  Counter* c_writes_ = nullptr;
+  Counter* c_bytes_read_ = nullptr;
+  Counter* c_bytes_written_ = nullptr;
+  Counter* c_compress_ns_ = nullptr;
+  Counter* c_decompress_ns_ = nullptr;
+  Histogram* h_read_ = nullptr;
+  Histogram* h_write_ = nullptr;
+  std::string span_read_name_;
+  std::string span_write_name_;
 };
 
 }  // namespace pglo

@@ -39,56 +39,18 @@ Result<StorageKind> StorageKindFromString(std::string_view name) {
 // ---------------------------------------------------------------------------
 // LoDescriptor
 
-Result<size_t> LoDescriptor::Read(size_t n, uint8_t* buf) {
-  PGLO_ASSIGN_OR_RETURN(size_t got, lo_->Read(txn_, pos_, n, buf));
-  pos_ += got;
-  return got;
-}
-
-Result<Bytes> LoDescriptor::Read(size_t n) {
-  Bytes out(n);
-  PGLO_ASSIGN_OR_RETURN(size_t got, Read(n, out.data()));
-  out.resize(got);
-  return out;
-}
-
 Status LoDescriptor::Write(Slice data) {
   if (!writable_) {
     return Status::PermissionDenied("descriptor opened read-only");
   }
-  PGLO_RETURN_IF_ERROR(lo_->Write(txn_, pos_, data));
-  pos_ += data.size();
-  return Status::OK();
+  return cursor_.Write(data);
 }
-
-Result<uint64_t> LoDescriptor::Seek(int64_t off, Whence whence) {
-  int64_t base = 0;
-  switch (whence) {
-    case Whence::kSet:
-      base = 0;
-      break;
-    case Whence::kCur:
-      base = static_cast<int64_t>(pos_);
-      break;
-    case Whence::kEnd: {
-      PGLO_ASSIGN_OR_RETURN(uint64_t size, lo_->Size(txn_));
-      base = static_cast<int64_t>(size);
-      break;
-    }
-  }
-  int64_t target = base + off;
-  if (target < 0) return Status::InvalidArgument("seek before start");
-  pos_ = static_cast<uint64_t>(target);
-  return pos_;
-}
-
-Result<uint64_t> LoDescriptor::Size() { return lo_->Size(txn_); }
 
 Status LoDescriptor::Truncate(uint64_t size) {
   if (!writable_) {
     return Status::PermissionDenied("descriptor opened read-only");
   }
-  return lo_->Truncate(txn_, size);
+  return cursor_.Truncate(size);
 }
 
 // ---------------------------------------------------------------------------
@@ -113,7 +75,14 @@ Bytes LoManager::EncodeEntry(const CatalogEntry& e) {
   PutFixed32(&out, e.spec.max_segment);
   PutLengthPrefixed(&out, Slice(e.spec.codec));
   PutLengthPrefixed(&out, Slice(e.spec.ufile_path));
-  for (Oid f : e.files) PutFixed32(&out, f);
+  // Wire order is fixed: data, index, seg_heap, seg_index, inner_data,
+  // inner_index (the former files[0..5] layout).
+  PutFixed32(&out, e.files.data);
+  PutFixed32(&out, e.files.index);
+  PutFixed32(&out, e.files.seg_heap);
+  PutFixed32(&out, e.files.seg_index);
+  PutFixed32(&out, e.files.inner_data);
+  PutFixed32(&out, e.files.inner_index);
   return out;
 }
 
@@ -139,10 +108,12 @@ Result<LoManager::CatalogEntry> LoManager::DecodeEntry(Slice image) {
   e.spec.max_segment = max_segment;
   e.spec.codec = codec.ToString();
   e.spec.ufile_path = ufile.ToString();
-  for (Oid& f : e.files) {
+  for (Oid* f : {&e.files.data, &e.files.index, &e.files.seg_heap,
+                 &e.files.seg_index, &e.files.inner_data,
+                 &e.files.inner_index}) {
     uint32_t v;
     if (!rest.GetFixed32(&v)) return Status::Corruption("bad LO entry");
-    f = v;
+    *f = v;
   }
   return e;
 }
@@ -171,17 +142,17 @@ Result<std::unique_ptr<LargeObject>> LoManager::InstantiateEntry(
       return std::unique_ptr<LargeObject>(
           new UfileLo(ctx_, entry.spec.ufile_path, entry.spec.kind));
     case StorageKind::kFChunk: {
-      FChunkLo::Files files{RelFileId{entry.spec.smgr, entry.files[0]},
-                            RelFileId{entry.spec.smgr, entry.files[1]}};
+      FChunkLo::Files files{RelFileId{entry.spec.smgr, entry.files.data},
+                            RelFileId{entry.spec.smgr, entry.files.index}};
       return std::unique_ptr<LargeObject>(
           new FChunkLo(ctx_, files, codec, entry.spec.chunk_size));
     }
     case StorageKind::kVSegment: {
       VSegmentLo::Files files;
-      files.seg_heap = RelFileId{entry.spec.smgr, entry.files[2]};
-      files.seg_index = RelFileId{entry.spec.smgr, entry.files[3]};
-      files.inner.data = RelFileId{entry.spec.smgr, entry.files[4]};
-      files.inner.index = RelFileId{entry.spec.smgr, entry.files[5]};
+      files.seg_heap = RelFileId{entry.spec.smgr, entry.files.seg_heap};
+      files.seg_index = RelFileId{entry.spec.smgr, entry.files.seg_index};
+      files.inner.data = RelFileId{entry.spec.smgr, entry.files.inner_data};
+      files.inner.index = RelFileId{entry.spec.smgr, entry.files.inner_index};
       return std::unique_ptr<LargeObject>(
           new VSegmentLo(ctx_, files, codec, entry.spec.max_segment));
     }
@@ -217,17 +188,17 @@ Result<Oid> LoManager::CreateInternal(Transaction* txn, const LoSpec& spec,
     case StorageKind::kFChunk: {
       PGLO_ASSIGN_OR_RETURN(FChunkLo::Files files,
                             FChunkLo::CreateStorage(ctx_, txn, spec.smgr));
-      entry.files[0] = files.data.relfile;
-      entry.files[1] = files.index.relfile;
+      entry.files.data = files.data.relfile;
+      entry.files.index = files.index.relfile;
       break;
     }
     case StorageKind::kVSegment: {
       PGLO_ASSIGN_OR_RETURN(VSegmentLo::Files files,
                             VSegmentLo::CreateStorage(ctx_, txn, spec.smgr));
-      entry.files[2] = files.seg_heap.relfile;
-      entry.files[3] = files.seg_index.relfile;
-      entry.files[4] = files.inner.data.relfile;
-      entry.files[5] = files.inner.index.relfile;
+      entry.files.seg_heap = files.seg_heap.relfile;
+      entry.files.seg_index = files.seg_index.relfile;
+      entry.files.inner_data = files.inner.data.relfile;
+      entry.files.inner_index = files.inner.index.relfile;
       break;
     }
   }
@@ -381,7 +352,7 @@ Result<std::vector<LoManager::ObjectInfo>> LoManager::List(Transaction* txn) {
     info.oid = entry.oid;
     info.spec = entry.spec;
     info.temp = entry.temp;
-    for (int i = 0; i < 6; ++i) info.files[i] = entry.files[i];
+    info.files = entry.files;
     out.push_back(std::move(info));
   }
   return out;
@@ -407,17 +378,17 @@ Status LoManager::Migrate(Transaction* txn, Oid oid, uint8_t new_smgr) {
     case StorageKind::kFChunk: {
       PGLO_ASSIGN_OR_RETURN(FChunkLo::Files files,
                             FChunkLo::CreateStorage(ctx_, txn, new_smgr));
-      new_entry.files[0] = files.data.relfile;
-      new_entry.files[1] = files.index.relfile;
+      new_entry.files.data = files.data.relfile;
+      new_entry.files.index = files.index.relfile;
       break;
     }
     case StorageKind::kVSegment: {
       PGLO_ASSIGN_OR_RETURN(VSegmentLo::Files files,
                             VSegmentLo::CreateStorage(ctx_, txn, new_smgr));
-      new_entry.files[2] = files.seg_heap.relfile;
-      new_entry.files[3] = files.seg_index.relfile;
-      new_entry.files[4] = files.inner.data.relfile;
-      new_entry.files[5] = files.inner.index.relfile;
+      new_entry.files.seg_heap = files.seg_heap.relfile;
+      new_entry.files.seg_index = files.seg_index.relfile;
+      new_entry.files.inner_data = files.inner.data.relfile;
+      new_entry.files.inner_index = files.inner.index.relfile;
       break;
     }
     default:

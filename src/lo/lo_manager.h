@@ -8,37 +8,51 @@
 
 #include "db/context.h"
 #include "heap/heap_class.h"
+#include "lo/byte_stream.h"
 #include "lo/large_object.h"
 
 namespace pglo {
 
 class LoManager;
 
-/// Seek origins for the file-oriented interface (§4).
-enum class Whence { kSet, kCur, kEnd };
+/// Names of the relation files backing a chunked large object. Which
+/// fields are used depends on the storage kind: f-chunk fills data/index,
+/// v-segment fills seg_heap/seg_index plus the inner byte store's
+/// inner_data/inner_index. Zero = unused slot.
+struct BackingFiles {
+  Oid data = 0;         ///< f-chunk heap
+  Oid index = 0;        ///< f-chunk seqno B-tree
+  Oid seg_heap = 0;     ///< v-segment segment_ndx records
+  Oid seg_index = 0;    ///< v-segment locn B-tree
+  Oid inner_data = 0;   ///< v-segment inner byte store heap
+  Oid inner_index = 0;  ///< v-segment inner byte store B-tree
+};
 
 /// An open large object: the paper's file-oriented handle. "The
 /// application can then open the large object, seek to any byte location,
 /// and read any number of bytes." Bound to the transaction that opened it;
-/// closed automatically when that transaction ends.
+/// closed automatically when that transaction ends. The seek pointer is a
+/// SeekableCursor over the object's ByteStream.
 class LoDescriptor {
  public:
   LoDescriptor(const LoDescriptor&) = delete;
   LoDescriptor& operator=(const LoDescriptor&) = delete;
 
   /// Reads up to `n` bytes at the seek pointer, advancing it.
-  Result<size_t> Read(size_t n, uint8_t* buf);
+  Result<size_t> Read(size_t n, uint8_t* buf) { return cursor_.Read(n, buf); }
   /// Convenience overload returning an owned buffer (shorter at EOF).
-  Result<Bytes> Read(size_t n);
+  Result<Bytes> Read(size_t n) { return cursor_.Read(n); }
 
   /// Writes at the seek pointer, advancing it. Requires write mode.
   Status Write(Slice data);
 
   /// Moves the seek pointer; returns the new absolute position.
-  Result<uint64_t> Seek(int64_t off, Whence whence);
-  uint64_t Tell() const { return pos_; }
+  Result<uint64_t> Seek(int64_t off, Whence whence) {
+    return cursor_.Seek(off, whence);
+  }
+  uint64_t Tell() const { return cursor_.Tell(); }
 
-  Result<uint64_t> Size();
+  Result<uint64_t> Size() { return cursor_.Size(); }
   Status Truncate(uint64_t size);
 
   Oid oid() const { return oid_; }
@@ -50,14 +64,15 @@ class LoDescriptor {
   LoDescriptor(LoManager* mgr, Transaction* txn, Oid oid,
                std::unique_ptr<LargeObject> lo, bool writable)
       : mgr_(mgr), txn_(txn), oid_(oid), lo_(std::move(lo)),
-        writable_(writable) {}
+        stream_(lo_.get(), txn), cursor_(&stream_), writable_(writable) {}
 
   LoManager* mgr_;
   Transaction* txn_;
   Oid oid_;
   std::unique_ptr<LargeObject> lo_;
+  LoByteStream stream_;
+  SeekableCursor cursor_;
   bool writable_;
-  uint64_t pos_ = 0;
 };
 
 /// Creates, opens, and destroys large objects of all four storage kinds.
@@ -136,7 +151,7 @@ class LoManager {
     Oid oid = kInvalidOid;
     LoSpec spec;
     bool temp = false;
-    Oid files[6] = {};
+    BackingFiles files;  ///< interpretation per StorageKind
   };
   Result<std::vector<ObjectInfo>> List(Transaction* txn);
 
@@ -148,9 +163,8 @@ class LoManager {
     Oid oid = kInvalidOid;
     LoSpec spec;
     bool temp = false;
-    // Backing storage, interpretation depends on spec.kind.
-    Oid files[6] = {};  // data, index, seg_heap, seg_index, inner_data,
-                        // inner_index (relfile oids in spec.smgr)
+    // Backing relation files in spec.smgr; interpretation per spec.kind.
+    BackingFiles files;
   };
 
   static Bytes EncodeEntry(const CatalogEntry& e);

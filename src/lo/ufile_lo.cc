@@ -7,7 +7,20 @@ Status UfileLo::CreateStorage(const DbContext& ctx, const std::string& path) {
 }
 
 UfileLo::UfileLo(const DbContext& ctx, std::string path, StorageKind kind)
-    : ctx_(ctx), path_(std::move(path)), kind_(kind) {}
+    : ctx_(ctx), path_(std::move(path)), kind_(kind) {
+  if (ctx_.stats != nullptr) {
+    std::string prefix =
+        kind_ == StorageKind::kUserFile ? "lo.ufile" : "lo.pfile";
+    c_reads_ = ctx_.stats->counter(prefix + ".reads");
+    c_writes_ = ctx_.stats->counter(prefix + ".writes");
+    c_bytes_read_ = ctx_.stats->counter(prefix + ".bytes_read");
+    c_bytes_written_ = ctx_.stats->counter(prefix + ".bytes_written");
+    h_read_ = ctx_.stats->histogram(prefix + ".read_ns");
+    h_write_ = ctx_.stats->histogram(prefix + ".write_ns");
+    span_read_name_ = prefix + ".read";
+    span_write_name_ = prefix + ".write";
+  }
+}
 
 Result<uint32_t> UfileLo::Inode() {
   if (!inode_known_) {
@@ -20,12 +33,19 @@ Result<uint32_t> UfileLo::Inode() {
 Result<size_t> UfileLo::Read(Transaction* txn, uint64_t off, size_t n,
                              uint8_t* buf) {
   (void)txn;  // file implementations ignore transactions (§6.1)
+  TraceSpan span(ctx_.stats, h_read_, span_read_name_);
+  StatInc(c_reads_);
   PGLO_ASSIGN_OR_RETURN(uint32_t ino, Inode());
-  return ctx_.ufs->ReadAt(ino, off, n, buf);
+  PGLO_ASSIGN_OR_RETURN(size_t got, ctx_.ufs->ReadAt(ino, off, n, buf));
+  StatAdd(c_bytes_read_, got);
+  return got;
 }
 
 Status UfileLo::Write(Transaction* txn, uint64_t off, Slice data) {
   (void)txn;
+  TraceSpan span(ctx_.stats, h_write_, span_write_name_);
+  StatInc(c_writes_);
+  StatAdd(c_bytes_written_, data.size());
   PGLO_ASSIGN_OR_RETURN(uint32_t ino, Inode());
   return ctx_.ufs->WriteAt(ino, off, data);
 }

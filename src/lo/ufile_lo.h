@@ -50,6 +50,16 @@ class UfileLo : public LargeObject {
   StorageKind kind_;
   uint32_t cached_inode_ = 0;
   bool inode_known_ = false;
+  // Observability (null when ctx.stats is null); named lo.ufile.* or
+  // lo.pfile.* depending on `kind`.
+  Counter* c_reads_ = nullptr;
+  Counter* c_writes_ = nullptr;
+  Counter* c_bytes_read_ = nullptr;
+  Counter* c_bytes_written_ = nullptr;
+  Histogram* h_read_ = nullptr;
+  Histogram* h_write_ = nullptr;
+  std::string span_read_name_;
+  std::string span_write_name_;
 };
 
 }  // namespace pglo

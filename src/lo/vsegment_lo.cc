@@ -37,10 +37,21 @@ VSegmentLo::VSegmentLo(const DbContext& ctx, Files files,
       files_(files),
       seg_heap_(ctx.pool, files.seg_heap),
       seg_index_(ctx.pool, files.seg_index),
-      store_(ctx, files.inner, /*codec=*/nullptr, /*chunk_size=*/8000),
+      store_(ctx, files.inner, /*codec=*/nullptr, /*chunk_size=*/8000,
+             /*stats_prefix=*/"lo.vseg.store"),
       codec_(codec),
       max_segment_(max_segment) {
   PGLO_CHECK(max_segment_ > 0);
+  if (ctx_.stats != nullptr) {
+    c_reads_ = ctx_.stats->counter("lo.vseg.reads");
+    c_writes_ = ctx_.stats->counter("lo.vseg.writes");
+    c_bytes_read_ = ctx_.stats->counter("lo.vseg.bytes_read");
+    c_bytes_written_ = ctx_.stats->counter("lo.vseg.bytes_written");
+    c_compress_ns_ = ctx_.stats->counter("lo.vseg.codec_compress_ns");
+    c_decompress_ns_ = ctx_.stats->counter("lo.vseg.codec_decompress_ns");
+    h_read_ = ctx_.stats->histogram("lo.vseg.read_ns");
+    h_write_ = ctx_.stats->histogram("lo.vseg.write_ns");
+  }
 }
 
 Bytes VSegmentLo::EncodeSegment(const SegRecord& rec) {
@@ -116,8 +127,12 @@ Status VSegmentLo::LoadSegmentData(Transaction* txn, const SegRecord& rec,
     }
     PGLO_RETURN_IF_ERROR(codec_->Decompress(Slice(stored), rec.raw_len, out));
     if (ctx_.cpu != nullptr) {
+      uint64_t before = ctx_.clock != nullptr ? ctx_.clock->NowNanos() : 0;
       ctx_.cpu->ChargePerByte(codec_->decompress_instr_per_byte(),
                               rec.raw_len);
+      if (ctx_.clock != nullptr) {
+        StatAdd(c_decompress_ns_, ctx_.clock->NowNanos() - before);
+      }
     }
   } else {
     *out = std::move(stored);
@@ -137,7 +152,11 @@ Status VSegmentLo::AppendSegmentData(Transaction* txn, Slice raw,
   if (codec_ != nullptr) {
     PGLO_RETURN_IF_ERROR(codec_->Compress(raw, &compressed_buf));
     if (ctx_.cpu != nullptr) {
+      uint64_t before = ctx_.clock != nullptr ? ctx_.clock->NowNanos() : 0;
       ctx_.cpu->ChargePerByte(codec_->compress_instr_per_byte(), raw.size());
+      if (ctx_.clock != nullptr) {
+        StatAdd(c_compress_ns_, ctx_.clock->NowNanos() - before);
+      }
     }
     if (compressed_buf.size() < raw.size()) {
       rec->compressed = true;
@@ -221,6 +240,8 @@ Result<uint64_t> VSegmentLo::Size(Transaction* txn) { return LoadSize(txn); }
 
 Result<size_t> VSegmentLo::Read(Transaction* txn, uint64_t off, size_t n,
                                 uint8_t* buf) {
+  TraceSpan span(ctx_.stats, h_read_, "lo.vseg.read");
+  StatInc(c_reads_);
   PGLO_ASSIGN_OR_RETURN(uint64_t size, LoadSize(txn));
   if (off >= size) return static_cast<size_t>(0);
   n = static_cast<size_t>(std::min<uint64_t>(n, size - off));
@@ -237,12 +258,16 @@ Result<size_t> VSegmentLo::Read(Transaction* txn, uint64_t off, size_t n,
     std::memcpy(buf + (copy_begin - off), raw.data() + (copy_begin - rec.locn),
                 copy_end - copy_begin);
   }
+  StatAdd(c_bytes_read_, n);
   return n;
 }
 
 Status VSegmentLo::Write(Transaction* txn, uint64_t off, Slice data) {
   if (!txn->active()) return Status::Aborted("transaction not active");
   if (data.empty()) return Status::OK();
+  TraceSpan span(ctx_.stats, h_write_, "lo.vseg.write");
+  StatInc(c_writes_);
+  StatAdd(c_bytes_written_, data.size());
   PGLO_ASSIGN_OR_RETURN(uint64_t size, LoadSize(txn));
 
   // 1. Fill any gap between the current end and the write with zero

@@ -1,0 +1,129 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pglo {
+
+namespace {
+
+// Index of the most significant set bit (0 for value 0/1).
+size_t BucketFor(uint64_t ns) {
+  size_t b = 0;
+  while (ns > 1) {
+    ns >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t ns) {
+  ++count_;
+  sum_ += ns;
+  min_ = std::min(min_, ns);
+  max_ = std::max(max_, ns);
+  ++buckets_[BucketFor(ns)];
+}
+
+void Histogram::Reset() { *this = Histogram(); }
+
+uint64_t Histogram::PercentileNs(double p) const {
+  if (count_ == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * count_);
+  if (rank >= count_) rank = count_ - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Upper bound of bucket i, clamped to the observed max.
+      uint64_t bound = i + 1 >= 64 ? ~0ull : (1ull << (i + 1)) - 1;
+      return std::min(bound, max_);
+    }
+  }
+  return max_;
+}
+
+uint64_t StatsSnapshot::Value(std::string_view name) const {
+  auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it != counters.end() && it->first == name) return it->second;
+  return 0;
+}
+
+uint64_t StatsSnapshot::SumPrefix(std::string_view prefix) const {
+  uint64_t sum = 0;
+  for (const auto& [name, value] : counters) {
+    if (name.size() >= prefix.size() &&
+        std::string_view(name).substr(0, prefix.size()) == prefix) {
+      sum += value;
+    }
+  }
+  return sum;
+}
+
+std::string StatsSnapshot::ToString() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    std::snprintf(buf, sizeof(buf), "%-40s %16llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const HistogramEntry& h : histograms) {
+    if (h.count == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%-40s n=%-10llu mean=%.3fms p50=%.3fms p99=%.3fms "
+                  "max=%.3fms\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<double>(h.sum_ns) / h.count * 1e-6,
+                  static_cast<double>(h.p50_ns) * 1e-6,
+                  static_cast<double>(h.p99_ns) * 1e-6,
+                  static_cast<double>(h.max_ns) * 1e-6);
+    out += buf;
+  }
+  return out;
+}
+
+Counter* StatsRegistry::counter(const std::string& name) {
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* StatsRegistry::histogram(const std::string& name) {
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+StatsSnapshot StatsRegistry::Snapshot() const {
+  StatsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    StatsSnapshot::HistogramEntry e;
+    e.name = name;
+    e.count = hist->count();
+    e.sum_ns = hist->sum_ns();
+    e.min_ns = hist->min_ns();
+    e.max_ns = hist->max_ns();
+    e.p50_ns = hist->PercentileNs(50.0);
+    e.p99_ns = hist->PercentileNs(99.0);
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void StatsRegistry::Reset() {
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace pglo

@@ -1,0 +1,219 @@
+#ifndef PGLO_OBS_STATS_H_
+#define PGLO_OBS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/sim_clock.h"
+
+namespace pglo {
+
+/// Cross-layer observability (§9 made self-reporting).
+///
+/// The paper's entire argument is quantitative — I/O counts, storage
+/// overheads, elapsed times per large-object implementation — yet a bench
+/// harness can only observe a layer from the outside. This subsystem lets
+/// every layer the paper measures report its own physical operations:
+/// device models register seeks and transfers, the buffer pool its hit
+/// rate, each storage manager its block I/O, each large-object
+/// implementation its per-op counts and codec time.
+///
+/// Design constraints, in order:
+///   1. Near-zero overhead. A Counter increment is one add on a pre-resolved
+///      pointer; layers resolve their counters once at construction, never
+///      per operation. When stats are disabled the layer holds a null
+///      registry and skips even that.
+///   2. Simulated time only. Histograms and trace spans are stamped against
+///      the shared SimClock, never the wall clock, so recorded latencies are
+///      exactly the simulated seconds the benchmarks report and output is
+///      deterministic.
+///   3. No clock interference. Nothing here ever *advances* the clock, so a
+///      run with stats on reports identical simulated times to a run with
+///      stats off.
+
+/// A named monotonic counter. Obtained from (and owned by) a StatsRegistry;
+/// the pointer is stable for the registry's lifetime, so hot paths hold it
+/// and increment without any lookup.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_ += n; }
+  void Inc() { ++value_; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Latency histogram over simulated nanoseconds: power-of-two buckets
+/// (bucket i counts samples in [2^i, 2^(i+1))), plus exact count/sum/min/max.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(uint64_t ns);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum_ns() const { return sum_; }
+  uint64_t min_ns() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max_ns() const { return max_; }
+  double mean_ns() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+  /// Upper bound of the bucket holding the p-th percentile sample
+  /// (p in [0, 100]); 0 when empty.
+  uint64_t PercentileNs(double p) const;
+
+  const uint64_t* buckets() const { return buckets_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+/// One completed trace span, delivered to a TraceSink.
+struct TraceEvent {
+  std::string_view name;
+  uint64_t begin_ns = 0;  ///< simulated time at span entry
+  uint64_t end_ns = 0;    ///< simulated time at span exit
+  uint32_t depth = 0;     ///< nesting depth (0 = outermost live span)
+};
+
+/// Receives every completed span while attached. Attaching a sink is the
+/// expensive mode (per-span virtual call); with no sink, spans only stamp
+/// their histogram.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpan(const TraceEvent& event) = 0;
+};
+
+/// Point-in-time copy of every counter and histogram, for printing and for
+/// delta arithmetic in tests and benchmarks.
+struct StatsSnapshot {
+  struct HistogramEntry {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum_ns = 0;
+    uint64_t min_ns = 0;
+    uint64_t max_ns = 0;
+    uint64_t p50_ns = 0;
+    uint64_t p99_ns = 0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;  ///< sorted by name
+  std::vector<HistogramEntry> histograms;                  ///< sorted by name
+
+  /// Value of counter `name`; 0 when absent (absent and never-incremented
+  /// are indistinguishable, which is what delta arithmetic wants).
+  uint64_t Value(std::string_view name) const;
+
+  /// Sum of every counter whose name starts with `prefix`.
+  uint64_t SumPrefix(std::string_view prefix) const;
+
+  /// Human-readable table of all non-zero counters and histograms.
+  std::string ToString() const;
+};
+
+/// Process-wide (per-Database) registry of named counters and histograms.
+///
+/// Names are dotted paths, `<layer>.<instance?>.<metric>`:
+///   device.disk.seeks, bufpool.hits, smgr.worm.blocks_read,
+///   lo.fchunk.bytes_read, inversion.path_resolutions.
+/// Layers resolve counters once at bind/construction time; the returned
+/// pointers stay valid for the registry's lifetime.
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// The clock trace spans stamp against. Spans are no-ops until set.
+  void SetClock(const SimClock* clock) { clock_ = clock; }
+  const SimClock* clock() const { return clock_; }
+
+  Counter* counter(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  void SetTraceSink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* trace_sink() const { return sink_; }
+
+  StatsSnapshot Snapshot() const;
+
+  /// Zeroes every counter and histogram (pointers stay valid).
+  void Reset();
+
+ private:
+  friend class TraceSpan;
+
+  uint32_t EnterSpan() { return span_depth_++; }
+  void ExitSpan(std::string_view name, uint64_t begin_ns, uint64_t end_ns,
+                uint32_t depth) {
+    span_depth_ = depth;
+    if (sink_ != nullptr) sink_->OnSpan(TraceEvent{name, begin_ns, end_ns, depth});
+  }
+
+  const SimClock* clock_ = nullptr;
+  TraceSink* sink_ = nullptr;
+  uint32_t span_depth_ = 0;
+  // std::map: ordered iteration gives sorted snapshots; unique_ptr gives
+  // stable Counter/Histogram addresses across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Scoped operation trace: stamps begin/end against the registry's SimClock,
+/// records the simulated duration into `hist` (when non-null), and reports
+/// the completed span to the attached TraceSink (when one is attached).
+/// With a null registry — stats disabled — construction and destruction do
+/// nothing at all.
+class TraceSpan {
+ public:
+  TraceSpan(StatsRegistry* registry, Histogram* hist, std::string_view name)
+      : registry_(registry) {
+    if (registry_ == nullptr || registry_->clock() == nullptr) {
+      registry_ = nullptr;
+      return;
+    }
+    hist_ = hist;
+    name_ = name;
+    begin_ns_ = registry_->clock()->NowNanos();
+    depth_ = registry_->EnterSpan();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (registry_ == nullptr) return;
+    uint64_t end_ns = registry_->clock()->NowNanos();
+    if (hist_ != nullptr) hist_->Record(end_ns - begin_ns_);
+    registry_->ExitSpan(name_, begin_ns_, end_ns, depth_);
+  }
+
+ private:
+  StatsRegistry* registry_;
+  Histogram* hist_ = nullptr;
+  std::string_view name_;
+  uint64_t begin_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+/// Increment helpers tolerating unbound (null) counters, so hot paths can
+/// stay branch-light: `StatInc(stat_hits_);`
+inline void StatInc(Counter* c) {
+  if (c != nullptr) c->Inc();
+}
+inline void StatAdd(Counter* c, uint64_t n) {
+  if (c != nullptr) c->Add(n);
+}
+
+}  // namespace pglo
+
+#endif  // PGLO_OBS_STATS_H_

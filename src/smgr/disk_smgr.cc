@@ -84,6 +84,7 @@ Status DiskSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
     return Status::IOError("short read of block " + std::to_string(block));
   }
   if (device_ != nullptr) device_->ChargeRead(PhysicalBlock(relfile, block), 1);
+  StatInc(stat_blocks_read_);
   return Status::OK();
 }
 
@@ -102,6 +103,7 @@ Status DiskSmgr::WriteBlock(Oid relfile, BlockNumber block,
   if (device_ != nullptr) {
     device_->ChargeWrite(PhysicalBlock(relfile, block), 1);
   }
+  StatInc(stat_blocks_written_);
   return Status::OK();
 }
 

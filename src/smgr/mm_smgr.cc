@@ -42,6 +42,7 @@ Status MainMemorySmgr::ReadBlock(Oid relfile, BlockNumber block,
   }
   std::memcpy(buf, it->second[block].get(), kPageSize);
   if (device_ != nullptr) device_->ChargeRead(block, 1);
+  StatInc(stat_blocks_read_);
   return Status::OK();
 }
 
@@ -60,6 +61,7 @@ Status MainMemorySmgr::WriteBlock(Oid relfile, BlockNumber block,
   }
   std::memcpy(blocks[block].get(), buf, kPageSize);
   if (device_ != nullptr) device_->ChargeWrite(block, 1);
+  StatInc(stat_blocks_written_);
   return Status::OK();
 }
 

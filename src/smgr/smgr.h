@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/stats.h"
 #include "storage/page.h"
 
 namespace pglo {
@@ -48,6 +49,22 @@ class StorageManager {
   virtual Result<uint64_t> StorageBytes(Oid relfile) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Mirrors block I/O accounting into `registry` counters named
+  /// `smgr.<name>.{blocks_read,blocks_written}`. Implementations bump the
+  /// protected counters in their ReadBlock/WriteBlock; overrides may bind
+  /// additional implementation-specific counters. Null registry = unbound
+  /// (no overhead).
+  virtual void BindStats(StatsRegistry* registry) {
+    if (registry == nullptr) return;
+    stat_blocks_read_ = registry->counter("smgr." + name() + ".blocks_read");
+    stat_blocks_written_ =
+        registry->counter("smgr." + name() + ".blocks_written");
+  }
+
+ protected:
+  Counter* stat_blocks_read_ = nullptr;
+  Counter* stat_blocks_written_ = nullptr;
 };
 
 /// Well-known storage manager slots. The registry accepts arbitrary ids;

@@ -110,6 +110,7 @@ Status WormSmgr::ReadOptical(uint32_t optical, uint8_t* buf) {
     return Status::IOError("optical read failed");
   }
   ++stats_.optical_reads;
+  StatInc(c_optical_reads_);
   if (optical_device_ != nullptr) optical_device_->ChargeRead(optical, 1);
   return Status::OK();
 }
@@ -121,6 +122,7 @@ Status WormSmgr::BurnOptical(uint32_t optical, const uint8_t* buf) {
     return Status::IOError("optical write failed");
   }
   ++stats_.optical_writes;
+  StatInc(c_optical_writes_);
   if (optical_device_ != nullptr) optical_device_->ChargeWrite(optical, 1);
   return Status::OK();
 }
@@ -232,11 +234,14 @@ Status WormSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
       it->second.map[block] == kNoOptical) {
     return Status::OutOfRange("block beyond end of file");
   }
+  StatInc(stat_blocks_read_);
   if (CacheLookup(relfile, block, buf)) {
     ++stats_.cache_hits;
+    StatInc(c_cache_hits_);
     return Status::OK();
   }
   ++stats_.cache_misses;
+  StatInc(c_cache_misses_);
   PGLO_RETURN_IF_ERROR(ReadOptical(it->second.map[block], buf));
   CacheInsert(relfile, block, buf);
   return Status::OK();
@@ -259,9 +264,11 @@ Status WormSmgr::WriteBlock(Oid relfile, BlockNumber block,
     fs.map.push_back(optical);
   } else {
     ++stats_.relocations;  // write-once: old block becomes dead platter
+    StatInc(c_relocations_);
     fs.map[block] = optical;
   }
   ++fs.blocks_burned;
+  StatInc(stat_blocks_written_);
   CacheInsert(relfile, block, buf);
   return Status::OK();
 }

@@ -61,6 +61,17 @@ class WormSmgr : public StorageManager {
 
   const WormSmgrStats& stats() const { return stats_; }
   void ResetStats() { stats_ = WormSmgrStats(); }
+
+  /// Base block I/O counters plus the §9.3 cache/jukebox breakdown.
+  void BindStats(StatsRegistry* registry) override {
+    StorageManager::BindStats(registry);
+    if (registry == nullptr) return;
+    c_cache_hits_ = registry->counter("smgr.worm.cache_hits");
+    c_cache_misses_ = registry->counter("smgr.worm.cache_misses");
+    c_optical_reads_ = registry->counter("smgr.worm.optical_reads");
+    c_optical_writes_ = registry->counter("smgr.worm.optical_writes");
+    c_relocations_ = registry->counter("smgr.worm.relocations");
+  }
   /// Empties the magnetic-disk cache (benchmarks use this to cold-start).
   void DropCache();
 
@@ -114,6 +125,11 @@ class WormSmgr : public StorageManager {
   uint64_t cache_fill_rotor_ = 0;
 
   WormSmgrStats stats_;
+  Counter* c_cache_hits_ = nullptr;
+  Counter* c_cache_misses_ = nullptr;
+  Counter* c_optical_reads_ = nullptr;
+  Counter* c_optical_writes_ = nullptr;
+  Counter* c_relocations_ = nullptr;
 };
 
 }  // namespace pglo

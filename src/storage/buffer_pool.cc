@@ -80,6 +80,7 @@ Status BufferPool::WriteRaw(Frame& frame) {
                        frame.data.get()));
   frame.dirty = false;
   ++stats_.writebacks;
+  StatInc(c_writebacks_);
   return Status::OK();
 }
 
@@ -125,6 +126,7 @@ Result<size_t> BufferPool::FindVictim() {
   Frame& f = frames_[frame];
   f.on_lru = false;
   ++stats_.evictions;
+  StatInc(c_evictions_);
   if (f.dirty) {
     // Background-writer behaviour: when eviction hits a dirty page, clean
     // a batch of cold dirty pages in sorted block order, so that a mixed
@@ -164,6 +166,7 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    StatInc(c_hits_);
     size_t frame = it->second;
     Frame& f = frames_[frame];
     Touch(frame);
@@ -171,6 +174,7 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
     return PageHandle(this, frame, id);
   }
   ++stats_.misses;
+  StatInc(c_misses_);
   PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictim());
   Frame& f = frames_[frame];
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(id.file));

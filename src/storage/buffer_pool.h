@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "device/cpu_cost.h"
+#include "obs/stats.h"
 #include "smgr/smgr_registry.h"
 #include "storage/page.h"
 
@@ -84,6 +85,16 @@ class BufferPool {
     access_instructions_ = instructions;
   }
 
+  /// Mirrors hit/miss/eviction/writeback accounting into `registry`
+  /// counters under `bufpool.*`. Null registry = unbound (no overhead).
+  void BindStats(StatsRegistry* registry) {
+    if (registry == nullptr) return;
+    c_hits_ = registry->counter("bufpool.hits");
+    c_misses_ = registry->counter("bufpool.misses");
+    c_evictions_ = registry->counter("bufpool.evictions");
+    c_writebacks_ = registry->counter("bufpool.writebacks");
+  }
+
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -151,6 +162,10 @@ class BufferPool {
   SmgrRegistry* smgrs_;
   CpuCostModel* cpu_ = nullptr;
   uint64_t access_instructions_ = 0;
+  Counter* c_hits_ = nullptr;
+  Counter* c_misses_ = nullptr;
+  Counter* c_evictions_ = nullptr;
+  Counter* c_writebacks_ = nullptr;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t, PageIdHash> page_table_;
   /// Logical file sizes including not-yet-materialized appended blocks.

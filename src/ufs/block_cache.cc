@@ -36,6 +36,7 @@ Status UfsBlockCache::ReadBacking(uint32_t block, uint8_t* buf) {
     std::memset(buf + n, 0, kPageSize - n);
   }
   if (device_ != nullptr) device_->ChargeRead(block, 1);
+  StatInc(c_blocks_read_);
   return Status::OK();
 }
 
@@ -46,6 +47,7 @@ Status UfsBlockCache::WriteBacking(uint32_t block, const uint8_t* buf) {
     return Status::IOError("ufs backing write failed");
   }
   if (device_ != nullptr) device_->ChargeWrite(block, 1);
+  StatInc(c_blocks_written_);
   return Status::OK();
 }
 
@@ -90,11 +92,13 @@ Status UfsBlockCache::Read(uint32_t block, uint8_t* buf) {
   auto it = cache_.find(block);
   if (it != cache_.end()) {
     ++hits_;
+    StatInc(c_hits_);
     Touch(block, it->second);
     std::memcpy(buf, it->second.data.data(), kPageSize);
     return Status::OK();
   }
   ++misses_;
+  StatInc(c_misses_);
   PGLO_RETURN_IF_ERROR(ReadBacking(block, buf));
   PGLO_RETURN_IF_ERROR(EvictIfFull());
   Entry e;

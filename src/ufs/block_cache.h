@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "device/cpu_cost.h"
 #include "device/device_model.h"
+#include "obs/stats.h"
 #include "storage/page.h"
 
 namespace pglo {
@@ -33,6 +34,16 @@ class UfsBlockCache {
   void SetAccessCost(CpuCostModel* cpu, uint64_t instructions) {
     cpu_ = cpu;
     access_instructions_ = instructions;
+  }
+
+  /// Mirrors cache and backing-store accounting into `registry` counters
+  /// under `ufs.*`. Null registry = unbound (no overhead).
+  void BindStats(StatsRegistry* registry) {
+    if (registry == nullptr) return;
+    c_hits_ = registry->counter("ufs.cache.hits");
+    c_misses_ = registry->counter("ufs.cache.misses");
+    c_blocks_read_ = registry->counter("ufs.blocks_read");
+    c_blocks_written_ = registry->counter("ufs.blocks_written");
   }
 
   /// Copies block `block` into `buf`, reading through on a miss.
@@ -72,6 +83,10 @@ class UfsBlockCache {
   std::list<uint32_t> lru_;  // front = least recently used
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  Counter* c_hits_ = nullptr;
+  Counter* c_misses_ = nullptr;
+  Counter* c_blocks_read_ = nullptr;
+  Counter* c_blocks_written_ = nullptr;
 };
 
 }  // namespace pglo

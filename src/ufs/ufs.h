@@ -89,6 +89,9 @@ class UnixFileSystem {
     cache_.SetAccessCost(cpu, instructions);
   }
 
+  /// Forwards to the buffer cache's stats binding (`ufs.*` counters).
+  void BindStats(StatsRegistry* registry) { cache_.BindStats(registry); }
+
  private:
   static constexpr uint32_t kMagic = 0x55465331;  // "UFS1"
   static constexpr uint32_t kPtrsPerBlock = kPageSize / 4;

@@ -679,5 +679,69 @@ TEST_F(LoManagerTest, FootprintReflectsCompression) {
   ASSERT_OK(db_.Abort(txn));
 }
 
+TEST(LoStatsTest, SequentialReadReportsExpectedCounterDeltas) {
+  // A cold sequential scan of N frames must show up, layer by layer, in the
+  // observability registry: N f-chunk reads of frame-size bytes at the top,
+  // buffer-pool misses and disk storage-manager block reads underneath.
+  constexpr uint64_t kFrames = 8;
+  constexpr uint64_t kFrameBytes = 4096;
+  testing::TempDir dir;
+  DatabaseOptions options;
+  options.dir = dir.Sub("db");
+  options.charge_devices = false;
+  Database db;
+  ASSERT_OK(db.Open(options));
+
+  Oid oid;
+  {
+    Transaction* txn = db.Begin();
+    LoSpec spec;
+    spec.kind = StorageKind::kFChunk;
+    auto created = db.large_objects().Create(txn, spec);
+    ASSERT_OK(created.status());
+    oid = *created;
+    auto lo = db.large_objects().Instantiate(txn, oid);
+    ASSERT_OK(lo.status());
+    for (uint64_t f = 0; f < kFrames; ++f) {
+      Bytes frame(kFrameBytes, static_cast<uint8_t>('a' + f));
+      ASSERT_OK((*lo)->Write(txn, f * kFrameBytes, Slice(frame)));
+    }
+    ASSERT_OK(db.Commit(txn).status());
+  }
+
+  // Reopen: fresh registry, cold buffer pool, so the read path's physical
+  // work is attributable to the scan alone.
+  ASSERT_OK(db.Close());
+  ASSERT_OK(db.Open(options));
+  {
+    Transaction* txn = db.Begin();
+    auto lo = db.large_objects().Instantiate(txn, oid);
+    ASSERT_OK(lo.status());
+    Bytes buf(kFrameBytes);
+    for (uint64_t f = 0; f < kFrames; ++f) {
+      auto got = (*lo)->Read(txn, f * kFrameBytes, kFrameBytes, buf.data());
+      ASSERT_OK(got.status());
+      EXPECT_EQ(*got, kFrameBytes);
+      EXPECT_EQ(buf[0], static_cast<uint8_t>('a' + f));
+    }
+    ASSERT_OK(db.Abort(txn));
+  }
+
+  StatsSnapshot snap = db.Stats();
+  EXPECT_EQ(snap.Value("lo.fchunk.reads"), kFrames);
+  EXPECT_EQ(snap.Value("lo.fchunk.bytes_read"), kFrames * kFrameBytes);
+  EXPECT_EQ(snap.Value("lo.fchunk.writes"), 0u);
+  // The cold scan had to fault pages in and fetch blocks from disk.
+  EXPECT_GT(snap.Value("bufpool.misses"), 0u);
+  EXPECT_GT(snap.Value("smgr.disk.blocks_read"), 0u);
+  // The read path's latency histogram saw every frame.
+  uint64_t read_spans = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "lo.fchunk.read_ns") read_spans = h.count;
+  }
+  EXPECT_EQ(read_spans, kFrames);
+  ASSERT_OK(db.Close());
+}
+
 }  // namespace
 }  // namespace pglo

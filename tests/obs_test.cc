@@ -1,0 +1,254 @@
+#include "obs/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "device/sim_clock.h"
+#include "tests/test_util.h"
+
+namespace pglo {
+namespace {
+
+using pglo::testing::TempDir;
+
+TEST(CounterTest, IncAddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, NullTolerantHelpers) {
+  StatInc(nullptr);
+  StatAdd(nullptr, 100);
+  Counter c;
+  StatInc(&c);
+  StatAdd(&c, 9);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(HistogramTest, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+
+  h.Record(100);
+  h.Record(300);
+  h.Record(200);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_ns(), 600u);
+  EXPECT_EQ(h.min_ns(), 100u);
+  EXPECT_EQ(h.max_ns(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+}
+
+TEST(HistogramTest, PercentileBucketUpperBound) {
+  Histogram h;
+  // 99 samples in [64, 128), one sample in [1024, 2048).
+  for (int i = 0; i < 99; ++i) h.Record(100);
+  h.Record(1500);
+  // p50 lands in the [64, 128) bucket, whose inclusive upper bound is 127.
+  EXPECT_EQ(h.PercentileNs(50), 127u);
+  // p100 lands in the [1024, 2048) bucket, clamped to the observed max.
+  EXPECT_EQ(h.PercentileNs(100), 1500u);
+  EXPECT_EQ(Histogram().PercentileNs(50), 0u);
+}
+
+TEST(StatsRegistryTest, StablePointersAndSnapshot) {
+  StatsRegistry reg;
+  Counter* a = reg.counter("layer.a");
+  Counter* b = reg.counter("layer.b");
+  EXPECT_NE(a, b);
+  // Same name resolves to the same object, even after other inserts.
+  EXPECT_EQ(reg.counter("layer.a"), a);
+  a->Add(7);
+  b->Add(5);
+  reg.counter("other.c")->Add(1);
+
+  StatsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.Value("layer.a"), 7u);
+  EXPECT_EQ(snap.Value("layer.b"), 5u);
+  EXPECT_EQ(snap.Value("missing"), 0u);
+  EXPECT_EQ(snap.SumPrefix("layer."), 12u);
+  EXPECT_EQ(snap.SumPrefix("other."), 1u);
+  EXPECT_EQ(snap.SumPrefix(""), 13u);
+
+  // Snapshot is a copy: later increments don't show in it.
+  a->Inc();
+  EXPECT_EQ(snap.Value("layer.a"), 7u);
+
+  std::string table = snap.ToString();
+  EXPECT_NE(table.find("layer.a"), std::string::npos);
+  EXPECT_NE(table.find("7"), std::string::npos);
+}
+
+TEST(StatsRegistryTest, ResetZeroesButKeepsPointers) {
+  StatsRegistry reg;
+  Counter* c = reg.counter("x");
+  Histogram* h = reg.histogram("y");
+  c->Add(3);
+  h->Record(10);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  // Pointers stay valid and usable after Reset.
+  c->Inc();
+  EXPECT_EQ(reg.Snapshot().Value("x"), 1u);
+}
+
+TEST(TraceSpanTest, RecordsSimulatedDuration) {
+  SimClock clock;
+  StatsRegistry reg;
+  reg.SetClock(&clock);
+  Histogram* h = reg.histogram("op_ns");
+  {
+    TraceSpan span(&reg, h, "op");
+    clock.Advance(1234);
+  }
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_EQ(h->sum_ns(), 1234u);
+}
+
+TEST(TraceSpanTest, NullRegistryAndClocklessRegistryAreNoOps) {
+  Histogram h;
+  {
+    TraceSpan span(nullptr, &h, "op");
+  }
+  EXPECT_EQ(h.count(), 0u);
+
+  StatsRegistry clockless;  // SetClock never called
+  {
+    TraceSpan span(&clockless, &h, "op");
+  }
+  EXPECT_EQ(h.count(), 0u);
+}
+
+class RecordingSink : public TraceSink {
+ public:
+  void OnSpan(const TraceEvent& event) override {
+    events.push_back({std::string(event.name), event.begin_ns, event.end_ns,
+                      event.depth});
+  }
+  struct Copy {
+    std::string name;
+    uint64_t begin_ns, end_ns;
+    uint32_t depth;
+  };
+  std::vector<Copy> events;
+};
+
+TEST(TraceSpanTest, SinkSeesNestingDepthAndTimes) {
+  SimClock clock;
+  StatsRegistry reg;
+  reg.SetClock(&clock);
+  RecordingSink sink;
+  reg.SetTraceSink(&sink);
+  {
+    TraceSpan outer(&reg, nullptr, "outer");
+    clock.Advance(10);
+    {
+      TraceSpan inner(&reg, nullptr, "inner");
+      clock.Advance(5);
+    }
+    clock.Advance(1);
+  }
+  // Spans complete innermost-first.
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].name, "inner");
+  EXPECT_EQ(sink.events[0].depth, 1u);
+  EXPECT_EQ(sink.events[0].begin_ns, 10u);
+  EXPECT_EQ(sink.events[0].end_ns, 15u);
+  EXPECT_EQ(sink.events[1].name, "outer");
+  EXPECT_EQ(sink.events[1].depth, 0u);
+  EXPECT_EQ(sink.events[1].begin_ns, 0u);
+  EXPECT_EQ(sink.events[1].end_ns, 16u);
+
+  // Depth resets: a fresh span after the nest is outermost again.
+  {
+    TraceSpan again(&reg, nullptr, "again");
+  }
+  ASSERT_EQ(sink.events.size(), 3u);
+  EXPECT_EQ(sink.events[2].depth, 0u);
+}
+
+TEST(DatabaseStatsTest, DisabledStatsReportsEmptyAndStillWorks) {
+  TempDir dir;
+  Database db;
+  DatabaseOptions options;
+  options.dir = dir.Sub("db");
+  options.enable_stats = false;
+  ASSERT_OK(db.Open(options));
+  EXPECT_EQ(db.stats_registry(), nullptr);
+
+  // Work proceeds normally with every layer's stats pointers unbound.
+  Transaction* txn = db.Begin();
+  LoSpec spec;
+  spec.kind = StorageKind::kFChunk;
+  auto oid = db.large_objects().Create(txn, spec);
+  ASSERT_OK(oid.status());
+  auto lo = db.large_objects().Instantiate(txn, *oid);
+  ASSERT_OK(lo.status());
+  std::string payload(9000, 'x');
+  ASSERT_OK((*lo)->Write(txn, 0, Slice(payload)));
+  ASSERT_OK(db.Commit(txn).status());
+
+  StatsSnapshot snap = db.Stats();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  ASSERT_OK(db.Close());
+}
+
+TEST(DatabaseStatsTest, EnabledStatsSeeCrossLayerWork) {
+  TempDir dir;
+  Database db;
+  DatabaseOptions options;
+  options.dir = dir.Sub("db");
+  ASSERT_OK(db.Open(options));  // enable_stats defaults to true
+  ASSERT_NE(db.stats_registry(), nullptr);
+
+  Transaction* txn = db.Begin();
+  LoSpec spec;
+  spec.kind = StorageKind::kFChunk;
+  auto oid = db.large_objects().Create(txn, spec);
+  ASSERT_OK(oid.status());
+  auto lo = db.large_objects().Instantiate(txn, *oid);
+  ASSERT_OK(lo.status());
+  std::string payload(9000, 'x');
+  ASSERT_OK((*lo)->Write(txn, 0, Slice(payload)));
+  std::string buf(9000, 0);
+  auto got = (*lo)->Read(txn, 0, buf.size(),
+                         reinterpret_cast<uint8_t*>(buf.data()));
+  ASSERT_OK(got.status());
+  EXPECT_EQ(*got, buf.size());
+  ASSERT_OK(db.Commit(txn).status());
+
+  StatsSnapshot snap = db.Stats();
+  EXPECT_EQ(snap.Value("lo.fchunk.writes"), 1u);
+  EXPECT_EQ(snap.Value("lo.fchunk.reads"), 1u);
+  EXPECT_EQ(snap.Value("lo.fchunk.bytes_written"), payload.size());
+  EXPECT_EQ(snap.Value("lo.fchunk.bytes_read"), buf.size());
+  // The write + read touched the buffer pool and the disk storage manager.
+  EXPECT_GT(snap.SumPrefix("bufpool."), 0u);
+  EXPECT_GT(snap.Value("smgr.disk.blocks_written"), 0u);
+
+  // ResetStats zeroes everything but keeps the registry bound.
+  db.ResetStats();
+  EXPECT_EQ(db.Stats().SumPrefix(""), 0u);
+  ASSERT_OK(db.Close());
+}
+
+}  // namespace
+}  // namespace pglo

@@ -1,0 +1,29 @@
+#!/bin/sh
+# tools/check.sh [default|asan|all] — configure, build, and run the test
+# suite under the named CMake preset (see CMakePresets.json). "all" runs the
+# plain preset first, then the address+UB sanitizer preset.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  preset="$1"
+  echo "== preset: $preset =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$preset" -j "$(nproc)"
+}
+
+case "${1:-default}" in
+  default|asan)
+    run_preset "$1"
+    ;;
+  all)
+    run_preset default
+    run_preset asan
+    ;;
+  *)
+    echo "usage: $0 [default|asan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,12 +1,15 @@
 // pglo_fsck — offline database check & maintenance tool.
 //
-//   pglo_fsck <dbdir> [--vacuum <horizon|now>] [--list]
+//   pglo_fsck <dbdir> [--vacuum <horizon|now>] [--list] [--stats]
 //
 // Runs the full integrity sweep (every object streamed, every B-tree
 // validated, every touched page checksum-verified). With --vacuum,
 // reclaims versions deleted at or before the given commit tick ("now"
 // uses the latest tick — keeps no history). With --list, prints the large
-// object catalog.
+// object catalog. With --stats, dumps the observability registry after the
+// sweep — every counter and latency histogram the run incremented, which
+// shows the physical cost (block I/O, cache behaviour, device work) of the
+// check itself.
 
 #include <cstdio>
 #include <cstring>
@@ -24,14 +27,16 @@ using pglo::StorageKindToString;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <dbdir> [--vacuum <horizon|now>] [--list]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s <dbdir> [--vacuum <horizon|now>] [--list] [--stats]\n",
+        argv[0]);
     return 2;
   }
   std::string dir = argv[1];
   bool do_vacuum = false;
   bool do_list = false;
+  bool do_stats = false;
   uint64_t horizon = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vacuum") == 0 && i + 1 < argc) {
@@ -42,6 +47,8 @@ int main(int argc, char** argv) {
                     : std::strtoull(argv[i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--list") == 0) {
       do_list = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      do_stats = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -106,6 +113,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("%s\n", report.value().ToString().c_str());
+  if (do_stats) {
+    std::printf("--- observability registry ---\n%s",
+                db.Stats().ToString().c_str());
+  }
   s = db.Close();
   if (!s.ok()) {
     std::fprintf(stderr, "close failed: %s\n", s.ToString().c_str());
