@@ -3,7 +3,10 @@
 // the DBMS cache absorbing index pages and re-touched chunks; this sweep
 // shows where that breaks down.
 //
-// Run: bench_ablation_bufferpool [workdir]
+// Run: bench_ablation_bufferpool [--no-stats] [--quick] [--profile]
+//                                [--trace=FILE] [--json=FILE] [workdir]
+// Results are written to BENCH_ablation_bufferpool[_quick].json
+// (pglo-bench-v1 schema; see DESIGN.md §9) unless --no-json is given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -15,9 +18,13 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_ablB";
+  BenchArgs args = ParseBenchArgs(argc, argv, "ablation_bufferpool",
+                                  "/tmp/pglo_bench_ablB");
+  const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   const size_t kFrames[] = {64, 256, 1250, 3200};  // 0.5, 2, 10, 25 MB
 
@@ -30,13 +37,16 @@ int Main(int argc, char** argv) {
     Database db;
     DatabaseOptions options = PaperOptions(dir);
     options.buffer_pool_frames = frames;
+    options.enable_stats = args.stats;
     Status s = db.Open(options);
     if (!s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    LoBenchRunner runner(&db);
-    BenchConfig config{"fchunk", StorageKind::kFChunk, ""};
+    BenchConfig config{"pool=" + std::to_string(frames),
+                       StorageKind::kFChunk, ""};
+    run.StartConfig(config.name, &db, ConfigInfo(config));
+    LoBenchRunner runner(&db, scale);
     Result<Oid> oid = runner.CreateObject(config);
     if (!oid.ok()) {
       std::fprintf(stderr, "create failed: %s\n",
@@ -54,14 +64,24 @@ int Main(int argc, char** argv) {
     double hit_rate =
         static_cast<double>(stats.hits) /
         static_cast<double>(stats.hits + stats.misses + 1);
+    run.RecordResult(OpName(Op::kLocalRead), *local);
+    run.RecordResult(OpName(Op::kRandRead), *rand);
+    run.RecordValue(OpName(Op::kLocalRead), "pool_hit_rate", hit_rate);
     std::printf("%10.1f %14.1f %14.1f %13.1f%%\n",
                 frames * 8192.0 / (1024 * 1024), *local, *rand,
                 100.0 * hit_rate);
+    run.FinishConfig();
   }
   std::printf(
       "\nExpected shape: elapsed time falls and hit rate rises with pool "
       "size; the\n80/20 workload benefits first (its working set is "
       "smaller than uniform random's).\n");
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

@@ -4,7 +4,10 @@
 // are capped by the page size since POSTGRES never splits tuples across
 // pages.
 //
-// Run: bench_ablation_chunksize [workdir]
+// Run: bench_ablation_chunksize [--no-stats] [--quick] [--profile]
+//                               [--trace=FILE] [--json=FILE] [workdir]
+// Results are written to BENCH_ablation_chunksize[_quick].json
+// (pglo-bench-v1 schema; see DESIGN.md §9) unless --no-json is given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,9 +19,13 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_ablA";
+  BenchArgs args =
+      ParseBenchArgs(argc, argv, "ablation_chunksize", "/tmp/pglo_bench_ablA");
+  const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   const uint32_t kChunkSizes[] = {1000, 2000, 4000, 8000};
 
@@ -29,20 +36,25 @@ int Main(int argc, char** argv) {
   for (uint32_t chunk_size : kChunkSizes) {
     std::string dir = workdir + "/" + std::to_string(chunk_size);
     Database db;
-    Status s = db.Open(PaperOptions(dir));
+    DatabaseOptions options = PaperOptions(dir);
+    options.enable_stats = args.stats;
+    Status s = db.Open(options);
     if (!s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    LoBenchRunner runner(&db);
-    BenchConfig config{"fchunk", StorageKind::kFChunk, "", kSmgrDisk,
-                       chunk_size};
+    BenchConfig config{"chunk=" + std::to_string(chunk_size),
+                       StorageKind::kFChunk, "", kSmgrDisk, chunk_size};
+    run.StartConfig(config.name, &db, ConfigInfo(config));
+    LoBenchRunner runner(&db, scale);
+    SimTimer create_timer(&db.clock());
     Result<Oid> oid = runner.CreateObject(config);
     if (!oid.ok()) {
       std::fprintf(stderr, "create failed: %s\n",
                    oid.status().ToString().c_str());
       return 1;
     }
+    run.RecordResult("create", create_timer.ElapsedSeconds());
     Result<LargeObject::StorageFootprint> fp = runner.Footprint(*oid);
     Result<double> seq = runner.RunOp(*oid, Op::kSeqRead, 1);
     Result<double> rand = runner.RunOp(*oid, Op::kRandRead, 2);
@@ -51,16 +63,30 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "bench failed\n");
       return 1;
     }
+    run.RecordResult(OpName(Op::kSeqRead), *seq);
+    run.RecordResult(OpName(Op::kRandRead), *rand);
+    run.RecordResult(OpName(Op::kSeqWrite), *wr);
+    run.RecordValue("create", "data_bytes",
+                    static_cast<double>(fp->data_bytes));
+    run.RecordValue("create", "index_bytes",
+                    static_cast<double>(fp->index_bytes));
     std::printf("%8u %14llu %14llu %12.1f %12.1f %12.1f\n", chunk_size,
                 static_cast<unsigned long long>(fp->data_bytes),
                 static_cast<unsigned long long>(fp->index_bytes), *seq,
                 *rand, *wr);
+    run.FinishConfig();
   }
   std::printf(
       "\nExpected shape: 8000-byte chunks minimize storage overhead and "
       "sequential cost;\nsmall chunks waste page space (one tuple per "
       "page boundary effect disappears,\nbut per-chunk headers and index "
       "entries multiply).\n");
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

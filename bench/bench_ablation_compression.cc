@@ -4,7 +4,10 @@
 // sequential read with each codec at several simulated MIPS ratings and
 // shows where compression flips from a tax to a win.
 //
-// Run: bench_ablation_compression [workdir]
+// Run: bench_ablation_compression [--no-stats] [--quick] [--profile]
+//                                 [--trace=FILE] [--json=FILE] [workdir]
+// Results are written to BENCH_ablation_compression[_quick].json
+// (pglo-bench-v1 schema; see DESIGN.md §9) unless --no-json is given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -16,9 +19,13 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_ablD";
+  BenchArgs args = ParseBenchArgs(argc, argv, "ablation_compression",
+                                  "/tmp/pglo_bench_ablD");
+  const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   const double kMips[] = {10, 25, 65, 200};
   const char* kCodecs[] = {"", "rle", "lzss"};
@@ -36,13 +43,19 @@ int Main(int argc, char** argv) {
       Database db;
       DatabaseOptions options = PaperOptions(dir);
       options.cpu_mips = mips;
+      options.enable_stats = args.stats;
       Status s = db.Open(options);
       if (!s.ok()) {
         std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
         return 1;
       }
-      LoBenchRunner runner(&db);
-      BenchConfig config{"fchunk", StorageKind::kFChunk, kCodecs[c]};
+      BenchConfig config{"mips=" + std::to_string(int(mips)) + " codec=" +
+                             (kCodecs[c][0] != '\0' ? kCodecs[c] : "none"),
+                         StorageKind::kFChunk, kCodecs[c]};
+      auto info = ConfigInfo(config);
+      info["cpu_mips"] = std::to_string(int(mips));
+      run.StartConfig(config.name, &db, info);
+      LoBenchRunner runner(&db, scale);
       Result<Oid> oid = runner.CreateObject(config);
       if (!oid.ok()) {
         std::fprintf(stderr, "create failed: %s\n",
@@ -55,6 +68,8 @@ int Main(int argc, char** argv) {
         return 1;
       }
       cells[c] = *seq;
+      run.RecordResult(OpName(Op::kSeqRead), *seq);
+      run.FinishConfig();
     }
     std::printf("%10.0f %14.1f %14.1f %14.1f\n", mips, cells[0], cells[1],
                 cells[2]);
@@ -64,6 +79,12 @@ int Main(int argc, char** argv) {
       "compression loses;\nas MIPS rise the 50%% codec wins outright "
       "(half the pages to read), and the\n30%% codec never wins (it saves "
       "no pages — Figure 1).\n");
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

@@ -2,7 +2,10 @@
 // DBMS beating a raw-device reader on random and 80/20 access — hinges on
 // this cache; the sweep shows the crossover from useless to decisive.
 //
-// Run: bench_ablation_wormcache [workdir]
+// Run: bench_ablation_wormcache [--no-stats] [--quick] [--profile]
+//                               [--trace=FILE] [--json=FILE] [workdir]
+// Results are written to BENCH_ablation_wormcache[_quick].json
+// (pglo-bench-v1 schema; see DESIGN.md §9) unless --no-json is given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,9 +17,13 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_ablC";
+  BenchArgs args = ParseBenchArgs(argc, argv, "ablation_wormcache",
+                                  "/tmp/pglo_bench_ablC");
+  const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   const size_t kCacheBlocks[] = {0, 640, 1250, 3200, 4480, 7000};
 
@@ -28,14 +35,19 @@ int Main(int argc, char** argv) {
     std::string dir = workdir + "/" + std::to_string(blocks);
     Database db;
     DatabaseOptions options = PaperOptions(dir);
-    options.worm_cache_blocks = blocks;
+    // Quick mode shrinks the object 10x; shrink the sweep to match so the
+    // crossover still happens inside the swept range.
+    options.worm_cache_blocks = args.quick ? blocks / 10 : blocks;
+    options.enable_stats = args.stats;
     Status s = db.Open(options);
     if (!s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    LoBenchRunner runner(&db);
-    BenchConfig config{"fchunk", StorageKind::kFChunk, "", kSmgrWorm};
+    BenchConfig config{"cache=" + std::to_string(blocks),
+                       StorageKind::kFChunk, "", kSmgrWorm};
+    run.StartConfig(config.name, &db, ConfigInfo(config));
+    LoBenchRunner runner(&db, scale);
     Result<Oid> oid = runner.CreateObject(config);
     if (!oid.ok()) {
       std::fprintf(stderr, "create failed: %s\n",
@@ -54,14 +66,25 @@ int Main(int argc, char** argv) {
     double hit_rate = static_cast<double>(stats.cache_hits) /
                       static_cast<double>(stats.cache_hits +
                                           stats.cache_misses + 1);
+    run.RecordResult(OpName(Op::kSeqRead), *seq);
+    run.RecordResult(OpName(Op::kRandRead), *rand);
+    run.RecordResult(OpName(Op::kLocalRead), *local);
+    run.RecordValue(OpName(Op::kLocalRead), "worm_cache_hit_rate", hit_rate);
     std::printf("%10.1f %14.1f %14.1f %14.1f %13.1f%%\n",
                 blocks * 8192.0 / (1024 * 1024), *seq, *rand, *local,
                 100.0 * hit_rate);
+    run.FinishConfig();
   }
   std::printf(
       "\nExpected shape: sequential time is cache-insensitive (a cold "
       "streaming scan);\nrandom and 80/20 collapse once the cache covers "
       "a majority of the object.\n");
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

@@ -6,7 +6,10 @@
 // block I/O, device seeks and transfers during object creation) follows the
 // figure. Pass --no-stats to disable the registry.
 //
-// Run: bench_figure1_storage [--no-stats] [workdir]
+// Run: bench_figure1_storage [--no-stats] [--quick] [--profile]
+//                            [--trace=FILE] [--json=FILE] [workdir]
+// Results are also written to BENCH_figure1[_quick].json (pglo-bench-v1
+// schema; see DESIGN.md §9) unless --no-json is given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,10 +21,12 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  BenchArgs args = ParseBenchArgs(argc, argv, "/tmp/pglo_bench_fig1");
+  BenchArgs args = ParseBenchArgs(argc, argv, "figure1", "/tmp/pglo_bench_fig1");
   const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   // The six rows of Figure 1.
   const std::vector<BenchConfig> configs = {
@@ -35,7 +40,9 @@ int Main(int argc, char** argv) {
 
   std::printf("Figure 1: Storage Used by the Various Large Object "
               "Implementations\n");
-  std::printf("(51.2 MB object = 12,500 frames x 4096 bytes)\n\n");
+  std::printf("(%.1f MB object = %llu frames x 4096 bytes)\n\n",
+              static_cast<double>(scale.num_frames * kFrameSize) / 1e6,
+              static_cast<unsigned long long>(scale.num_frames));
   std::printf("%-30s %14s %14s %14s %14s\n", "Implementation", "data",
               "B-tree index", "2-level map", "total");
 
@@ -51,13 +58,16 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    LoBenchRunner runner(&db);
+    run.StartConfig(config.name, &db, ConfigInfo(config));
+    LoBenchRunner runner(&db, scale);
+    SimTimer create_timer(&db.clock());
     Result<Oid> oid = runner.CreateObject(config);
     if (!oid.ok()) {
       std::fprintf(stderr, "create %s failed: %s\n", config.name.c_str(),
                    oid.status().ToString().c_str());
       return 1;
     }
+    run.RecordResult("create", create_timer.ElapsedSeconds());
     Result<LargeObject::StorageFootprint> fp = runner.Footprint(*oid);
     if (!fp.ok()) {
       std::fprintf(stderr, "footprint failed: %s\n",
@@ -69,7 +79,14 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(fp->index_bytes),
                 static_cast<unsigned long long>(fp->map_bytes),
                 static_cast<unsigned long long>(fp->total()));
+    run.RecordValue("create", "data_bytes",
+                    static_cast<double>(fp->data_bytes));
+    run.RecordValue("create", "index_bytes",
+                    static_cast<double>(fp->index_bytes));
+    run.RecordValue("create", "map_bytes", static_cast<double>(fp->map_bytes));
+    run.RecordValue("create", "total_bytes", static_cast<double>(fp->total()));
     snapshots[&config - &configs[0]] = db.Stats();
+    run.FinishConfig();
   }
 
   if (args.stats) {
@@ -93,6 +110,12 @@ int Main(int argc, char** argv) {
       "page);\n"
       "50%% f-chunk halves storage (two chunks per page); v-segment 30%% "
       "saves ~30%%.\n");
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

@@ -10,7 +10,10 @@
 // registry disabled; simulated times are identical either way, because
 // stats never advance the clock.
 //
-// Run: bench_figure2_disk [--no-stats] [workdir]
+// Run: bench_figure2_disk [--no-stats] [--quick] [--profile]
+//                         [--trace=FILE] [--json=FILE] [workdir]
+// Results are also written to BENCH_figure2[_quick].json (pglo-bench-v1
+// schema; see DESIGN.md §9) unless --no-json is given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,10 +25,12 @@ namespace bench {
 namespace {
 
 int Main(int argc, char** argv) {
-  BenchArgs args = ParseBenchArgs(argc, argv, "/tmp/pglo_bench_fig2");
+  BenchArgs args = ParseBenchArgs(argc, argv, "figure2", "/tmp/pglo_bench_fig2");
   const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   const std::vector<BenchConfig> configs = {
       {"user file", StorageKind::kUserFile, ""},
@@ -53,13 +58,16 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    LoBenchRunner runner(&db);
+    run.StartConfig(configs[c].name, &db, ConfigInfo(configs[c]));
+    LoBenchRunner runner(&db, scale);
+    SimTimer create_timer(&db.clock());
     Result<Oid> oid = runner.CreateObject(configs[c]);
     if (!oid.ok()) {
       std::fprintf(stderr, "create %s failed: %s\n", configs[c].name.c_str(),
                    oid.status().ToString().c_str());
       return 1;
     }
+    run.RecordResult("create", create_timer.ElapsedSeconds());
     for (size_t o = 0; o < ops.size(); ++o) {
       Result<double> seconds = runner.RunOp(*oid, ops[o], 1000 + o);
       if (!seconds.ok()) {
@@ -68,8 +76,10 @@ int Main(int argc, char** argv) {
         return 1;
       }
       cells[o][c] = *seconds;
+      run.RecordResult(OpName(ops[o]), *seconds);
     }
     snapshots[c] = db.Stats();
+    run.FinishConfig();
   }
 
   std::vector<std::string> columns, rows;
@@ -115,6 +125,12 @@ int Main(int argc, char** argv) {
               "                                            compensated for "
               "by the reduced disk traffic\")\n",
               100.0 * (fchunk50_seq / native_seq - 1.0));
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

@@ -6,7 +6,12 @@
 // disk cache of optical blocks, which is what wins the random and 80/20
 // tests.
 //
-// Run: bench_figure3_worm [workdir]
+// Run: bench_figure3_worm [--no-stats] [--quick] [--profile]
+//                         [--trace=FILE] [--json=FILE] [workdir]
+// Results are also written to BENCH_figure3[_quick].json (pglo-bench-v1
+// schema; see DESIGN.md §9) unless --no-json is given. The special-program
+// baseline appears as config "special" with no counters (it bypasses the
+// database entirely).
 
 #include <cstdio>
 #include <cstdlib>
@@ -44,24 +49,25 @@ class SpecialProgram {
   WormJukeboxModel device_;
 };
 
-std::vector<uint64_t> OpFrames(Op op, uint64_t seed) {
+std::vector<uint64_t> OpFrames(Op op, uint64_t seed,
+                               const WorkloadScale& scale) {
   Random rng(seed);
   std::vector<uint64_t> frames;
   switch (op) {
     case Op::kSeqRead:
-      for (uint64_t i = 0; i < kSeqFrames; ++i) frames.push_back(i);
+      for (uint64_t i = 0; i < scale.seq_frames; ++i) frames.push_back(i);
       break;
     case Op::kRandRead:
-      for (uint64_t i = 0; i < kRandFrames; ++i) {
-        frames.push_back(rng.Uniform(kNumFrames));
+      for (uint64_t i = 0; i < scale.rand_frames; ++i) {
+        frames.push_back(rng.Uniform(scale.num_frames));
       }
       break;
     case Op::kLocalRead: {
-      uint64_t frame = rng.Uniform(kNumFrames);
-      for (uint64_t i = 0; i < kRandFrames; ++i) {
+      uint64_t frame = rng.Uniform(scale.num_frames);
+      for (uint64_t i = 0; i < scale.rand_frames; ++i) {
         frames.push_back(frame);
-        frame = rng.OneInHundred(80) ? (frame + 1) % kNumFrames
-                                     : rng.Uniform(kNumFrames);
+        frame = rng.OneInHundred(80) ? (frame + 1) % scale.num_frames
+                                     : rng.Uniform(scale.num_frames);
       }
       break;
     }
@@ -72,9 +78,12 @@ std::vector<uint64_t> OpFrames(Op op, uint64_t seed) {
 }
 
 int Main(int argc, char** argv) {
-  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_fig3";
+  BenchArgs args = ParseBenchArgs(argc, argv, "figure3", "/tmp/pglo_bench_fig3");
+  const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   const std::vector<BenchConfig> configs = {
       {"f-chunk 0%", StorageKind::kFChunk, "", kSmgrWorm},
@@ -92,12 +101,16 @@ int Main(int argc, char** argv) {
   std::vector<std::vector<double>> cells(
       ops.size(), std::vector<double>(columns.size(), 0.0));
 
-  // Column 1: the raw-device special program.
+  // Column 1: the raw-device special program. No database behind it, so
+  // BenchRun records its times without wiring any trace/profiler sinks.
   {
+    run.StartConfig("special", nullptr, {{"kind", "raw-device"}});
     SpecialProgram special;
     for (size_t o = 0; o < ops.size(); ++o) {
-      cells[o][0] = special.ReadFrames(OpFrames(ops[o], 1000 + o));
+      cells[o][0] = special.ReadFrames(OpFrames(ops[o], 1000 + o, scale));
+      run.RecordResult(OpName(ops[o]), cells[o][0]);
     }
+    run.FinishConfig();
   }
 
   for (size_t c = 0; c < configs.size(); ++c) {
@@ -110,19 +123,23 @@ int Main(int argc, char** argv) {
     // test over the object's start runs cold (the special program wins
     // there) while the uniform-random and 80/20 tests hit the warm
     // majority (the cache wins there) — the §9.3 asymmetry.
-    options.worm_cache_blocks = 4480;
+    options.worm_cache_blocks = args.quick ? 448 : 4480;
+    options.enable_stats = args.stats;
     Status s = db.Open(options);
     if (!s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
       return 1;
     }
-    LoBenchRunner runner(&db);
+    run.StartConfig(configs[c].name, &db, ConfigInfo(configs[c]));
+    LoBenchRunner runner(&db, scale);
+    SimTimer create_timer(&db.clock());
     Result<Oid> oid = runner.CreateObject(configs[c]);
     if (!oid.ok()) {
       std::fprintf(stderr, "create %s failed: %s\n", configs[c].name.c_str(),
                    oid.status().ToString().c_str());
       return 1;
     }
+    run.RecordResult("create", create_timer.ElapsedSeconds());
     for (size_t o = 0; o < ops.size(); ++o) {
       Result<double> seconds = runner.RunOp(*oid, ops[o], 1000 + o);
       if (!seconds.ok()) {
@@ -131,7 +148,9 @@ int Main(int argc, char** argv) {
         return 1;
       }
       cells[o][c + 1] = *seconds;
+      run.RecordResult(OpName(ops[o]), *seconds);
     }
+    run.FinishConfig();
     const WormSmgrStats& stats = db.worm()->stats();
     std::fprintf(stderr,
                  "# %s: cache hits %llu misses %llu optical reads %llu\n",
@@ -159,6 +178,12 @@ int Main(int argc, char** argv) {
   std::printf("  compression pays off: f-chunk 50%% seq %.1fs vs 0%% %.1fs "
               "(paper: less optical traffic wins)\n",
               cells[0][4], cells[0][1]);
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

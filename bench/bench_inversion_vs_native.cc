@@ -8,7 +8,10 @@
 // FILESTAT maintenance, then large-object I/O — against the same workload
 // on the simulated native UNIX file system.
 //
-// Run: bench_inversion_vs_native [workdir]
+// Run: bench_inversion_vs_native [--no-stats] [--quick] [--profile]
+//                                [--trace=FILE] [--json=FILE] [workdir]
+// Results are written to BENCH_inversion_vs_native[_quick].json
+// (pglo-bench-v1 schema; see DESIGN.md §9) unless --no-json is given.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,19 +24,20 @@ namespace pglo {
 namespace bench {
 namespace {
 
-constexpr uint64_t kFileFrames = 2'500;  // 10 MB file
+/// 10 MB file at full scale (the file is scale.seq_frames frames long).
 
 struct Timings {
   double seq_write = 0, seq_read = 0, rand_read = 0;
 };
 
-Result<Timings> RunNative(Database* db) {
+Result<Timings> RunNative(Database* db, const WorkloadScale& scale) {
   Timings t;
   FrameParams params;
+  const uint64_t file_frames = scale.seq_frames;
   PGLO_ASSIGN_OR_RETURN(uint32_t ino, db->ufs().Create("native.dat"));
   {
     SimTimer timer(&db->clock());
-    for (uint64_t i = 0; i < kFileFrames; ++i) {
+    for (uint64_t i = 0; i < file_frames; ++i) {
       Bytes frame = MakeFrame(kCreateSeed, i, params);
       PGLO_RETURN_IF_ERROR(
           db->ufs().WriteAt(ino, i * kFrameSize, Slice(frame)));
@@ -44,7 +48,7 @@ Result<Timings> RunNative(Database* db) {
   Bytes buf(kFrameSize);
   {
     SimTimer timer(&db->clock());
-    for (uint64_t i = 0; i < kFileFrames; ++i) {
+    for (uint64_t i = 0; i < file_frames; ++i) {
       PGLO_ASSIGN_OR_RETURN(size_t n, db->ufs().ReadAt(ino, i * kFrameSize,
                                                        kFrameSize,
                                                        buf.data()));
@@ -55,8 +59,8 @@ Result<Timings> RunNative(Database* db) {
   {
     Random rng(7);
     SimTimer timer(&db->clock());
-    for (int i = 0; i < 250; ++i) {
-      uint64_t frame = rng.Uniform(kFileFrames);
+    for (uint64_t i = 0; i < scale.rand_frames; ++i) {
+      uint64_t frame = rng.Uniform(file_frames);
       PGLO_ASSIGN_OR_RETURN(
           size_t n, db->ufs().ReadAt(ino, frame * kFrameSize, kFrameSize,
                                      buf.data()));
@@ -68,9 +72,11 @@ Result<Timings> RunNative(Database* db) {
 }
 
 Result<Timings> RunInversion(Database* db, InversionFs* fs,
-                             const LoSpec& spec, const std::string& path) {
+                             const LoSpec& spec, const std::string& path,
+                             const WorkloadScale& scale) {
   Timings t;
   FrameParams params;
+  const uint64_t file_frames = scale.seq_frames;
   {
     Transaction* txn = db->Begin();
     PGLO_RETURN_IF_ERROR(fs->Create(txn, path, spec).status());
@@ -80,7 +86,7 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
     Transaction* txn = db->Begin();
     PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, /*writable=*/true));
     SimTimer timer(&db->clock());
-    for (uint64_t i = 0; i < kFileFrames; ++i) {
+    for (uint64_t i = 0; i < file_frames; ++i) {
       Bytes frame = MakeFrame(kCreateSeed, i, params);
       PGLO_RETURN_IF_ERROR(file->Write(Slice(frame)));
     }
@@ -93,7 +99,7 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
     Transaction* txn = db->Begin();
     PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, false));
     SimTimer timer(&db->clock());
-    for (uint64_t i = 0; i < kFileFrames; ++i) {
+    for (uint64_t i = 0; i < file_frames; ++i) {
       PGLO_ASSIGN_OR_RETURN(size_t n, file->Read(kFrameSize, buf.data()));
       if (n != kFrameSize) return Status::Internal("short read");
     }
@@ -106,8 +112,8 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
     PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, false));
     Random rng(7);
     SimTimer timer(&db->clock());
-    for (int i = 0; i < 250; ++i) {
-      uint64_t frame = rng.Uniform(kFileFrames);
+    for (uint64_t i = 0; i < scale.rand_frames; ++i) {
+      uint64_t frame = rng.Uniform(file_frames);
       PGLO_RETURN_IF_ERROR(
           file->Seek(static_cast<int64_t>(frame * kFrameSize), Whence::kSet)
               .status());
@@ -122,12 +128,18 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
 }
 
 int Main(int argc, char** argv) {
-  std::string workdir = argc > 1 ? argv[1] : "/tmp/pglo_bench_inv";
+  BenchArgs args = ParseBenchArgs(argc, argv, "inversion_vs_native",
+                                  "/tmp/pglo_bench_inv");
+  const std::string& workdir = args.workdir;
   int rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
 
   Database db;
-  Status s = db.Open(PaperOptions(workdir + "/db"));
+  DatabaseOptions options = PaperOptions(workdir + "/db");
+  options.enable_stats = args.stats;
+  Status s = db.Open(options);
   if (!s.ok()) {
     std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
     return 1;
@@ -143,16 +155,43 @@ int Main(int argc, char** argv) {
     }
   }
 
-  Result<Timings> native = RunNative(&db);
+  // All three columns share one Database; each still gets its own config
+  // (and Chrome-trace process) so counters and spans stay attributable.
+  run.StartConfig("native", &db, {{"kind", "ufs"}});
+  Result<Timings> native = RunNative(&db, scale);
+  if (native.ok()) {
+    run.RecordResult("seq_write", native->seq_write);
+    run.RecordResult("seq_read", native->seq_read);
+    run.RecordResult("rand_read", native->rand_read);
+  }
+  run.FinishConfig();
+
   LoSpec fchunk_spec;
+  run.StartConfig("inversion f-chunk", &db, {{"kind", "fchunk"}});
   Result<Timings> fchunk =
-      RunInversion(&db, &fs, fchunk_spec, "/inv_fchunk.dat");
+      RunInversion(&db, &fs, fchunk_spec, "/inv_fchunk.dat", scale);
+  if (fchunk.ok()) {
+    run.RecordResult("seq_write", fchunk->seq_write);
+    run.RecordResult("seq_read", fchunk->seq_read);
+    run.RecordResult("rand_read", fchunk->rand_read);
+  }
+  run.FinishConfig();
+
   LoSpec vseg_spec;
   vseg_spec.kind = StorageKind::kVSegment;
   vseg_spec.codec = "lzss";
   vseg_spec.max_segment = static_cast<uint32_t>(kFrameSize);
+  run.StartConfig("inversion v-segment lzss", &db,
+                  {{"kind", "vsegment"}, {"codec", "lzss"}});
   Result<Timings> vseg =
-      RunInversion(&db, &fs, vseg_spec, "/inv_vseg.dat");
+      RunInversion(&db, &fs, vseg_spec, "/inv_vseg.dat", scale);
+  if (vseg.ok()) {
+    run.RecordResult("seq_write", vseg->seq_write);
+    run.RecordResult("seq_read", vseg->seq_read);
+    run.RecordResult("rand_read", vseg->rand_read);
+  }
+  run.FinishConfig();
+
   if (!native.ok() || !fchunk.ok() || !vseg.ok()) {
     std::fprintf(stderr, "bench failed: %s %s %s\n",
                  native.status().ToString().c_str(),
@@ -177,6 +216,12 @@ int Main(int argc, char** argv) {
               "sequential read ratio %.2fx (claim: <= ~1.33x),\nwith "
               "time travel, transactions and compression included.\n",
               fchunk->seq_read / native->seq_read);
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   return 0;

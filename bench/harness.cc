@@ -4,6 +4,7 @@
 #include <functional>
 #include <string_view>
 
+#include "common/json.h"
 #include "common/random.h"
 
 namespace pglo {
@@ -70,7 +71,7 @@ Result<Oid> LoBenchRunner::CreateObject(const BenchConfig& config) {
   PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
                         db_->large_objects().Instantiate(txn, oid));
   FrameParams params;
-  for (uint64_t frame = 0; frame < kNumFrames; ++frame) {
+  for (uint64_t frame = 0; frame < scale_.num_frames; ++frame) {
     Bytes data = MakeFrame(kCreateSeed, frame, params);
     PGLO_RETURN_IF_ERROR(lo->Write(txn, frame * kFrameSize, Slice(data)));
   }
@@ -104,7 +105,7 @@ Result<double> LoBenchRunner::RunOp(Oid oid, Op op, uint64_t seed) {
     case Op::kSeqRead:
     case Op::kSeqWrite: {
       // "Read 2,500 frames (10MB) sequentially." Start at frame 0.
-      for (uint64_t i = 0; i < kSeqFrames; ++i) {
+      for (uint64_t i = 0; i < scale_.seq_frames; ++i) {
         PGLO_RETURN_IF_ERROR(do_frame(i, 1));
       }
       break;
@@ -112,8 +113,8 @@ Result<double> LoBenchRunner::RunOp(Oid oid, Op op, uint64_t seed) {
     case Op::kRandRead:
     case Op::kRandWrite: {
       // "250 frames randomly distributed among the 12,500 frames."
-      for (uint64_t i = 0; i < kRandFrames; ++i) {
-        PGLO_RETURN_IF_ERROR(do_frame(rng.Uniform(kNumFrames), 2));
+      for (uint64_t i = 0; i < scale_.rand_frames; ++i) {
+        PGLO_RETURN_IF_ERROR(do_frame(rng.Uniform(scale_.num_frames), 2));
       }
       break;
     }
@@ -121,13 +122,13 @@ Result<double> LoBenchRunner::RunOp(Oid oid, Op op, uint64_t seed) {
     case Op::kLocalWrite: {
       // "the next frame was read sequentially 80% of the time and a new
       // random frame was read 20% of the time."
-      uint64_t frame = rng.Uniform(kNumFrames);
-      for (uint64_t i = 0; i < kRandFrames; ++i) {
+      uint64_t frame = rng.Uniform(scale_.num_frames);
+      for (uint64_t i = 0; i < scale_.rand_frames; ++i) {
         PGLO_RETURN_IF_ERROR(do_frame(frame, 3));
         if (rng.OneInHundred(80)) {
-          frame = (frame + 1) % kNumFrames;
+          frame = (frame + 1) % scale_.num_frames;
         } else {
-          frame = rng.Uniform(kNumFrames);
+          frame = rng.Uniform(scale_.num_frames);
         }
       }
       break;
@@ -174,19 +175,223 @@ uint64_t SumMatching(const StatsSnapshot& snap, std::string_view prefix,
 
 }  // namespace
 
-BenchArgs ParseBenchArgs(int argc, char** argv,
+BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
                          const std::string& default_workdir) {
   BenchArgs args;
+  args.bench_name = bench_name;
   args.workdir = default_workdir;
+  bool no_json = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--no-stats") {
       args.stats = false;
+    } else if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg == "--profile") {
+      args.profile = true;
+    } else if (arg == "--no-json") {
+      no_json = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace_path = arg.substr(8);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s (ignored)\n", arg.c_str());
     } else {
       args.workdir = arg;
     }
   }
+  if (args.json_path.empty() && !no_json) {
+    // Quick runs get their own file so a CI gate can never overwrite the
+    // committed full-scale trajectory results.
+    args.json_path =
+        "BENCH_" + bench_name + (args.quick ? "_quick" : "") + ".json";
+  }
+  // Tracing and profiling reconstruct spans, which only exist with stats.
+  if (!args.stats && (!args.trace_path.empty() || args.profile)) {
+    std::fprintf(stderr,
+                 "--no-stats disables spans; ignoring --trace/--profile\n");
+    args.trace_path.clear();
+    args.profile = false;
+  }
   return args;
+}
+
+std::map<std::string, std::string> ConfigInfo(const BenchConfig& config) {
+  return {
+      {"kind", std::string(StorageKindToString(config.kind))},
+      {"codec", config.codec},
+      {"smgr", std::to_string(config.smgr)},
+      {"chunk_size", std::to_string(config.chunk_size)},
+  };
+}
+
+BenchRun::BenchRun(const BenchArgs& args) : args_(args) {
+  if (!args_.trace_path.empty()) {
+    Result<std::unique_ptr<ChromeTraceWriter>> writer =
+        ChromeTraceWriter::Open(args_.trace_path);
+    if (writer.ok()) {
+      trace_ = std::move(writer).value();
+    } else {
+      std::fprintf(stderr, "trace disabled: %s\n",
+                   writer.status().ToString().c_str());
+    }
+  }
+}
+
+BenchRun::~BenchRun() {
+  Status s = Finish();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench emitter: %s\n", s.ToString().c_str());
+  }
+}
+
+void BenchRun::StartConfig(const std::string& name, Database* db,
+                           const std::map<std::string, std::string>& info) {
+  FinishConfig();
+  current_config_ = name;
+  configs_.push_back({name, info});
+  current_db_ = db;
+  if (db == nullptr || db->stats_registry() == nullptr) return;
+  tee_ = TeeSink();
+  if (args_.profile) {
+    profiler_ = std::make_unique<Profiler>();
+    tee_.Add(profiler_.get());
+  }
+  if (trace_ != nullptr) {
+    trace_->BeginProcess(name);
+    tee_.Add(trace_.get());
+  }
+  if (!tee_.empty()) db->stats_registry()->SetTraceSink(&tee_);
+}
+
+BenchRun::ResultRow* BenchRun::RowFor(const std::string& op) {
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (it->config == current_config_ && it->op == op) return &*it;
+  }
+  rows_.push_back(ResultRow{current_config_, op, 0.0, false, {}});
+  return &rows_.back();
+}
+
+void BenchRun::RecordResult(const std::string& op, double seconds) {
+  ResultRow* row = RowFor(op);
+  row->simulated_seconds = seconds;
+  row->has_seconds = true;
+}
+
+void BenchRun::RecordValue(const std::string& op, const std::string& key,
+                           double value) {
+  RowFor(op)->values[key] = value;
+}
+
+void BenchRun::FinishConfig() {
+  if (current_db_ != nullptr) {
+    if (current_db_->stats_registry() != nullptr) {
+      current_db_->stats_registry()->SetTraceSink(nullptr);
+    }
+    snapshots_.emplace_back(current_config_, current_db_->Stats());
+    if (profiler_ != nullptr) {
+      std::printf("\nProfile [%s]\n%s", current_config_.c_str(),
+                  profiler_->ToString().c_str());
+      profiler_.reset();
+    }
+    current_db_ = nullptr;
+  }
+  current_config_.clear();
+}
+
+Status BenchRun::WriteJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("pglo-bench-v1");
+  w.Key("bench");
+  w.String(args_.bench_name);
+  w.Key("quick");
+  w.Bool(args_.quick);
+  w.Key("configs");
+  w.BeginArray();
+  for (const ConfigEntry& config : configs_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(config.name);
+    for (const auto& [key, value] : config.info) {
+      w.Key(key);
+      w.String(value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("results");
+  w.BeginArray();
+  for (const ResultRow& row : rows_) {
+    w.BeginObject();
+    w.Key("config");
+    w.String(row.config);
+    w.Key("op");
+    w.String(row.op);
+    if (row.has_seconds) {
+      w.Key("simulated_seconds");
+      w.Double(row.simulated_seconds);
+    }
+    if (!row.values.empty()) {
+      w.Key("values");
+      w.BeginObject();
+      for (const auto& [key, value] : row.values) {
+        w.Key(key);
+        w.Double(value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [config, snap] : snapshots_) {
+    w.Key(config);
+    w.BeginObject();
+    for (const auto& [name, value] : snap.counters) {
+      if (value == 0) continue;
+      w.Key(name);
+      w.Uint(value);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(args_.json_path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create " + args_.json_path);
+  }
+  const std::string& doc = w.str();
+  size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  if (std::fclose(f) != 0 || n != doc.size()) {
+    return Status::IOError("error writing " + args_.json_path);
+  }
+  return Status::OK();
+}
+
+Status BenchRun::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  FinishConfig();
+  Status json_status;
+  if (!args_.json_path.empty()) {
+    json_status = WriteJson();
+    if (json_status.ok()) {
+      std::printf("\nResults written to %s\n", args_.json_path.c_str());
+    }
+  }
+  if (trace_ != nullptr) {
+    PGLO_RETURN_IF_ERROR(trace_->Finish());
+    std::printf("Trace written to %s (load in chrome://tracing)\n",
+                args_.trace_path.c_str());
+    trace_.reset();
+  }
+  return json_status;
 }
 
 std::string FormatStatsTable(const std::string& title,

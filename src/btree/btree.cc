@@ -50,6 +50,7 @@ Result<uint32_t> Btree::Height() {
 
 Result<BlockNumber> Btree::DescendToLeaf(uint64_t key, uint64_t value,
                                          std::vector<PathEntry>* path) {
+  TraceSpan span(registry_, h_descend_ns_, "btree.descend");
   PGLO_ASSIGN_OR_RETURN(BlockNumber block, RootBlock());
   for (;;) {
     PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, block}));

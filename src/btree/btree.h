@@ -39,6 +39,16 @@ class Btree {
 
   Btree(BufferPool* pool, RelFileId file) : pool_(pool), file_(file) {}
 
+  /// Binds a `btree.descend` trace span (with a `btree.descend_ns`
+  /// histogram) around every root-to-leaf descent, so profiler trees show
+  /// index navigation separately from the page accesses it causes. Null
+  /// registry = unbound (no overhead).
+  void BindStats(StatsRegistry* registry) {
+    if (registry == nullptr) return;
+    registry_ = registry;
+    h_descend_ns_ = registry->histogram("btree.descend_ns");
+  }
+
   /// Creates the backing relation file with an empty tree (meta + one leaf).
   static Status Create(BufferPool* pool, RelFileId file);
 
@@ -129,6 +139,8 @@ class Btree {
 
   BufferPool* pool_;
   RelFileId file_;
+  StatsRegistry* registry_ = nullptr;
+  Histogram* h_descend_ns_ = nullptr;
 };
 
 }  // namespace pglo

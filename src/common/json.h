@@ -1,0 +1,105 @@
+#ifndef PGLO_COMMON_JSON_H_
+#define PGLO_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pglo {
+
+/// Minimal JSON support for the observability surface: the bench harness
+/// emits BENCH_<name>.json files, StatsSnapshot::ToJson feeds tooling, and
+/// tools/bench_compare reads both back. Deliberately small — objects,
+/// arrays, strings, doubles, bools, null — because every schema we produce
+/// or consume fits in that subset.
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+/// Streaming writer with automatic comma placement. Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("schema"); w.String("pglo-bench-v1");
+///   w.Key("results"); w.BeginArray(); ... w.EndArray();
+///   w.EndObject();
+///   std::string out = std::move(w).Take();
+/// Misnesting is the caller's bug; the writer just emits what it is told.
+class JsonWriter {
+ public:
+  void BeginObject() { Prefix(); out_ += '{'; stack_.push_back(kFirstInObject); }
+  void EndObject() { stack_.pop_back(); out_ += '}'; }
+  void BeginArray() { Prefix(); out_ += '['; stack_.push_back(kFirstInArray); }
+  void EndArray() { stack_.pop_back(); out_ += ']'; }
+
+  void Key(std::string_view k) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(k);
+    out_ += "\":";
+    pending_value_ = true;
+  }
+
+  void String(std::string_view v) {
+    Prefix();
+    out_ += '"';
+    out_ += JsonEscape(v);
+    out_ += '"';
+  }
+  void Uint(uint64_t v);
+  void Int(int64_t v);
+  void Double(double v);  ///< shortest round-trip representation
+  void Bool(bool v) { Prefix(); out_ += v ? "true" : "false"; }
+  void Null() { Prefix(); out_ += "null"; }
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  enum State : uint8_t { kFirstInObject, kInObject, kFirstInArray, kInArray };
+  void Prefix();
+
+  std::string out_;
+  std::vector<uint8_t> stack_;
+  bool pending_value_ = false;
+};
+
+/// Parsed JSON document node.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  // Sorted map: key order is not significant for any schema we read.
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Member lookup; null when absent or not an object.
+  const JsonValue* Get(const std::string& key) const;
+  /// Convenience typed getters with defaults.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses an entire file.
+Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace pglo
+
+#endif  // PGLO_COMMON_JSON_H_

@@ -34,13 +34,19 @@ void MagneticDiskModel::Charge(uint64_t block, uint64_t nblocks) {
 }
 
 void MagneticDiskModel::ChargeRead(uint64_t block, uint64_t nblocks) {
+  TraceSpan span(registry_, h_read_, span_read_name_);
+  uint64_t seeks_before = stats_.seeks;
   NoteRead(nblocks);
   Charge(block, nblocks);
+  span.AddDetail(stats_.seeks - seeks_before);
 }
 
 void MagneticDiskModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
+  TraceSpan span(registry_, h_write_, span_write_name_);
+  uint64_t seeks_before = stats_.seeks;
   NoteWrite(nblocks);
   Charge(block, nblocks);
+  span.AddDetail(stats_.seeks - seeks_before);
 }
 
 void WormJukeboxModel::Charge(uint64_t block, uint64_t nblocks) {
@@ -68,13 +74,19 @@ void WormJukeboxModel::Charge(uint64_t block, uint64_t nblocks) {
 }
 
 void WormJukeboxModel::ChargeRead(uint64_t block, uint64_t nblocks) {
+  TraceSpan span(registry_, h_read_, span_read_name_);
+  uint64_t seeks_before = stats_.seeks;
   NoteRead(nblocks);
   Charge(block, nblocks);
+  span.AddDetail(stats_.seeks - seeks_before);
 }
 
 void WormJukeboxModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
+  TraceSpan span(registry_, h_write_, span_write_name_);
+  uint64_t seeks_before = stats_.seeks;
   NoteWrite(nblocks);
   Charge(block, nblocks);
+  span.AddDetail(stats_.seeks - seeks_before);
 }
 
 void MemoryDeviceModel::Charge(uint64_t nblocks) {
@@ -87,12 +99,14 @@ void MemoryDeviceModel::Charge(uint64_t nblocks) {
 
 void MemoryDeviceModel::ChargeRead(uint64_t block, uint64_t nblocks) {
   (void)block;
+  TraceSpan span(registry_, h_read_, span_read_name_);
   NoteRead(nblocks);
   Charge(nblocks);
 }
 
 void MemoryDeviceModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
   (void)block;
+  TraceSpan span(registry_, h_write_, span_write_name_);
   NoteWrite(nblocks);
   Charge(nblocks);
 }

@@ -43,18 +43,33 @@ class DeviceModel {
   void ResetStats() { stats_ = DeviceStats(); }
 
   /// Mirrors per-op accounting into `registry` counters named
-  /// `device.<label>.{seeks,blocks_read,blocks_written,busy_ns}`. Call once
-  /// at setup; a null registry leaves the device unbound (no overhead).
+  /// `device.<label>.{seeks,blocks_read,blocks_written,busy_ns}`, plus
+  /// `device.<label>.{read_ns,write_ns}` histograms and trace spans named
+  /// `device.<label>.{read,write}` (the leaves of every profiler tree; their
+  /// detail payload is the seek count of the charge). Call once at setup; a
+  /// null registry leaves the device unbound (no overhead).
   void BindStats(StatsRegistry* registry, const std::string& label) {
     if (registry == nullptr) return;
+    registry_ = registry;
     c_seeks_ = registry->counter("device." + label + ".seeks");
     c_blocks_read_ = registry->counter("device." + label + ".blocks_read");
     c_blocks_written_ =
         registry->counter("device." + label + ".blocks_written");
     c_busy_ns_ = registry->counter("device." + label + ".busy_ns");
+    h_read_ = registry->histogram("device." + label + ".read_ns");
+    h_write_ = registry->histogram("device." + label + ".write_ns");
+    span_read_name_ = "device." + label + ".read";
+    span_write_name_ = "device." + label + ".write";
   }
 
  protected:
+  // Span plumbing for subclasses' ChargeRead/ChargeWrite.
+  StatsRegistry* registry_ = nullptr;
+  Histogram* h_read_ = nullptr;
+  Histogram* h_write_ = nullptr;
+  std::string span_read_name_;
+  std::string span_write_name_;
+
   void NoteRead(uint64_t nblocks) {
     ++stats_.reads;
     stats_.blocks_read += nblocks;

@@ -27,7 +27,18 @@ Status InversionFile::MarkDirty() {
   return Status::OK();
 }
 
+Result<size_t> InversionFile::Read(size_t n, uint8_t* buf) {
+  TraceSpan span(fs_->ctx_.stats, fs_->h_file_read_, "inversion.file.read");
+  return cursor_.Read(n, buf);
+}
+
+Result<Bytes> InversionFile::Read(size_t n) {
+  TraceSpan span(fs_->ctx_.stats, fs_->h_file_read_, "inversion.file.read");
+  return cursor_.Read(n);
+}
+
 Status InversionFile::Write(Slice data) {
+  TraceSpan span(fs_->ctx_.stats, fs_->h_file_write_, "inversion.file.write");
   if (!writable_) {
     return Status::PermissionDenied("file opened read-only");
   }
@@ -131,6 +142,9 @@ InversionFs::InversionFs(const DbContext& ctx, LoManager* lo)
     c_path_resolutions_ = ctx_.stats->counter("inversion.path_resolutions");
     c_index_probes_ = ctx_.stats->counter("inversion.index_probes");
     h_resolve_ = ctx_.stats->histogram("inversion.resolve_ns");
+    h_file_read_ = ctx_.stats->histogram("inversion.file.read_ns");
+    h_file_write_ = ctx_.stats->histogram("inversion.file.write_ns");
+    dir_index_.BindStats(ctx_.stats);
   }
 }
 

@@ -22,8 +22,8 @@ constexpr FileId kRootFileId = 1;
 /// first write under the handle stamps the FILESTAT modification time.
 class InversionFile {
  public:
-  Result<size_t> Read(size_t n, uint8_t* buf) { return cursor_.Read(n, buf); }
-  Result<Bytes> Read(size_t n) { return cursor_.Read(n); }
+  Result<size_t> Read(size_t n, uint8_t* buf);
+  Result<Bytes> Read(size_t n);
   Status Write(Slice data);
   Result<uint64_t> Seek(int64_t off, Whence whence) {
     return cursor_.Seek(off, whence);
@@ -198,9 +198,12 @@ class InversionFs {
   HeapClass filestat_;
   Btree dir_index_;  ///< hash(parent, name) -> DIRECTORY tuple address
   // Observability (null when ctx.stats is null).
+  friend class InversionFile;  // reads the file-I/O histograms below
   Counter* c_path_resolutions_ = nullptr;
   Counter* c_index_probes_ = nullptr;
   Histogram* h_resolve_ = nullptr;
+  Histogram* h_file_read_ = nullptr;
+  Histogram* h_file_write_ = nullptr;
 };
 
 }  // namespace pglo

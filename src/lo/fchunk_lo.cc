@@ -48,6 +48,7 @@ FChunkLo::FChunkLo(const DbContext& ctx, Files files, const Compressor* codec,
     h_write_ = ctx_.stats->histogram(stats_prefix + ".write_ns");
     span_read_name_ = stats_prefix + ".read";
     span_write_name_ = stats_prefix + ".write";
+    index_.BindStats(ctx_.stats);
   }
 }
 

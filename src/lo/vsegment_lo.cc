@@ -51,6 +51,7 @@ VSegmentLo::VSegmentLo(const DbContext& ctx, Files files,
     c_decompress_ns_ = ctx_.stats->counter("lo.vseg.codec_decompress_ns");
     h_read_ = ctx_.stats->histogram("lo.vseg.read_ns");
     h_write_ = ctx_.stats->histogram("lo.vseg.write_ns");
+    seg_index_.BindStats(ctx_.stats);
   }
 }
 

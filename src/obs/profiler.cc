@@ -1,0 +1,185 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace pglo {
+
+namespace {
+
+uint64_t Duration(uint64_t begin_ns, uint64_t end_ns) {
+  return end_ns >= begin_ns ? end_ns - begin_ns : 0;
+}
+
+void AppendMs(std::string* out, const char* label, uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.3f ms", label,
+                static_cast<double>(ns) * 1e-6);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string Profiler::LayerOf(std::string_view span_name) {
+  size_t dot = span_name.rfind('.');
+  if (dot == std::string_view::npos) return std::string(span_name);
+  return std::string(span_name.substr(0, dot));
+}
+
+uint64_t Profiler::OpProfile::ChildNs() const {
+  uint64_t sum = 0;
+  for (const auto& [layer, stat] : layers) sum += stat.self_ns;
+  return sum;
+}
+
+void Profiler::OnSpan(const TraceEvent& event) {
+  Node node;
+  node.name = std::string(event.name);
+  node.begin_ns = event.begin_ns;
+  node.end_ns = event.end_ns;
+  node.detail = event.detail;
+  node.depth = event.depth;
+
+  // Spans complete innermost-first, so every already-completed descendant of
+  // this span is sitting at the tail of pending_: deeper, and begun no
+  // earlier than us. Adopt them. Popping walks the tail backwards, so
+  // reverse afterwards to restore begin-time order.
+  while (!pending_.empty() && pending_.back().depth > node.depth &&
+         pending_.back().begin_ns >= node.begin_ns) {
+    node.children.push_back(std::move(pending_.back()));
+    pending_.pop_back();
+  }
+  std::reverse(node.children.begin(), node.children.end());
+
+  if (node.depth == 0) {
+    Aggregate(node);
+    // Nothing outer is live, and future spans all begin from now on — any
+    // still-pending span can never be adopted. Drop orphans so an
+    // instrumentation gap cannot leak memory across operations.
+    pending_.clear();
+  } else {
+    pending_.push_back(std::move(node));
+  }
+}
+
+void Profiler::Aggregate(const Node& root) {
+  OpProfile& profile = profiles_[root.name];
+  uint64_t dur = Duration(root.begin_ns, root.end_ns);
+  uint64_t child_sum = 0;
+  for (const Node& child : root.children) {
+    child_sum += Duration(child.begin_ns, child.end_ns);
+  }
+  profile.calls += 1;
+  profile.total_ns += dur;
+  profile.self_ns += dur >= child_sum ? dur - child_sum : 0;
+  profile.detail += root.detail;
+  profile.latency.Record(dur);
+  for (const Node& child : root.children) {
+    AttributeSubtree(child, &profile);
+  }
+}
+
+void Profiler::AttributeSubtree(const Node& node, OpProfile* profile) {
+  uint64_t dur = Duration(node.begin_ns, node.end_ns);
+  uint64_t child_sum = 0;
+  for (const Node& child : node.children) {
+    child_sum += Duration(child.begin_ns, child.end_ns);
+  }
+  LayerStat& layer = profile->layers[LayerOf(node.name)];
+  layer.calls += 1;
+  layer.self_ns += dur >= child_sum ? dur - child_sum : 0;
+  layer.detail += node.detail;
+  for (const Node& child : node.children) {
+    AttributeSubtree(child, profile);
+  }
+}
+
+const Profiler::OpProfile* Profiler::Find(const std::string& op) const {
+  auto it = profiles_.find(op);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::string Profiler::ToString() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, p] : profiles_) {
+    std::snprintf(buf, sizeof(buf), "%-32s calls=%-8llu ", name.c_str(),
+                  static_cast<unsigned long long>(p.calls));
+    out += buf;
+    AppendMs(&out, "total", p.total_ns);
+    out += ' ';
+    AppendMs(&out, "self", p.self_ns);
+    out += ' ';
+    AppendMs(&out, "p50", p.latency.PercentileNs(50.0));
+    out += ' ';
+    AppendMs(&out, "p99", p.latency.PercentileNs(99.0));
+    out += '\n';
+    for (const auto& [layer, stat] : p.layers) {
+      std::snprintf(buf, sizeof(buf), "  -> %-29s calls=%-8llu %.3f ms",
+                    layer.c_str(), static_cast<unsigned long long>(stat.calls),
+                    static_cast<double>(stat.self_ns) * 1e-6);
+      out += buf;
+      if (stat.detail != 0) {
+        std::snprintf(buf, sizeof(buf), " (%llu seeks)",
+                      static_cast<unsigned long long>(stat.detail));
+        out += buf;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string Profiler::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ops");
+  w.BeginObject();
+  for (const auto& [name, p] : profiles_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("calls");
+    w.Uint(p.calls);
+    w.Key("total_ns");
+    w.Uint(p.total_ns);
+    w.Key("self_ns");
+    w.Uint(p.self_ns);
+    w.Key("p50_ns");
+    w.Uint(p.latency.PercentileNs(50.0));
+    w.Key("p99_ns");
+    w.Uint(p.latency.PercentileNs(99.0));
+    if (p.detail != 0) {
+      w.Key("detail");
+      w.Uint(p.detail);
+    }
+    w.Key("layers");
+    w.BeginObject();
+    for (const auto& [layer, stat] : p.layers) {
+      w.Key(layer);
+      w.BeginObject();
+      w.Key("calls");
+      w.Uint(stat.calls);
+      w.Key("self_ns");
+      w.Uint(stat.self_ns);
+      if (stat.detail != 0) {
+        w.Key("detail");
+        w.Uint(stat.detail);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+void Profiler::Reset() {
+  pending_.clear();
+  profiles_.clear();
+}
+
+}  // namespace pglo

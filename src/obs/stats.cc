@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace pglo {
 
 namespace {
@@ -86,6 +88,42 @@ std::string StatsSnapshot::ToString() const {
     out += buf;
   }
   return out;
+}
+
+std::string StatsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    w.Key(name);
+    w.Uint(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const HistogramEntry& h : histograms) {
+    if (h.count == 0) continue;
+    w.Key(h.name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h.count);
+    w.Key("sum_ns");
+    w.Uint(h.sum_ns);
+    w.Key("min_ns");
+    w.Uint(h.min_ns);
+    w.Key("max_ns");
+    w.Uint(h.max_ns);
+    w.Key("p50_ns");
+    w.Uint(h.p50_ns);
+    w.Key("p99_ns");
+    w.Uint(h.p99_ns);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).Take();
 }
 
 Counter* StatsRegistry::counter(const std::string& name) {

@@ -85,6 +85,7 @@ struct TraceEvent {
   uint64_t begin_ns = 0;  ///< simulated time at span entry
   uint64_t end_ns = 0;    ///< simulated time at span exit
   uint32_t depth = 0;     ///< nesting depth (0 = outermost live span)
+  uint64_t detail = 0;    ///< span-specific payload (e.g. seeks for device.*)
 };
 
 /// Receives every completed span while attached. Attaching a sink is the
@@ -121,6 +122,12 @@ struct StatsSnapshot {
 
   /// Human-readable table of all non-zero counters and histograms.
   std::string ToString() const;
+
+  /// Machine-readable form: {"counters": {name: value, ...},
+  /// "histograms": {name: {count, sum_ns, min_ns, max_ns, p50_ns, p99_ns}}}.
+  /// Zero-valued counters and empty histograms are omitted, matching
+  /// ToString, so diffs between snapshots stay small.
+  std::string ToJson() const;
 };
 
 /// Process-wide (per-Database) registry of named counters and histograms.
@@ -156,9 +163,11 @@ class StatsRegistry {
 
   uint32_t EnterSpan() { return span_depth_++; }
   void ExitSpan(std::string_view name, uint64_t begin_ns, uint64_t end_ns,
-                uint32_t depth) {
+                uint32_t depth, uint64_t detail) {
     span_depth_ = depth;
-    if (sink_ != nullptr) sink_->OnSpan(TraceEvent{name, begin_ns, end_ns, depth});
+    if (sink_ != nullptr) {
+      sink_->OnSpan(TraceEvent{name, begin_ns, end_ns, depth, detail});
+    }
   }
 
   const SimClock* clock_ = nullptr;
@@ -194,14 +203,26 @@ class TraceSpan {
     if (registry_ == nullptr) return;
     uint64_t end_ns = registry_->clock()->NowNanos();
     if (hist_ != nullptr) hist_->Record(end_ns - begin_ns_);
-    registry_->ExitSpan(name_, begin_ns_, end_ns, depth_);
+    registry_->ExitSpan(name_, begin_ns_, end_ns, depth_, detail_);
   }
+
+  /// Attaches a span-specific payload (reported via TraceEvent::detail);
+  /// device spans use it for the seek count of the charge. No-op when the
+  /// span is disabled.
+  void AddDetail(uint64_t n) {
+    if (registry_ != nullptr) detail_ += n;
+  }
+
+  /// True when the span is live (stats enabled); guards any work done only
+  /// to compute a detail payload.
+  bool active() const { return registry_ != nullptr; }
 
  private:
   StatsRegistry* registry_;
   Histogram* hist_ = nullptr;
   std::string_view name_;
   uint64_t begin_ns_ = 0;
+  uint64_t detail_ = 0;
   uint32_t depth_ = 0;
 };
 

@@ -1,0 +1,95 @@
+#include "obs/trace_export.h"
+
+#include "common/json.h"
+
+namespace pglo {
+
+Result<std::unique_ptr<ChromeTraceWriter>> ChromeTraceWriter::Open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot create trace file " + path);
+  }
+  std::fputs("{\"traceEvents\":[", file);
+  return std::unique_ptr<ChromeTraceWriter>(new ChromeTraceWriter(file));
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() {
+  if (file_ != nullptr) {
+    // Best effort on the implicit path; callers wanting the error call
+    // Finish() themselves.
+    Status s = Finish();
+    (void)s;
+  }
+}
+
+void ChromeTraceWriter::Emit(const std::string& json) {
+  if (!first_event_) std::fputc(',', file_);
+  first_event_ = false;
+  std::fputc('\n', file_);
+  std::fputs(json.c_str(), file_);
+}
+
+void ChromeTraceWriter::BeginProcess(const std::string& name) {
+  ++pid_;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("process_name");
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Int(pid_);
+  w.Key("tid");
+  w.Int(0);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.EndObject();
+  w.EndObject();
+  Emit(w.str());
+}
+
+void ChromeTraceWriter::OnSpan(const TraceEvent& event) {
+  if (pid_ == 0) BeginProcess("pglo");  // spans before any explicit track
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(event.name);
+  w.Key("cat");
+  w.String("sim");
+  w.Key("ph");
+  w.String("X");
+  // Trace-event timestamps are microseconds; keep sub-µs as fractions.
+  w.Key("ts");
+  w.Double(static_cast<double>(event.begin_ns) / 1000.0);
+  w.Key("dur");
+  w.Double(static_cast<double>(event.end_ns - event.begin_ns) / 1000.0);
+  w.Key("pid");
+  w.Int(pid_);
+  w.Key("tid");
+  w.Int(0);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("depth");
+  w.Uint(event.depth);
+  if (event.detail != 0) {
+    w.Key("detail");
+    w.Uint(event.detail);
+  }
+  w.EndObject();
+  w.EndObject();
+  Emit(w.str());
+}
+
+Status ChromeTraceWriter::Finish() {
+  if (file_ == nullptr) return Status::OK();
+  std::fputs("\n]}\n", file_);
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("error closing trace file");
+  return Status::OK();
+}
+
+}  // namespace pglo

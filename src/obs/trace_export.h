@@ -1,0 +1,74 @@
+#ifndef PGLO_OBS_TRACE_EXPORT_H_
+#define PGLO_OBS_TRACE_EXPORT_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/stats.h"
+
+namespace pglo {
+
+/// Streams completed spans to a Chrome trace-event file (the JSON object
+/// format: {"traceEvents": [...]}), loadable in chrome://tracing or Perfetto.
+///
+/// Each span becomes one complete ("ph":"X") event with microsecond
+/// timestamps taken from the SimClock, so the trace visualizes *simulated*
+/// time. Benches run several configurations, each against a fresh Database
+/// whose clock restarts at zero; BeginProcess() opens a new pid with a
+/// process_name metadata event per configuration so their timelines render
+/// as separate tracks instead of overlapping.
+class ChromeTraceWriter : public TraceSink {
+ public:
+  /// Creates/truncates `path` and writes the stream header.
+  static Result<std::unique_ptr<ChromeTraceWriter>> Open(
+      const std::string& path);
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+  ~ChromeTraceWriter() override;
+
+  /// Starts a new track: subsequent spans carry a fresh pid labeled `name`.
+  void BeginProcess(const std::string& name);
+
+  void OnSpan(const TraceEvent& event) override;
+
+  /// Writes the closing bracket and closes the file. Called by the
+  /// destructor if not called explicitly; explicit calls surface I/O errors.
+  Status Finish();
+
+ private:
+  explicit ChromeTraceWriter(std::FILE* file) : file_(file) {}
+
+  void Emit(const std::string& json);
+
+  std::FILE* file_;
+  int pid_ = 0;
+  bool first_event_ = true;
+};
+
+/// Fans one span stream out to several sinks; the registry holds a single
+/// TraceSink pointer, and benches want both a Profiler and a trace file.
+class TeeSink : public TraceSink {
+ public:
+  /// Null sinks are accepted and ignored, so callers can pass optional
+  /// sinks unconditionally.
+  void Add(TraceSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+
+  bool empty() const { return sinks_.empty(); }
+
+  void OnSpan(const TraceEvent& event) override {
+    for (TraceSink* sink : sinks_) sink->OnSpan(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_OBS_TRACE_EXPORT_H_

@@ -77,6 +77,7 @@ Result<BlockNumber> DiskSmgr::NumBlocks(Oid relfile) {
 }
 
 Status DiskSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
+  TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
   PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
   ssize_t n = ::pread(fd, buf, kPageSize,
                       static_cast<off_t>(block) * kPageSize);
@@ -90,6 +91,7 @@ Status DiskSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
 
 Status DiskSmgr::WriteBlock(Oid relfile, BlockNumber block,
                             const uint8_t* buf) {
+  TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
   PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
   PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks(relfile));
   if (block > nblocks) {

@@ -33,6 +33,7 @@ Result<BlockNumber> MainMemorySmgr::NumBlocks(Oid relfile) {
 
 Status MainMemorySmgr::ReadBlock(Oid relfile, BlockNumber block,
                                  uint8_t* buf) {
+  TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -48,6 +49,7 @@ Status MainMemorySmgr::ReadBlock(Oid relfile, BlockNumber block,
 
 Status MainMemorySmgr::WriteBlock(Oid relfile, BlockNumber block,
                                   const uint8_t* buf) {
+  TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");

@@ -51,20 +51,33 @@ class StorageManager {
   virtual std::string name() const = 0;
 
   /// Mirrors block I/O accounting into `registry` counters named
-  /// `smgr.<name>.{blocks_read,blocks_written}`. Implementations bump the
-  /// protected counters in their ReadBlock/WriteBlock; overrides may bind
-  /// additional implementation-specific counters. Null registry = unbound
-  /// (no overhead).
+  /// `smgr.<name>.{blocks_read,blocks_written}`, histograms
+  /// `smgr.<name>.{read_ns,write_ns}`, and trace spans
+  /// `smgr.<name>.{read,write}` around each block access. Implementations
+  /// bump the protected counters and open the spans in their
+  /// ReadBlock/WriteBlock; overrides may bind additional
+  /// implementation-specific counters. Null registry = unbound (no
+  /// overhead).
   virtual void BindStats(StatsRegistry* registry) {
     if (registry == nullptr) return;
+    stat_registry_ = registry;
     stat_blocks_read_ = registry->counter("smgr." + name() + ".blocks_read");
     stat_blocks_written_ =
         registry->counter("smgr." + name() + ".blocks_written");
+    stat_read_ns_ = registry->histogram("smgr." + name() + ".read_ns");
+    stat_write_ns_ = registry->histogram("smgr." + name() + ".write_ns");
+    span_read_name_ = "smgr." + name() + ".read";
+    span_write_name_ = "smgr." + name() + ".write";
   }
 
  protected:
+  StatsRegistry* stat_registry_ = nullptr;
   Counter* stat_blocks_read_ = nullptr;
   Counter* stat_blocks_written_ = nullptr;
+  Histogram* stat_read_ns_ = nullptr;
+  Histogram* stat_write_ns_ = nullptr;
+  std::string span_read_name_;
+  std::string span_write_name_;
 };
 
 /// Well-known storage manager slots. The registry accepts arbitrary ids;

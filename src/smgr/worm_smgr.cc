@@ -226,6 +226,7 @@ Result<BlockNumber> WormSmgr::NumBlocks(Oid relfile) {
 }
 
 Status WormSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
+  TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -249,6 +250,7 @@ Status WormSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
 
 Status WormSmgr::WriteBlock(Oid relfile, BlockNumber block,
                             const uint8_t* buf) {
+  TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");

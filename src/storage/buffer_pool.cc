@@ -67,6 +67,7 @@ void BufferPool::Unpin(size_t frame) {
 }
 
 Status BufferPool::WriteRaw(Frame& frame) {
+  TraceSpan span(registry_, h_writeback_ns_, "bufpool.writeback");
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(frame.id.file));
   // Stamp a checksum into slotted pages on their way to stable storage so
   // that media corruption is detected on the next read. Non-slotted
@@ -160,6 +161,9 @@ Status BufferPool::WriteBackBatch(size_t victim_frame) {
 }
 
 Result<PageHandle> BufferPool::GetPage(PageId id) {
+  // Spans even the hit path: the page-access CPU charge advances the clock
+  // here, and the profiler should bill it to the pool, not the caller.
+  TraceSpan span(registry_, h_get_ns_, "bufpool.get");
   if (cpu_ != nullptr && access_instructions_ > 0) {
     cpu_->ChargeInstructions(access_instructions_);
   }
@@ -212,6 +216,7 @@ Result<BlockNumber> BufferPool::NumBlocks(RelFileId file) {
 
 Result<PageHandle> BufferPool::NewPage(RelFileId file,
                                        BlockNumber* block_out) {
+  TraceSpan span(registry_, h_new_page_ns_, "bufpool.new_page");
   PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks(file));
   PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictim());
   Frame& f = frames_[frame];

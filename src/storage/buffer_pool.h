@@ -86,13 +86,20 @@ class BufferPool {
   }
 
   /// Mirrors hit/miss/eviction/writeback accounting into `registry`
-  /// counters under `bufpool.*`. Null registry = unbound (no overhead).
+  /// counters under `bufpool.*`, plus `bufpool.{get,new_page,writeback}`
+  /// trace spans with matching `*_ns` histograms, so the profiler can
+  /// attribute page-access CPU and fault I/O to the pool rather than its
+  /// caller. Null registry = unbound (no overhead).
   void BindStats(StatsRegistry* registry) {
     if (registry == nullptr) return;
+    registry_ = registry;
     c_hits_ = registry->counter("bufpool.hits");
     c_misses_ = registry->counter("bufpool.misses");
     c_evictions_ = registry->counter("bufpool.evictions");
     c_writebacks_ = registry->counter("bufpool.writebacks");
+    h_get_ns_ = registry->histogram("bufpool.get_ns");
+    h_new_page_ns_ = registry->histogram("bufpool.new_page_ns");
+    h_writeback_ns_ = registry->histogram("bufpool.writeback_ns");
   }
 
   BufferPool(const BufferPool&) = delete;
@@ -162,10 +169,14 @@ class BufferPool {
   SmgrRegistry* smgrs_;
   CpuCostModel* cpu_ = nullptr;
   uint64_t access_instructions_ = 0;
+  StatsRegistry* registry_ = nullptr;
   Counter* c_hits_ = nullptr;
   Counter* c_misses_ = nullptr;
   Counter* c_evictions_ = nullptr;
   Counter* c_writebacks_ = nullptr;
+  Histogram* h_get_ns_ = nullptr;
+  Histogram* h_new_page_ns_ = nullptr;
+  Histogram* h_writeback_ns_ = nullptr;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t, PageIdHash> page_table_;
   /// Logical file sizes including not-yet-materialized appended blocks.

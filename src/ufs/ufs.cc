@@ -209,6 +209,7 @@ Result<uint32_t> UnixFileSystem::MapBlock(UfsInode* inode, bool* inode_dirty,
 
 Result<size_t> UnixFileSystem::ReadAt(uint32_t ino, uint64_t off, size_t n,
                                       uint8_t* buf) {
+  TraceSpan span(registry_, h_read_ns_, "ufs.read");
   PGLO_ASSIGN_OR_RETURN(UfsInode inode, LoadInode(ino));
   if (!inode.in_use()) return Status::NotFound("inode not in use");
   if (off >= inode.size) return static_cast<size_t>(0);
@@ -234,6 +235,7 @@ Result<size_t> UnixFileSystem::ReadAt(uint32_t ino, uint64_t off, size_t n,
 }
 
 Status UnixFileSystem::WriteAt(uint32_t ino, uint64_t off, Slice data) {
+  TraceSpan span(registry_, h_write_ns_, "ufs.write");
   PGLO_ASSIGN_OR_RETURN(UfsInode inode, LoadInode(ino));
   if (!inode.in_use()) return Status::NotFound("inode not in use");
   size_t done = 0;

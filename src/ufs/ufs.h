@@ -89,8 +89,16 @@ class UnixFileSystem {
     cache_.SetAccessCost(cpu, instructions);
   }
 
-  /// Forwards to the buffer cache's stats binding (`ufs.*` counters).
-  void BindStats(StatsRegistry* registry) { cache_.BindStats(registry); }
+  /// Forwards to the buffer cache's stats binding (`ufs.*` counters) and
+  /// binds `ufs.{read,write}` trace spans with `ufs.{read_ns,write_ns}`
+  /// histograms around ReadAt/WriteAt.
+  void BindStats(StatsRegistry* registry) {
+    cache_.BindStats(registry);
+    if (registry == nullptr) return;
+    registry_ = registry;
+    h_read_ns_ = registry->histogram("ufs.read_ns");
+    h_write_ns_ = registry->histogram("ufs.write_ns");
+  }
 
  private:
   static constexpr uint32_t kMagic = 0x55465331;  // "UFS1"
@@ -142,6 +150,9 @@ class UnixFileSystem {
   DeviceModel* device_;
   Params params_;
   UfsBlockCache cache_;
+  StatsRegistry* registry_ = nullptr;
+  Histogram* h_read_ns_ = nullptr;
+  Histogram* h_write_ns_ = nullptr;
   bool mounted_ = false;
   uint32_t alloc_hint_ = 0;  ///< rotor for the bitmap scan
 };

@@ -2,6 +2,15 @@
 # tools/check.sh [default|asan|all] — configure, build, and run the test
 # suite under the named CMake preset (see CMakePresets.json). "all" runs the
 # plain preset first, then the address+UB sanitizer preset.
+#
+# After the default-preset tests pass, a benchmark gate runs one small
+# (--quick, 1/10th-scale) Figure 1 config, validates the emitted
+# BENCH_figure1_quick.json against the pglo-bench-v1 schema, and compares
+# its simulated times against the checked-in baseline in bench/baselines/
+# with bench_compare's default 10% tolerance. Simulated time is
+# deterministic, so any drift is a real behavioural change; regenerate the
+# baseline deliberately (see bench/baselines/README.md) when one is
+# intended.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,12 +23,32 @@ run_preset() {
   ctest --preset "$preset" -j "$(nproc)"
 }
 
+bench_gate() {
+  builddir="$1"
+  baseline="bench/baselines/BENCH_figure1_quick.json"
+  echo "== bench gate: figure1 --quick vs $baseline =="
+  workdir="$(mktemp -d /tmp/pglo_bench_gate_XXXXXX)"
+  trap 'rm -rf "$workdir"' EXIT
+  out="$workdir/BENCH_figure1_quick.json"
+  "$builddir/bench/bench_figure1_storage" --quick --json="$out" \
+      "$workdir/db" > "$workdir/bench.log"
+  "$builddir/tools/bench_compare" --validate "$out"
+  "$builddir/tools/bench_compare" "$baseline" "$out"
+  rm -rf "$workdir"
+  trap - EXIT
+}
+
 case "${1:-default}" in
-  default|asan)
-    run_preset "$1"
+  default)
+    run_preset default
+    bench_gate build
+    ;;
+  asan)
+    run_preset asan
     ;;
   all)
     run_preset default
+    bench_gate build
     run_preset asan
     ;;
   *)

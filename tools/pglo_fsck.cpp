@@ -1,6 +1,7 @@
 // pglo_fsck — offline database check & maintenance tool.
 //
 //   pglo_fsck <dbdir> [--vacuum <horizon|now>] [--list] [--stats]
+//             [--stats-json[=FILE]] [--profile]
 //
 // Runs the full integrity sweep (every object streamed, every B-tree
 // validated, every touched page checksum-verified). With --vacuum,
@@ -9,7 +10,10 @@
 // object catalog. With --stats, dumps the observability registry after the
 // sweep — every counter and latency histogram the run incremented, which
 // shows the physical cost (block I/O, cache behaviour, device work) of the
-// check itself.
+// check itself. --stats-json emits the same registry as JSON (to stdout,
+// or to FILE with --stats-json=FILE) for scripted consumption. --profile
+// attaches the operation profiler for the duration of the sweep and prints
+// EXPLAIN-style per-operation attribution afterwards.
 
 #include <cstdio>
 #include <cstring>
@@ -17,6 +21,7 @@
 
 #include "db/check.h"
 #include "db/database.h"
+#include "obs/profiler.h"
 
 using pglo::CheckIntegrity;
 using pglo::Database;
@@ -27,16 +32,19 @@ using pglo::StorageKindToString;
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(
-        stderr,
-        "usage: %s <dbdir> [--vacuum <horizon|now>] [--list] [--stats]\n",
-        argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <dbdir> [--vacuum <horizon|now>] [--list] "
+                 "[--stats] [--stats-json[=FILE]] [--profile]\n",
+                 argv[0]);
     return 2;
   }
   std::string dir = argv[1];
   bool do_vacuum = false;
   bool do_list = false;
   bool do_stats = false;
+  bool do_stats_json = false;
+  bool do_profile = false;
+  std::string stats_json_path;  // empty = stdout
   uint64_t horizon = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--vacuum") == 0 && i + 1 < argc) {
@@ -49,6 +57,13 @@ int main(int argc, char** argv) {
       do_list = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       do_stats = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      do_stats_json = true;
+    } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+      do_stats_json = true;
+      stats_json_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      do_profile = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
       return 2;
@@ -106,7 +121,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(removed.value()));
   }
 
+  pglo::Profiler profiler;
+  if (do_profile) {
+    if (db.stats_registry() == nullptr) {
+      std::fprintf(stderr, "--profile requires stats to be enabled\n");
+      return 2;
+    }
+    db.stats_registry()->SetTraceSink(&profiler);
+  }
   auto report = CheckIntegrity(&db);
+  if (do_profile) db.stats_registry()->SetTraceSink(nullptr);
   if (!report.ok()) {
     std::fprintf(stderr, "check failed to run: %s\n",
                  report.status().ToString().c_str());
@@ -116,6 +140,25 @@ int main(int argc, char** argv) {
   if (do_stats) {
     std::printf("--- observability registry ---\n%s",
                 db.Stats().ToString().c_str());
+  }
+  if (do_profile) {
+    std::printf("--- integrity sweep profile ---\n%s",
+                profiler.ToString().c_str());
+  }
+  if (do_stats_json) {
+    std::string json = db.Stats().ToJson();
+    if (stats_json_path.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      FILE* f = std::fopen(stats_json_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", stats_json_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
   }
   s = db.Close();
   if (!s.ok()) {
