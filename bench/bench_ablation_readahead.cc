@@ -1,0 +1,124 @@
+// Ablation E: sequential read-ahead window. Sweeps the buffer-pool /
+// UFS-cache prefetch window over the f-chunk object on both the magnetic
+// disk and the WORM drive. Window 0 is the pre-vectored-I/O system (every
+// block a separate device command); window 1 enables write coalescing but
+// never prefetches; larger windows amortize per-command overhead across
+// streaming runs. The interesting shape: sequential ops keep improving
+// with the window while random ops stay flat — the streak-confirmed
+// detector must not fire on non-sequential access.
+//
+// Run: bench_ablation_readahead [--no-stats] [--quick] [--profile]
+//                               [--trace=FILE] [--json=FILE] [workdir]
+// Results are written to BENCH_ablation_readahead[_quick].json
+// (pglo-bench-v1 schema; see DESIGN.md §9) unless --no-json is given.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/harness.h"
+
+namespace pglo {
+namespace bench {
+namespace {
+
+struct Device {
+  const char* label;
+  uint8_t smgr;
+};
+
+int Main(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv, "ablation_readahead",
+                                  "/tmp/pglo_bench_ablE");
+  const std::string& workdir = args.workdir;
+  int rc = std::system(("rm -rf '" + workdir + "'").c_str());
+  (void)rc;
+  const WorkloadScale scale = ScaleFor(args.quick);
+  BenchRun run(args);
+
+  const uint32_t kWindows[] = {0, 1, 4, 8, 32};
+  const Device kDevices[] = {{"disk", kSmgrDisk}, {"worm", kSmgrWorm}};
+
+  std::printf("Ablation E: read-ahead window, f-chunk object\n\n");
+  std::printf("%12s %8s %12s %12s %12s %12s %14s\n", "device", "window",
+              "create s", "seq read s", "rand read s", "80/20 read s",
+              "coalesced runs");
+
+  for (const Device& device : kDevices) {
+    for (uint32_t window : kWindows) {
+      std::string name =
+          std::string(device.label) + " window=" + std::to_string(window);
+      std::string dir = workdir + "/" + device.label + std::to_string(window);
+      Database db;
+      DatabaseOptions options = PaperOptions(dir);
+      options.enable_stats = args.stats;
+      options.readahead_pages = window;
+      Status s = db.Open(options);
+      if (!s.ok()) {
+        std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      BenchConfig config{name, StorageKind::kFChunk, "", device.smgr};
+      auto info = ConfigInfo(config);
+      info["readahead"] = std::to_string(window);
+      run.StartConfig(config.name, &db, info);
+      LoBenchRunner runner(&db, scale);
+
+      SimTimer create_timer(&db.clock());
+      Result<Oid> oid = runner.CreateObject(config);
+      if (!oid.ok()) {
+        std::fprintf(stderr, "create failed: %s\n",
+                     oid.status().ToString().c_str());
+        return 1;
+      }
+      double create_s = create_timer.ElapsedSeconds();
+
+      Result<double> seq = runner.RunOp(*oid, Op::kSeqRead, 7);
+      Result<double> rand = runner.RunOp(*oid, Op::kRandRead, 8);
+      Result<double> local = runner.RunOp(*oid, Op::kLocalRead, 9);
+      if (!seq.ok() || !rand.ok() || !local.ok()) {
+        std::fprintf(stderr, "bench failed\n");
+        return 1;
+      }
+      uint64_t coalesced = 0;
+      if (args.stats) {
+        StatsSnapshot snap = db.Stats();
+        for (const auto& [counter, value] : snap.counters) {
+          if (counter == "smgr.disk.coalesced_runs" ||
+              counter == "smgr.worm.coalesced_runs") {
+            coalesced += value;
+          }
+        }
+      }
+      run.RecordResult("create", create_s);
+      run.RecordResult(OpName(Op::kSeqRead), *seq);
+      run.RecordResult(OpName(Op::kRandRead), *rand);
+      run.RecordResult(OpName(Op::kLocalRead), *local);
+      run.RecordValue(OpName(Op::kSeqRead), "readahead_window", window);
+      std::printf("%12s %8u %12.1f %12.1f %12.1f %12.1f %14llu\n",
+                  device.label, window, create_s, *seq, *rand, *local,
+                  static_cast<unsigned long long>(coalesced));
+      run.FinishConfig();
+    }
+  }
+  std::printf(
+      "\nExpected shape: create and sequential read fall steeply from "
+      "window 0 to 8\n(vectored runs amortize per-command overhead) and "
+      "flatten after; random and\n80/20 reads are window-insensitive — the "
+      "detector demands a confirmed streak\nbefore prefetching, so "
+      "non-sequential access never pays for unused blocks.\n");
+  Status finish = run.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "results write failed: %s\n",
+                 finish.ToString().c_str());
+    return 1;
+  }
+  rc = std::system(("rm -rf '" + workdir + "'").c_str());
+  (void)rc;
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pglo
+
+int main(int argc, char** argv) { return pglo::bench::Main(argc, argv); }

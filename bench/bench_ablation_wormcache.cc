@@ -39,6 +39,9 @@ int Main(int argc, char** argv) {
     // crossover still happens inside the swept range.
     options.worm_cache_blocks = args.quick ? blocks / 10 : blocks;
     options.enable_stats = args.stats;
+    if (args.readahead >= 0) {
+      options.readahead_pages = static_cast<uint32_t>(args.readahead);
+    }
     Status s = db.Open(options);
     if (!s.ok()) {
       std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());

@@ -2,8 +2,18 @@
 // benchmark). Unlike the figure benches — which report deterministic
 // *simulated* seconds — these measure the real CPU cost of this
 // implementation's data structures.
+//
+// Wired into the shared BenchRun harness: accepts the common flags
+// (--quick/--json=/--no-json/--trace=/--profile) and emits a
+// BENCH_micro[_quick].json whose rows carry wall-clock values only —
+// deliberately no "simulated_seconds", so bench_compare never treats
+// host-machine noise as a regression.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench/harness.h"
 
 #include "btree/btree.h"
 #include "common/crc32c.h"
@@ -224,7 +234,75 @@ BENCHMARK(BM_LoThroughput)
     ->ArgsProduct({{0, 1}, {0, 1}})
     ->ArgNames({"vseg", "write"});
 
+// Console reporter that also copies every finished run into the BenchRun
+// JSON: one row per benchmark, wall-clock values only.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(bench::BenchRun* run) : run_(run) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred || r.iterations == 0) continue;
+      double iters = static_cast<double>(r.iterations);
+      run_->RecordValue(r.benchmark_name(), "real_ns_per_op",
+                        r.real_accumulated_time / iters * 1e9);
+      run_->RecordValue(r.benchmark_name(), "cpu_ns_per_op",
+                        r.cpu_accumulated_time / iters * 1e9);
+      auto bytes = r.counters.find("bytes_per_second");
+      if (bytes != r.counters.end()) {
+        run_->RecordValue(r.benchmark_name(), "bytes_per_second",
+                          bytes->second.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchRun* run_;
+};
+
 }  // namespace
 }  // namespace pglo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split the command line: --benchmark_* flags go to the google-benchmark
+  // runner, everything else to the shared bench harness (--quick/--json=/
+  // --no-json/...). --quick shortens each measurement instead of shrinking
+  // a workload — these benches have no scale knob.
+  std::vector<char*> bench_argv = {argv[0]};
+  std::vector<char*> harness_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bench_argv.push_back(argv[i]);
+    } else {
+      harness_argv.push_back(argv[i]);
+    }
+  }
+  pglo::bench::BenchArgs args = pglo::bench::ParseBenchArgs(
+      static_cast<int>(harness_argv.size()), harness_argv.data(), "micro",
+      "/tmp/pglo_bench_micro");
+  static char min_time[] = "--benchmark_min_time=0.05";
+  if (args.quick) bench_argv.push_back(min_time);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+
+  pglo::bench::BenchRun run(args);
+  // No Database to wire: micro benches build their own substrates, and the
+  // rows deliberately carry no simulated_seconds (wall clock is host noise,
+  // not a regression signal for bench_compare).
+  run.StartConfig("micro", nullptr,
+                  {{"kind", "wall-clock"}, {"scale", args.quick ? "quick" : "full"}});
+  pglo::JsonCapturingReporter reporter(&run);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  run.FinishConfig();
+  pglo::Status s = run.Finish();
+  if (!s.ok()) {
+    std::fprintf(stderr, "json write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -195,6 +195,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv, const std::string& bench_name,
       args.trace_path = arg.substr(8);
     } else if (arg.rfind("--json=", 0) == 0) {
       args.json_path = arg.substr(7);
+    } else if (arg.rfind("--readahead=", 0) == 0) {
+      args.readahead = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s (ignored)\n", arg.c_str());
     } else {

@@ -107,13 +107,17 @@ std::string FormatStatsTable(const std::string& title,
 
 /// Shared flag handling for the figure benches:
 ///   [--no-stats] [--quick] [--profile] [--trace=FILE] [--json=FILE]
-///   [--no-json] [workdir]
+///   [--no-json] [--readahead=N] [workdir]
 struct BenchArgs {
   std::string bench_name;  ///< e.g. "figure1"; names the default JSON file
   std::string workdir;
   bool stats = true;
   bool quick = false;    ///< 1/10th workload (the check.sh gate)
   bool profile = false;  ///< print per-config profiler attribution
+  /// Read-ahead window override; -1 = keep DatabaseOptions' default.
+  /// `--readahead=0` reproduces the pre-vectored-I/O per-block command
+  /// sequence (used to verify simulated-time compatibility).
+  int readahead = -1;
   std::string trace_path;  ///< Chrome trace-event output; empty = off
   std::string json_path;   ///< machine-readable results; empty = off
 };

@@ -93,6 +93,7 @@ Status Database::OpenInternal(bool after_crash) {
   pool_ = std::make_unique<BufferPool>(smgrs_.get(),
                                        options_.buffer_pool_frames);
   if (stats_ != nullptr) pool_->BindStats(stats_.get());
+  pool_->SetReadAhead(options_.readahead_pages);
   if (options_.charge_devices && options_.page_access_instructions > 0) {
     pool_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
   }
@@ -111,6 +112,7 @@ Status Database::OpenInternal(bool after_crash) {
   PGLO_RETURN_IF_ERROR(oids_->Open(options_.dir + "/oids"));
 
   ufs_ = std::make_unique<UnixFileSystem>(ufs_dev, options_.ufs_params);
+  ufs_->SetReadAhead(options_.readahead_pages);
   if (options_.charge_devices && options_.page_access_instructions > 0) {
     ufs_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
   }

@@ -11,6 +11,25 @@ uint64_t TransferNanos(uint64_t nblocks, uint32_t block_size,
   double seconds = bytes / (mb_per_s * 1024.0 * 1024.0);
   return static_cast<uint64_t>(seconds * 1e9);
 }
+
+/// Per-command overhead + streaming transfer for one `nblocks` command.
+///
+/// Calibrated so a single-block command costs exactly
+/// TransferNanos(1, transfer_mb_per_s): the overhead is the difference
+/// between the effective single-block rate and the media rate, so
+/// pre-vectored-I/O charge sequences (always one block per command) price
+/// bit-identically. A streaming rate at or below the effective rate
+/// degenerates to the plain per-block pricing.
+uint64_t CommandNanos(uint64_t nblocks, uint32_t block_size,
+                      double transfer_mb_per_s, double streaming_mb_per_s) {
+  if (streaming_mb_per_s <= transfer_mb_per_s) {
+    return TransferNanos(nblocks, block_size, transfer_mb_per_s);
+  }
+  uint64_t per_command =
+      TransferNanos(1, block_size, transfer_mb_per_s) -
+      TransferNanos(1, block_size, streaming_mb_per_s);
+  return per_command + TransferNanos(nblocks, block_size, streaming_mb_per_s);
+}
 }  // namespace
 
 void MagneticDiskModel::Charge(uint64_t block, uint64_t nblocks) {
@@ -27,7 +46,8 @@ void MagneticDiskModel::Charge(uint64_t block, uint64_t nblocks) {
     ns += static_cast<uint64_t>(
         (seek_ms + params_.rotational_latency_ms) * kMsToNs);
   }
-  ns += TransferNanos(nblocks, params_.block_size, params_.transfer_mb_per_s);
+  ns += CommandNanos(nblocks, params_.block_size, params_.transfer_mb_per_s,
+                     params_.streaming_mb_per_s);
   next_sequential_block_ = block + nblocks;
   NoteBusy(ns);
   clock_->Advance(ns);
@@ -67,7 +87,8 @@ void WormJukeboxModel::Charge(uint64_t block, uint64_t nblocks) {
     ns += static_cast<uint64_t>(
         (near ? params_.near_seek_ms : params_.seek_ms) * kMsToNs);
   }
-  ns += TransferNanos(nblocks, params_.block_size, params_.transfer_mb_per_s);
+  ns += CommandNanos(nblocks, params_.block_size, params_.transfer_mb_per_s,
+                     params_.streaming_mb_per_s);
   next_sequential_block_ = block + nblocks;
   NoteBusy(ns);
   clock_->Advance(ns);

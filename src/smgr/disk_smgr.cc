@@ -109,6 +109,56 @@ Status DiskSmgr::WriteBlock(Oid relfile, BlockNumber block,
   return Status::OK();
 }
 
+Status DiskSmgr::ReadBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                            uint8_t* buf) {
+  if (nblocks == 0) return Status::OK();
+  if (nblocks == 1) return ReadBlock(relfile, start, buf);
+  TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
+  span.AddDetail(nblocks);
+  PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
+  PGLO_ASSIGN_OR_RETURN(BlockNumber file_blocks, NumBlocks(relfile));
+  if (start + nblocks > file_blocks) {
+    return Status::OutOfRange("read run extends beyond end of file");
+  }
+  size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
+  ssize_t n = ::pread(fd, buf, bytes, static_cast<off_t>(start) * kPageSize);
+  if (n != static_cast<ssize_t>(bytes)) {
+    return Status::IOError("short read of run at block " +
+                           std::to_string(start));
+  }
+  if (device_ != nullptr) {
+    device_->ChargeRead(PhysicalBlock(relfile, start), nblocks);
+  }
+  StatAdd(stat_blocks_read_, nblocks);
+  NoteCoalescedRun(nblocks);
+  return Status::OK();
+}
+
+Status DiskSmgr::WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                             const uint8_t* buf) {
+  if (nblocks == 0) return Status::OK();
+  if (nblocks == 1) return WriteBlock(relfile, start, buf);
+  TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
+  span.AddDetail(nblocks);
+  PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
+  PGLO_ASSIGN_OR_RETURN(BlockNumber file_blocks, NumBlocks(relfile));
+  if (start > file_blocks) {
+    return Status::InvalidArgument("write would leave a hole in the file");
+  }
+  size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
+  ssize_t n = ::pwrite(fd, buf, bytes, static_cast<off_t>(start) * kPageSize);
+  if (n != static_cast<ssize_t>(bytes)) {
+    return Status::IOError("short write of run at block " +
+                           std::to_string(start));
+  }
+  if (device_ != nullptr) {
+    device_->ChargeWrite(PhysicalBlock(relfile, start), nblocks);
+  }
+  StatAdd(stat_blocks_written_, nblocks);
+  NoteCoalescedRun(nblocks);
+  return Status::OK();
+}
+
 Status DiskSmgr::Sync(Oid relfile) {
   PGLO_ASSIGN_OR_RETURN(int fd, GetFd(relfile));
   if (::fdatasync(fd) != 0) {

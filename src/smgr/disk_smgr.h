@@ -30,6 +30,10 @@ class DiskSmgr : public StorageManager {
   Status ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) override;
   Status WriteBlock(Oid relfile, BlockNumber block,
                     const uint8_t* buf) override;
+  Status ReadBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                    uint8_t* buf) override;
+  Status WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                     const uint8_t* buf) override;
   Status Sync(Oid relfile) override;
   Result<uint64_t> StorageBytes(Oid relfile) override;
   std::string name() const override { return "disk"; }

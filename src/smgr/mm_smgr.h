@@ -25,6 +25,10 @@ class MainMemorySmgr : public StorageManager {
   Status ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) override;
   Status WriteBlock(Oid relfile, BlockNumber block,
                     const uint8_t* buf) override;
+  Status ReadBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                    uint8_t* buf) override;
+  Status WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                     const uint8_t* buf) override;
   Status Sync(Oid relfile) override { (void)relfile; return Status::OK(); }
   Result<uint64_t> StorageBytes(Oid relfile) override;
   std::string name() const override { return "main-memory"; }

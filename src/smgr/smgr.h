@@ -42,6 +42,38 @@ class StorageManager {
   virtual Status WriteBlock(Oid relfile, BlockNumber block,
                             const uint8_t* buf) = 0;
 
+  /// Reads `nblocks` consecutive blocks starting at `start` into `buf`
+  /// (`nblocks * kPageSize` bytes). The run must lie entirely within the
+  /// file. A zero-length run is a no-op. On error the buffer contents are
+  /// unspecified. The default loops over ReadBlock so third-party storage
+  /// managers keep working unchanged; the built-in smgrs override it to
+  /// charge their device once for the whole run.
+  virtual Status ReadBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                            uint8_t* buf) {
+    for (uint32_t i = 0; i < nblocks; ++i) {
+      PGLO_RETURN_IF_ERROR(
+          ReadBlock(relfile, start + i, buf + static_cast<size_t>(i) *
+                                                  kPageSize));
+    }
+    return Status::OK();
+  }
+
+  /// Writes `nblocks` consecutive blocks starting at `start` from `buf`.
+  /// Like WriteBlock, a run starting at or below NumBlocks may extend the
+  /// file contiguously; a run starting past the append frontier is an
+  /// error (it would leave a hole). A zero-length run is a no-op. On error
+  /// a prefix of the run may have been written. Default loops over
+  /// WriteBlock; built-in smgrs override with one coalesced device charge.
+  virtual Status WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                             const uint8_t* buf) {
+    for (uint32_t i = 0; i < nblocks; ++i) {
+      PGLO_RETURN_IF_ERROR(
+          WriteBlock(relfile, start + i, buf + static_cast<size_t>(i) *
+                                                   kPageSize));
+    }
+    return Status::OK();
+  }
+
   /// Forces previously written blocks of the file to stable storage.
   virtual Status Sync(Oid relfile) = 0;
 
@@ -51,19 +83,21 @@ class StorageManager {
   virtual std::string name() const = 0;
 
   /// Mirrors block I/O accounting into `registry` counters named
-  /// `smgr.<name>.{blocks_read,blocks_written}`, histograms
+  /// `smgr.<name>.{blocks_read,blocks_written,coalesced_runs}`, histograms
   /// `smgr.<name>.{read_ns,write_ns}`, and trace spans
-  /// `smgr.<name>.{read,write}` around each block access. Implementations
-  /// bump the protected counters and open the spans in their
-  /// ReadBlock/WriteBlock; overrides may bind additional
-  /// implementation-specific counters. Null registry = unbound (no
-  /// overhead).
+  /// `smgr.<name>.{read,write}` around each block access (the span detail
+  /// payload of a vectored access is the run length). Implementations bump
+  /// the protected counters and open the spans in their block routines;
+  /// overrides may bind additional implementation-specific counters. Null
+  /// registry = unbound (no overhead).
   virtual void BindStats(StatsRegistry* registry) {
     if (registry == nullptr) return;
     stat_registry_ = registry;
     stat_blocks_read_ = registry->counter("smgr." + name() + ".blocks_read");
     stat_blocks_written_ =
         registry->counter("smgr." + name() + ".blocks_written");
+    stat_coalesced_runs_ =
+        registry->counter("smgr." + name() + ".coalesced_runs");
     stat_read_ns_ = registry->histogram("smgr." + name() + ".read_ns");
     stat_write_ns_ = registry->histogram("smgr." + name() + ".write_ns");
     span_read_name_ = "smgr." + name() + ".read";
@@ -71,9 +105,16 @@ class StorageManager {
   }
 
  protected:
+  /// Accounting shared by every native ReadBlocks/WriteBlocks: one
+  /// coalesced run of `nblocks` blocks (only runs of ≥ 2 count).
+  void NoteCoalescedRun(uint32_t nblocks) {
+    if (nblocks >= 2) StatInc(stat_coalesced_runs_);
+  }
+
   StatsRegistry* stat_registry_ = nullptr;
   Counter* stat_blocks_read_ = nullptr;
   Counter* stat_blocks_written_ = nullptr;
+  Counter* stat_coalesced_runs_ = nullptr;
   Histogram* stat_read_ns_ = nullptr;
   Histogram* stat_write_ns_ = nullptr;
   std::string span_read_name_;

@@ -115,6 +115,22 @@ Status WormSmgr::ReadOptical(uint32_t optical, uint8_t* buf) {
   return Status::OK();
 }
 
+Status WormSmgr::ReadOpticalRun(uint32_t optical, uint32_t nblocks,
+                                uint8_t* buf) {
+  size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
+  ssize_t n = ::pread(optical_fd_, buf, bytes,
+                      static_cast<off_t>(optical) * kPageSize);
+  if (n != static_cast<ssize_t>(bytes)) {
+    return Status::IOError("optical read failed");
+  }
+  stats_.optical_reads += nblocks;
+  StatAdd(c_optical_reads_, nblocks);
+  if (optical_device_ != nullptr) {
+    optical_device_->ChargeRead(optical, nblocks);
+  }
+  return Status::OK();
+}
+
 Status WormSmgr::BurnOptical(uint32_t optical, const uint8_t* buf) {
   ssize_t n = ::pwrite(optical_fd_, buf, kPageSize,
                        static_cast<off_t>(optical) * kPageSize);
@@ -124,6 +140,22 @@ Status WormSmgr::BurnOptical(uint32_t optical, const uint8_t* buf) {
   ++stats_.optical_writes;
   StatInc(c_optical_writes_);
   if (optical_device_ != nullptr) optical_device_->ChargeWrite(optical, 1);
+  return Status::OK();
+}
+
+Status WormSmgr::BurnOpticalRun(uint32_t optical, uint32_t nblocks,
+                                const uint8_t* buf) {
+  size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
+  ssize_t n = ::pwrite(optical_fd_, buf, bytes,
+                       static_cast<off_t>(optical) * kPageSize);
+  if (n != static_cast<ssize_t>(bytes)) {
+    return Status::IOError("optical write failed");
+  }
+  stats_.optical_writes += nblocks;
+  StatAdd(c_optical_writes_, nblocks);
+  if (optical_device_ != nullptr) {
+    optical_device_->ChargeWrite(optical, nblocks);
+  }
   return Status::OK();
 }
 
@@ -245,6 +277,95 @@ Status WormSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
   StatInc(c_cache_misses_);
   PGLO_RETURN_IF_ERROR(ReadOptical(it->second.map[block], buf));
   CacheInsert(relfile, block, buf);
+  return Status::OK();
+}
+
+Status WormSmgr::ReadBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                            uint8_t* buf) {
+  if (nblocks == 0) return Status::OK();
+  if (nblocks == 1) return ReadBlock(relfile, start, buf);
+  TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
+  span.AddDetail(nblocks);
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  const FileState& fs = it->second;
+  if (static_cast<size_t>(start) + nblocks > fs.map.size()) {
+    return Status::OutOfRange("read run extends beyond end of file");
+  }
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    if (fs.map[start + i] == kNoOptical) {
+      return Status::OutOfRange("block beyond end of file");
+    }
+  }
+  StatAdd(stat_blocks_read_, nblocks);
+  NoteCoalescedRun(nblocks);
+  uint32_t i = 0;
+  while (i < nblocks) {
+    BlockNumber block = start + i;
+    uint8_t* dst = buf + static_cast<size_t>(i) * kPageSize;
+    if (CacheLookup(relfile, block, dst)) {
+      ++stats_.cache_hits;
+      StatInc(c_cache_hits_);
+      ++i;
+      continue;
+    }
+    // Miss: extend over following misses while their optical blocks stay
+    // consecutive, then pay the jukebox once for the whole sub-run.
+    uint32_t optical = fs.map[block];
+    uint32_t run = 1;
+    while (i + run < nblocks &&
+           fs.map[start + i + run] == optical + run &&
+           cache_.find(CacheKey{relfile, start + i + run}) == cache_.end()) {
+      ++run;
+    }
+    stats_.cache_misses += run;
+    StatAdd(c_cache_misses_, run);
+    PGLO_RETURN_IF_ERROR(ReadOpticalRun(optical, run, dst));
+    for (uint32_t k = 0; k < run; ++k) {
+      CacheInsert(relfile, block + k, dst + static_cast<size_t>(k) *
+                                                kPageSize);
+    }
+    i += run;
+  }
+  return Status::OK();
+}
+
+Status WormSmgr::WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                             const uint8_t* buf) {
+  if (nblocks == 0) return Status::OK();
+  if (nblocks == 1) return WriteBlock(relfile, start, buf);
+  TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
+  span.AddDetail(nblocks);
+  auto it = files_.find(relfile);
+  if (it == files_.end()) {
+    return Status::NotFound("relation file does not exist");
+  }
+  FileState& fs = it->second;
+  if (start > fs.map.size()) {
+    return Status::InvalidArgument("write would leave a hole in the file");
+  }
+  uint32_t first_optical = next_optical_;
+  next_optical_ += nblocks;
+  PGLO_RETURN_IF_ERROR(BurnOpticalRun(first_optical, nblocks, buf));
+  for (uint32_t i = 0; i < nblocks; ++i) {
+    BlockNumber block = start + i;
+    uint32_t optical = first_optical + i;
+    PGLO_RETURN_IF_ERROR(AppendMapRecord(relfile, block, optical));
+    if (block == fs.map.size()) {
+      fs.map.push_back(optical);
+    } else {
+      ++stats_.relocations;  // write-once: old block becomes dead platter
+      StatInc(c_relocations_);
+      fs.map[block] = optical;
+    }
+    ++fs.blocks_burned;
+    CacheInsert(relfile, block,
+                buf + static_cast<size_t>(i) * kPageSize);
+  }
+  StatAdd(stat_blocks_written_, nblocks);
+  NoteCoalescedRun(nblocks);
   return Status::OK();
 }
 

@@ -53,6 +53,16 @@ class WormSmgr : public StorageManager {
   Status ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) override;
   Status WriteBlock(Oid relfile, BlockNumber block,
                     const uint8_t* buf) override;
+  /// Serves the run from the cache where resident; cache misses are grouped
+  /// into maximal consecutive-*optical* sub-runs, each charged to the
+  /// jukebox once, and the cache is filled with every block of each
+  /// sub-run.
+  Status ReadBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                    uint8_t* buf) override;
+  /// Burns the run onto consecutive optical blocks with one jukebox charge;
+  /// write-once semantics are per block (rewritten logicals relocate).
+  Status WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
+                     const uint8_t* buf) override;
   Status Sync(Oid relfile) override;
   /// Platter bytes ever burned for this file, including relocated (dead)
   /// blocks — write-once media cannot reclaim them.
@@ -103,7 +113,10 @@ class WormSmgr : public StorageManager {
 
   Status AppendMapRecord(Oid relfile, BlockNumber logical, uint32_t optical);
   Status ReadOptical(uint32_t optical, uint8_t* buf);
+  Status ReadOpticalRun(uint32_t optical, uint32_t nblocks, uint8_t* buf);
   Status BurnOptical(uint32_t optical, const uint8_t* buf);
+  Status BurnOpticalRun(uint32_t optical, uint32_t nblocks,
+                        const uint8_t* buf);
   void CacheInsert(Oid relfile, BlockNumber block, const uint8_t* buf);
   bool CacheLookup(Oid relfile, BlockNumber block, uint8_t* buf);
   void CacheErase(Oid relfile, BlockNumber block);

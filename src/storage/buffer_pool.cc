@@ -154,8 +154,80 @@ Status BufferPool::WriteBackBatch(size_t victim_frame) {
     return std::tie(x.file.smgr_id, x.file.relfile, x.block) <
            std::tie(y.file.smgr_id, y.file.relfile, y.block);
   });
-  for (size_t frame : batch) {
-    PGLO_RETURN_IF_ERROR(WriteBack(frames_[frame]));
+  return WriteBackSorted(batch);
+}
+
+Status BufferPool::WriteRawRun(const std::vector<size_t>& run) {
+  TraceSpan span(registry_, h_writeback_ns_, "bufpool.writeback");
+  span.AddDetail(run.size());
+  Frame& first = frames_[run.front()];
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(first.id.file));
+  write_scratch_.resize(run.size() * kPageSize);
+  for (size_t k = 0; k < run.size(); ++k) {
+    Frame& fr = frames_[run[k]];
+    SlottedPage page(fr.data.get());
+    if (page.IsInitialized()) {
+      page.UpdateChecksum();
+    }
+    std::memcpy(write_scratch_.data() + k * kPageSize, fr.data.get(),
+                kPageSize);
+  }
+  PGLO_RETURN_IF_ERROR(
+      smgr->WriteBlocks(first.id.file.relfile, first.id.block,
+                        static_cast<uint32_t>(run.size()),
+                        write_scratch_.data()));
+  for (size_t idx : run) {
+    frames_[idx].dirty = false;
+  }
+  stats_.writebacks += run.size();
+  StatAdd(c_writebacks_, run.size());
+  return Status::OK();
+}
+
+Status BufferPool::WriteBackSorted(const std::vector<size_t>& sorted) {
+  if (readahead_pages_ == 0) {
+    // Legacy per-page path, kept bit-identical for the window-0 ablation.
+    for (size_t i : sorted) {
+      PGLO_RETURN_IF_ERROR(WriteBack(frames_[i]));
+    }
+    return Status::OK();
+  }
+  // One device command per up-to-512KB contiguous dirty run.
+  constexpr size_t kMaxWriteRun = 64;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    if (!frames_[sorted[i]].dirty) {
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < sorted.size() && j - i < kMaxWriteRun) {
+      const Frame& prev = frames_[sorted[j - 1]];
+      const Frame& cur = frames_[sorted[j]];
+      if (!(cur.id.file == prev.id.file) ||
+          cur.id.block != prev.id.block + 1 || !cur.dirty) {
+        break;
+      }
+      ++j;
+    }
+    if (j - i == 1) {
+      PGLO_RETURN_IF_ERROR(WriteBack(frames_[sorted[i]]));
+      i = j;
+      continue;
+    }
+    Frame& first = frames_[sorted[i]];
+    PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(first.id.file));
+    PGLO_ASSIGN_OR_RETURN(BlockNumber cur_blocks,
+                          smgr->NumBlocks(first.id.file.relfile));
+    if (first.id.block > cur_blocks) {
+      // Lazily-appended tail: fill the gap below the run first so the
+      // vectored write extends the file contiguously.
+      PGLO_RETURN_IF_ERROR(
+          EnsureMaterialized(first.id.file, first.id.block));
+    }
+    PGLO_RETURN_IF_ERROR(WriteRawRun(
+        std::vector<size_t>(sorted.begin() + i, sorted.begin() + j)));
+    i = j;
   }
   return Status::OK();
 }
@@ -173,28 +245,93 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
     StatInc(c_hits_);
     size_t frame = it->second;
     Frame& f = frames_[frame];
+    if (f.prefetched) {
+      f.prefetched = false;
+      ++stats_.readahead_hits;
+      StatInc(c_readahead_hits_);
+    }
     Touch(frame);
     ++f.pin_count;
     return PageHandle(this, frame, id);
   }
   ++stats_.misses;
   StatInc(c_misses_);
-  PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictim());
-  Frame& f = frames_[frame];
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(id.file));
-  Status s = smgr->ReadBlock(id.file.relfile, id.block, f.data.get());
+  // Sequential detector: misses landing on the block this file was
+  // expected to fault next build a streak. The second consecutive match
+  // confirms a scan and widens the read, ramping the window (2, 4, 8, ...)
+  // up to `readahead_pages_`, clipped at the storage manager's end of file
+  // and at the first block that is already resident. A single accidental
+  // adjacency (common when one logical record straddles two blocks) never
+  // triggers a prefetch.
+  uint32_t want = 1;
+  if (readahead_pages_ > 1) {
+    ReadAheadState& ra = readahead_[id.file];
+    if (id.block == ra.next_expected) {
+      ra.streak = std::min<uint32_t>(ra.streak + 1, 32);
+    } else {
+      ra.streak = 0;
+    }
+    if (ra.streak >= 2) {
+      Result<BlockNumber> nb = smgr->NumBlocks(id.file.relfile);
+      if (nb.ok() && id.block < nb.value()) {
+        uint32_t window = 2;
+        for (uint32_t s = 2; s < ra.streak && window < readahead_pages_;
+             ++s) {
+          window *= 2;
+        }
+        want = static_cast<uint32_t>(std::min<uint64_t>(
+            std::min<uint32_t>(window, readahead_pages_),
+            nb.value() - id.block));
+        for (uint32_t k = 1; k < want; ++k) {
+          if (page_table_.count(PageId{id.file, id.block + k}) != 0) {
+            want = k;
+            break;
+          }
+        }
+      }
+    }
+  }
+  PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictim());
+  std::vector<size_t> extras;
+  for (uint32_t k = 1; k < want; ++k) {
+    Result<size_t> v = FindVictim();
+    if (!v.ok()) break;  // pool too hot to prefetch: fault what fits
+    extras.push_back(v.value());
+  }
+  uint32_t run = 1 + static_cast<uint32_t>(extras.size());
+  if (readahead_pages_ > 1) {
+    readahead_[id.file].next_expected = id.block + run;
+  }
+  Frame& f = frames_[frame];
+  Status s;
+  if (run == 1) {
+    s = smgr->ReadBlock(id.file.relfile, id.block, f.data.get());
+  } else {
+    read_scratch_.resize(static_cast<size_t>(run) * kPageSize);
+    s = smgr->ReadBlocks(id.file.relfile, id.block, run,
+                         read_scratch_.data());
+  }
   if (!s.ok()) {
     free_frames_.push_back(frame);
+    for (size_t e : extras) free_frames_.push_back(e);
     return s;
   }
-  {
-    SlottedPage page(f.data.get());
+  if (run > 1) {
+    std::memcpy(f.data.get(), read_scratch_.data(), kPageSize);
+  }
+  for (uint32_t k = 0; k < run; ++k) {
+    uint8_t* img = (run == 1) ? f.data.get()
+                              : read_scratch_.data() +
+                                    static_cast<size_t>(k) * kPageSize;
+    SlottedPage page(img);
     if (page.IsInitialized() && !page.VerifyChecksum()) {
       free_frames_.push_back(frame);
+      for (size_t e : extras) free_frames_.push_back(e);
       return Status::Corruption(
           "page checksum mismatch: relfile " +
           std::to_string(id.file.relfile) + " block " +
-          std::to_string(id.block));
+          std::to_string(id.block + k));
     }
   }
   f.id = id;
@@ -202,7 +339,29 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
   f.dirty = false;
   f.in_use = true;
   f.on_lru = false;
+  f.prefetched = false;
   page_table_[id] = frame;
+  // Extra frames go straight onto the LRU, unpinned: prefetched pages are
+  // always evictable and never pin the pool down.
+  for (uint32_t k = 1; k < run; ++k) {
+    size_t ef = extras[k - 1];
+    Frame& e = frames_[ef];
+    std::memcpy(e.data.get(),
+                read_scratch_.data() + static_cast<size_t>(k) * kPageSize,
+                kPageSize);
+    PageId pid{id.file, id.block + k};
+    e.id = pid;
+    e.pin_count = 0;
+    e.dirty = false;
+    e.in_use = true;
+    e.prefetched = true;
+    page_table_[pid] = ef;
+    lru_.push_back(ef);
+    e.lru_pos = std::prev(lru_.end());
+    e.on_lru = true;
+    ++stats_.readahead_pages;
+    StatInc(c_readahead_pages_);
+  }
   return PageHandle(this, frame, id);
 }
 
@@ -230,6 +389,7 @@ Result<PageHandle> BufferPool::NewPage(RelFileId file,
   f.dirty = true;
   f.in_use = true;
   f.on_lru = false;
+  f.prefetched = false;
   page_table_[id] = frame;
   pending_size_[file] = nblocks + 1;
   *block_out = nblocks;
@@ -249,10 +409,7 @@ Status BufferPool::FlushAll() {
     return std::tie(x.file.smgr_id, x.file.relfile, x.block) <
            std::tie(y.file.smgr_id, y.file.relfile, y.block);
   });
-  for (size_t i : dirty) {
-    PGLO_RETURN_IF_ERROR(WriteBack(frames_[i]));
-  }
-  return Status::OK();
+  return WriteBackSorted(dirty);
 }
 
 Status BufferPool::FlushFile(RelFileId file) {
@@ -265,14 +422,12 @@ Status BufferPool::FlushFile(RelFileId file) {
   std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
     return frames_[a].id.block < frames_[b].id.block;
   });
-  for (size_t i : dirty) {
-    PGLO_RETURN_IF_ERROR(WriteBack(frames_[i]));
-  }
-  return Status::OK();
+  return WriteBackSorted(dirty);
 }
 
 void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
   if (discard_dirty) pending_size_.erase(file);
+  readahead_.erase(file);
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (!f.in_use || !(f.id.file == file)) continue;
@@ -285,12 +440,14 @@ void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
     page_table_.erase(f.id);
     f.in_use = false;
     f.dirty = false;
+    f.prefetched = false;
     free_frames_.push_back(i);
   }
 }
 
 void BufferPool::CrashDiscardAll() {
   pending_size_.clear();
+  readahead_.clear();
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (!f.in_use) continue;
@@ -302,6 +459,7 @@ void BufferPool::CrashDiscardAll() {
     page_table_.erase(f.id);
     f.in_use = false;
     f.dirty = false;
+    f.prefetched = false;
     free_frames_.push_back(i);
   }
 }

@@ -67,6 +67,8 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  uint64_t readahead_pages = 0;  ///< pages prefetched ahead of a faulting scan
+  uint64_t readahead_hits = 0;   ///< hits served from a prefetched frame
 };
 
 /// Fixed-size page cache over the storage manager switch.
@@ -85,6 +87,16 @@ class BufferPool {
     access_instructions_ = instructions;
   }
 
+  /// Sets the sequential read-ahead window in pages. When a miss lands on
+  /// the block a per-file detector expected next, the whole window is
+  /// faulted with one vectored ReadBlocks into free/victim frames; the
+  /// extra frames enter the LRU unpinned and evictable. Any value > 0 also
+  /// turns on run-coalesced write-back (adjacent dirty pages leave in one
+  /// WriteBlocks). 0 disables both, restoring the exact per-block command
+  /// sequence the pool issued before vectored I/O existed.
+  void SetReadAhead(uint32_t pages) { readahead_pages_ = pages; }
+  uint32_t readahead_pages() const { return readahead_pages_; }
+
   /// Mirrors hit/miss/eviction/writeback accounting into `registry`
   /// counters under `bufpool.*`, plus `bufpool.{get,new_page,writeback}`
   /// trace spans with matching `*_ns` histograms, so the profiler can
@@ -97,6 +109,8 @@ class BufferPool {
     c_misses_ = registry->counter("bufpool.misses");
     c_evictions_ = registry->counter("bufpool.evictions");
     c_writebacks_ = registry->counter("bufpool.writebacks");
+    c_readahead_pages_ = registry->counter("bufpool.readahead_pages");
+    c_readahead_hits_ = registry->counter("bufpool.readahead_hits");
     h_get_ns_ = registry->histogram("bufpool.get_ns");
     h_new_page_ns_ = registry->histogram("bufpool.new_page_ns");
     h_writeback_ns_ = registry->histogram("bufpool.writeback_ns");
@@ -147,6 +161,19 @@ class BufferPool {
     bool in_use = false;
     std::list<size_t>::iterator lru_pos;  // valid when unpinned & in_use
     bool on_lru = false;
+    bool prefetched = false;  ///< installed by read-ahead, not yet accessed
+  };
+
+  /// Per-file sequential-access detector, updated on misses only. A miss
+  /// on `next_expected` extends the streak; prefetching starts only on the
+  /// third consecutive sequential miss and the window ramps up (2, 4, 8,
+  /// ...) toward `readahead_pages_`. The confirmation + ramp keep short
+  /// accidental runs — e.g. a random f-chunk frame read touching two
+  /// adjacent chunk blocks — from paying for a full window they will never
+  /// use.
+  struct ReadAheadState {
+    BlockNumber next_expected = 0;
+    uint32_t streak = 0;  ///< consecutive misses that landed on next_expected
   };
 
   void Unpin(size_t frame);
@@ -156,6 +183,13 @@ class BufferPool {
   /// Cleans a sorted batch of cold dirty pages, starting with
   /// `victim_frame` (background-writer style clustering).
   Status WriteBackBatch(size_t victim_frame);
+  /// Writes back an already-sorted list of dirty frames, coalescing
+  /// adjacent (file, block) runs into single WriteBlocks commands when
+  /// read-ahead is enabled; falls back to per-frame WriteBack at window 0.
+  Status WriteBackSorted(const std::vector<size_t>& sorted);
+  /// Stamps checksums and emits one contiguous dirty run (>= 2 frames of
+  /// one file, consecutive blocks) as a single vectored write.
+  Status WriteRawRun(const std::vector<size_t>& run);
   /// Writes out any resident dirty blocks of `file` below `upto` that the
   /// storage manager does not have yet, so WriteBack never leaves a hole.
   Status EnsureMaterialized(RelFileId file, BlockNumber upto);
@@ -174,6 +208,8 @@ class BufferPool {
   Counter* c_misses_ = nullptr;
   Counter* c_evictions_ = nullptr;
   Counter* c_writebacks_ = nullptr;
+  Counter* c_readahead_pages_ = nullptr;
+  Counter* c_readahead_hits_ = nullptr;
   Histogram* h_get_ns_ = nullptr;
   Histogram* h_new_page_ns_ = nullptr;
   Histogram* h_writeback_ns_ = nullptr;
@@ -183,6 +219,12 @@ class BufferPool {
   std::unordered_map<RelFileId, BlockNumber, RelFileIdHash> pending_size_;
   std::list<size_t> lru_;  // front = least recently used, unpinned frames
   std::vector<size_t> free_frames_;
+  uint32_t readahead_pages_ = 0;
+  std::unordered_map<RelFileId, ReadAheadState, RelFileIdHash> readahead_;
+  /// Staging buffers for vectored faults and coalesced write-back; sized
+  /// lazily to the largest run seen.
+  std::vector<uint8_t> read_scratch_;
+  std::vector<uint8_t> write_scratch_;
   BufferPoolStats stats_;
 };
 

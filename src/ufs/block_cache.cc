@@ -1,6 +1,7 @@
 #include "ufs/block_cache.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -23,6 +24,11 @@ Status UfsBlockCache::Open(const std::string& path) {
   if (fd_ < 0) {
     return Status::IOError("cannot open ufs backing file: " +
                            std::string(std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) == 0) {
+    backing_blocks_ = static_cast<uint32_t>(
+        (static_cast<uint64_t>(st.st_size) + kPageSize - 1) / kPageSize);
   }
   return Status::OK();
 }
@@ -48,6 +54,73 @@ Status UfsBlockCache::WriteBacking(uint32_t block, const uint8_t* buf) {
   }
   if (device_ != nullptr) device_->ChargeWrite(block, 1);
   StatInc(c_blocks_written_);
+  if (block + 1 > backing_blocks_) backing_blocks_ = block + 1;
+  return Status::OK();
+}
+
+Status UfsBlockCache::ReadBackingRun(uint32_t block, uint32_t nblocks,
+                                     uint8_t* buf) {
+  size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
+  ssize_t n = ::pread(fd_, buf, bytes, static_cast<off_t>(block) * kPageSize);
+  if (n < 0) return Status::IOError("ufs backing read failed");
+  if (n < static_cast<ssize_t>(bytes)) {
+    std::memset(buf + n, 0, bytes - n);
+  }
+  if (device_ != nullptr) device_->ChargeRead(block, nblocks);
+  StatAdd(c_blocks_read_, nblocks);
+  return Status::OK();
+}
+
+Status UfsBlockCache::WriteBackingRun(uint32_t block, uint32_t nblocks,
+                                      const uint8_t* buf) {
+  size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
+  ssize_t n = ::pwrite(fd_, buf, bytes, static_cast<off_t>(block) * kPageSize);
+  if (n != static_cast<ssize_t>(bytes)) {
+    return Status::IOError("ufs backing write failed");
+  }
+  if (device_ != nullptr) device_->ChargeWrite(block, nblocks);
+  StatAdd(c_blocks_written_, nblocks);
+  if (block + nblocks > backing_blocks_) backing_blocks_ = block + nblocks;
+  return Status::OK();
+}
+
+Status UfsBlockCache::WriteBackSorted(const std::vector<uint32_t>& sorted) {
+  if (readahead_pages_ == 0) {
+    for (uint32_t block : sorted) {
+      Entry& e = cache_[block];
+      PGLO_RETURN_IF_ERROR(WriteBacking(block, e.data.data()));
+      e.dirty = false;
+    }
+    return Status::OK();
+  }
+  constexpr size_t kMaxWriteRun = 64;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i + 1;
+    while (j < sorted.size() && j - i < kMaxWriteRun &&
+           sorted[j] == sorted[j - 1] + 1) {
+      ++j;
+    }
+    uint32_t run = static_cast<uint32_t>(j - i);
+    if (run == 1) {
+      Entry& e = cache_[sorted[i]];
+      PGLO_RETURN_IF_ERROR(WriteBacking(sorted[i], e.data.data()));
+      e.dirty = false;
+    } else {
+      write_scratch_.resize(static_cast<size_t>(run) * kPageSize);
+      for (uint32_t k = 0; k < run; ++k) {
+        std::memcpy(
+            write_scratch_.data() + static_cast<size_t>(k) * kPageSize,
+            cache_[sorted[i + k]].data.data(), kPageSize);
+      }
+      PGLO_RETURN_IF_ERROR(
+          WriteBackingRun(sorted[i], run, write_scratch_.data()));
+      for (uint32_t k = 0; k < run; ++k) {
+        cache_[sorted[i + k]].dirty = false;
+      }
+    }
+    i = j;
+  }
   return Status::OK();
 }
 
@@ -74,11 +147,7 @@ Status UfsBlockCache::EvictIfFull() {
         if (cache_[*lru_it].dirty) batch.push_back(*lru_it);
       }
       std::sort(batch.begin(), batch.end());
-      for (uint32_t block : batch) {
-        Entry& e = cache_[block];
-        PGLO_RETURN_IF_ERROR(WriteBacking(block, e.data.data()));
-        e.dirty = false;
-      }
+      PGLO_RETURN_IF_ERROR(WriteBackSorted(batch));
     }
     cache_.erase(victim);
   }
@@ -99,13 +168,51 @@ Status UfsBlockCache::Read(uint32_t block, uint8_t* buf) {
   }
   ++misses_;
   StatInc(c_misses_);
-  PGLO_RETURN_IF_ERROR(ReadBacking(block, buf));
-  PGLO_RETURN_IF_ERROR(EvictIfFull());
-  Entry e;
-  e.data.assign(buf, buf + kPageSize);
-  lru_.push_back(block);
-  e.lru_pos = std::prev(lru_.end());
-  cache_.emplace(block, std::move(e));
+  // Sequential detector, mirroring the buffer pool's: the second
+  // consecutive miss on the block expected next confirms a scan and widens
+  // into a vectored backing read, ramping (2, 4, 8, ...) toward the
+  // window, clipped at the written extent and at the first cached block.
+  uint32_t run = 1;
+  if (readahead_pages_ > 1) {
+    if (block == next_expected_) {
+      streak_ = std::min<uint32_t>(streak_ + 1, 32);
+    } else {
+      streak_ = 0;
+    }
+    if (streak_ >= 2 && block < backing_blocks_) {
+      uint32_t window = 2;
+      for (uint32_t s = 2; s < streak_ && window < readahead_pages_; ++s) {
+        window *= 2;
+      }
+      run = static_cast<uint32_t>(std::min<uint64_t>(
+          std::min<uint32_t>(window, readahead_pages_),
+          backing_blocks_ - block));
+      for (uint32_t k = 1; k < run; ++k) {
+        if (cache_.count(block + k) != 0) {
+          run = k;
+          break;
+        }
+      }
+    }
+    next_expected_ = block + run;
+  }
+  if (run == 1) {
+    PGLO_RETURN_IF_ERROR(ReadBacking(block, buf));
+  } else {
+    scratch_.resize(static_cast<size_t>(run) * kPageSize);
+    PGLO_RETURN_IF_ERROR(ReadBackingRun(block, run, scratch_.data()));
+    std::memcpy(buf, scratch_.data(), kPageSize);
+  }
+  for (uint32_t k = 0; k < run; ++k) {
+    PGLO_RETURN_IF_ERROR(EvictIfFull());
+    Entry e;
+    const uint8_t* src =
+        (run == 1) ? buf : scratch_.data() + static_cast<size_t>(k) * kPageSize;
+    e.data.assign(src, src + kPageSize);
+    lru_.push_back(block + k);
+    e.lru_pos = std::prev(lru_.end());
+    cache_.emplace(block + k, std::move(e));
+  }
   return Status::OK();
 }
 
@@ -137,11 +244,7 @@ Status UfsBlockCache::Flush() {
     if (e.dirty) dirty.push_back(block);
   }
   std::sort(dirty.begin(), dirty.end());  // clustered writeback
-  for (uint32_t block : dirty) {
-    Entry& e = cache_[block];
-    PGLO_RETURN_IF_ERROR(WriteBacking(block, e.data.data()));
-    e.dirty = false;
-  }
+  PGLO_RETURN_IF_ERROR(WriteBackSorted(dirty));
   if (::fdatasync(fd_) != 0) return Status::IOError("ufs fsync failed");
   return Status::OK();
 }
@@ -149,6 +252,8 @@ Status UfsBlockCache::Flush() {
 void UfsBlockCache::CrashDiscard() {
   cache_.clear();
   lru_.clear();
+  next_expected_ = 0;
+  streak_ = 0;
 }
 
 }  // namespace pglo

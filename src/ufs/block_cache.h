@@ -36,6 +36,14 @@ class UfsBlockCache {
     access_instructions_ = instructions;
   }
 
+  /// Sequential read-ahead window in blocks, mirroring the buffer pool's:
+  /// a miss on the physical block the detector expected next pulls the
+  /// whole window from the backing store with one device command, clipped
+  /// to the written extent of the backing file. Any value > 0 also
+  /// coalesces adjacent dirty blocks into vectored write-backs; 0 keeps
+  /// the historical one-command-per-block behaviour.
+  void SetReadAhead(uint32_t pages) { readahead_pages_ = pages; }
+
   /// Mirrors cache and backing-store accounting into `registry` counters
   /// under `ufs.*`. Null registry = unbound (no overhead).
   void BindStats(StatsRegistry* registry) {
@@ -71,6 +79,13 @@ class UfsBlockCache {
 
   Status ReadBacking(uint32_t block, uint8_t* buf);
   Status WriteBacking(uint32_t block, const uint8_t* buf);
+  /// One device command for `nblocks` consecutive backing blocks.
+  Status ReadBackingRun(uint32_t block, uint32_t nblocks, uint8_t* buf);
+  Status WriteBackingRun(uint32_t block, uint32_t nblocks,
+                         const uint8_t* buf);
+  /// Writes back a sorted list of dirty cached blocks, coalescing
+  /// consecutive runs when read-ahead is enabled.
+  Status WriteBackSorted(const std::vector<uint32_t>& sorted);
   Status EvictIfFull();
   void Touch(uint32_t block, Entry& e);
 
@@ -79,6 +94,16 @@ class UfsBlockCache {
   uint64_t access_instructions_ = 0;
   size_t capacity_;
   int fd_ = -1;
+  uint32_t readahead_pages_ = 0;
+  uint32_t next_expected_ = 0;   ///< sequential detector on physical blocks
+  uint32_t streak_ = 0;          ///< consecutive misses on next_expected_
+  uint32_t backing_blocks_ = 0;  ///< written extent; read-ahead never
+                                 ///< charges for virgin (all-zero) blocks
+  /// Separate staging buffers: eviction (and thus a coalesced write-back)
+  /// can fire while prefetched data is still being copied out of the read
+  /// buffer.
+  std::vector<uint8_t> scratch_;
+  std::vector<uint8_t> write_scratch_;
   std::unordered_map<uint32_t, Entry> cache_;
   std::list<uint32_t> lru_;  // front = least recently used
   uint64_t hits_ = 0;

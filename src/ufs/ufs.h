@@ -89,6 +89,9 @@ class UnixFileSystem {
     cache_.SetAccessCost(cpu, instructions);
   }
 
+  /// Forwards the sequential read-ahead window to the buffer cache.
+  void SetReadAhead(uint32_t pages) { cache_.SetReadAhead(pages); }
+
   /// Forwards to the buffer cache's stats binding (`ufs.*` counters) and
   /// binds `ufs.{read,write}` trace spans with `ufs.{read_ns,write_ns}`
   /// histograms around ReadAt/WriteAt.

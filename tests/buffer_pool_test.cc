@@ -196,6 +196,137 @@ TEST_F(BufferPoolTest, ChecksumStampedOnWritebackAndVerifiedOnRead) {
   EXPECT_TRUE(h.status().IsCorruption());
 }
 
+// Populates `blocks` pages (first byte = block number + 1) through the
+// pool, flushes them to the storage manager, and empties every frame so a
+// subsequent scan starts cold.
+void PopulateAndEmpty(BufferPool* pool, RelFileId file, BlockNumber blocks) {
+  for (BlockNumber b = 0; b < blocks; ++b) {
+    BlockNumber got;
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool->NewPage(file, &got));
+    h.data()[0] = static_cast<uint8_t>(b + 1);
+    h.MarkDirty();
+  }
+  ASSERT_OK(pool->FlushAll());
+  pool->CrashDiscardAll();
+  pool->ResetStats();
+}
+
+TEST_F(BufferPoolTest, ReadAheadServesSequentialScanFromPrefetch) {
+  BufferPool pool(&smgrs_, 32);
+  pool.SetReadAhead(8);
+  PopulateAndEmpty(&pool, file_, 20);
+  for (BlockNumber b = 0; b < 20; ++b) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, b}));
+    EXPECT_EQ(h.data()[0], static_cast<uint8_t>(b + 1)) << b;
+  }
+  const BufferPoolStats& stats = pool.stats();
+  // Once the streak confirms, most of the scan is served from prefetched
+  // frames; every resident page was installed exactly once.
+  EXPECT_GT(stats.readahead_pages, 0u);
+  EXPECT_EQ(stats.hits, stats.readahead_hits);
+  EXPECT_EQ(stats.misses + stats.readahead_pages, 20u);
+  EXPECT_LT(stats.misses, 10u);
+}
+
+TEST_F(BufferPoolTest, ReadAheadRequiresConfirmedStreak) {
+  BufferPool pool(&smgrs_, 32);
+  pool.SetReadAhead(8);
+  PopulateAndEmpty(&pool, file_, 20);
+  // One accidental adjacency (a record straddling two blocks) is not a
+  // scan: no prefetch may fire.
+  { ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, 5})); }
+  { ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, 6})); }
+  EXPECT_EQ(pool.stats().readahead_pages, 0u);
+  // The third consecutive sequential miss confirms the pattern.
+  { ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, 7})); }
+  EXPECT_GT(pool.stats().readahead_pages, 0u);
+}
+
+TEST_F(BufferPoolTest, ReadAheadClippedAtEndOfFile) {
+  BufferPool pool(&smgrs_, 32);
+  pool.SetReadAhead(8);
+  PopulateAndEmpty(&pool, file_, 10);
+  // Once the window ramps up it soon exceeds the blocks left before EOF;
+  // the prefetch must clip there — never install (or fault) past the end —
+  // and the scan still completes.
+  for (BlockNumber b = 0; b < 10; ++b) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, b}));
+    EXPECT_EQ(h.data()[0], static_cast<uint8_t>(b + 1)) << b;
+  }
+  BufferPoolStats stats = pool.stats();  // before the failing probe below
+  EXPECT_EQ(stats.misses + stats.readahead_pages, 10u);
+  EXPECT_LT(stats.misses, 10u);
+  EXPECT_FALSE(pool.GetPage({file_, 10}).ok());
+}
+
+TEST_F(BufferPoolTest, PrefetchedFramesAreEvictableAndUnpinned) {
+  // A pool smaller than the file: the scan only completes if prefetched
+  // frames enter the LRU unpinned and can be evicted at any time.
+  BufferPool pool(&smgrs_, 6);
+  pool.SetReadAhead(8);
+  PopulateAndEmpty(&pool, file_, 24);
+  for (BlockNumber b = 0; b < 24; ++b) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, b}));
+    EXPECT_EQ(h.data()[0], static_cast<uint8_t>(b + 1)) << b;
+  }
+  EXPECT_GT(pool.stats().readahead_pages, 0u);
+  // With every frame free again, NewPage can claim the whole pool: no pin
+  // was leaked by the prefetch path.
+  std::vector<PageHandle> pinned;
+  for (size_t i = 0; i < pool.num_frames(); ++i) {
+    BlockNumber got;
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.NewPage(file_, &got));
+    pinned.push_back(std::move(h));
+  }
+  EXPECT_FALSE(pool.GetPage({file_, 0}).ok());  // genuinely full now
+}
+
+TEST_F(BufferPoolTest, DiscardFileDropsPrefetchedFrames) {
+  BufferPool pool(&smgrs_, 32);
+  pool.SetReadAhead(8);
+  PopulateAndEmpty(&pool, file_, 20);
+  for (BlockNumber b = 0; b < 4; ++b) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, b}));
+  }
+  ASSERT_GT(pool.stats().readahead_pages, 0u);
+  pool.DiscardFile(file_, /*discard_dirty=*/true);
+  pool.ResetStats();
+  // Prefetched frames are gone with the rest of the file: fresh misses,
+  // no stale hit, and the detector restarts from scratch.
+  { ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, 4})); }
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().readahead_pages, 0u);
+}
+
+TEST_F(BufferPoolTest, CrashDiscardDropsPrefetchedFrames) {
+  BufferPool pool(&smgrs_, 32);
+  pool.SetReadAhead(8);
+  PopulateAndEmpty(&pool, file_, 20);
+  for (BlockNumber b = 0; b < 4; ++b) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, b}));
+  }
+  ASSERT_GT(pool.stats().readahead_pages, 0u);
+  pool.CrashDiscardAll();
+  pool.ResetStats();
+  { ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, 4})); }
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST_F(BufferPoolTest, WindowZeroNeverPrefetchesOrCoalesces) {
+  BufferPool pool(&smgrs_, 32);
+  pool.SetReadAhead(0);
+  PopulateAndEmpty(&pool, file_, 20);
+  for (BlockNumber b = 0; b < 20; ++b) {
+    ASSERT_OK_AND_ASSIGN(PageHandle h, pool.GetPage({file_, b}));
+    EXPECT_EQ(h.data()[0], static_cast<uint8_t>(b + 1)) << b;
+  }
+  EXPECT_EQ(pool.stats().readahead_pages, 0u);
+  EXPECT_EQ(pool.stats().readahead_hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 20u);
+}
+
 TEST(BufferPoolClusteringTest, EvictionWritesAreClustered) {
   // A workload that appends to one region while reading another must not
   // pay a head seek per evicted page: the background-writer batch sorts

@@ -371,5 +371,43 @@ TEST(DatabaseStatsTest, EnabledStatsSeeCrossLayerWork) {
   ASSERT_OK(db.Close());
 }
 
+TEST(DatabaseStatsTest, StatsCollectionNeverChangesSimulatedTime) {
+  // Observability must be free in simulated time: the same read-ahead-heavy
+  // workload, with and without stats, lands on the identical nanosecond.
+  auto run = [](bool enable_stats) -> uint64_t {
+    TempDir dir;
+    Database db;
+    DatabaseOptions options;
+    options.dir = dir.Sub("db");
+    options.enable_stats = enable_stats;
+    options.charge_devices = true;
+    options.buffer_pool_frames = 16;  // force faults, evictions, prefetch
+    EXPECT_OK(db.Open(options));
+    Transaction* txn = db.Begin();
+    LoSpec spec;
+    spec.kind = StorageKind::kFChunk;
+    Oid oid = db.large_objects().Create(txn, spec).value();
+    auto lo = db.large_objects().Instantiate(txn, oid).value();
+    std::string payload(4000, 'y');
+    for (uint64_t i = 0; i < 200; ++i) {
+      EXPECT_OK(lo->Write(txn, i * payload.size(), Slice(payload)));
+    }
+    std::string buf(payload.size(), 0);
+    for (uint64_t i = 0; i < 200; ++i) {
+      EXPECT_OK(lo->Read(txn, i * payload.size(), buf.size(),
+                         reinterpret_cast<uint8_t*>(buf.data()))
+                    .status());
+    }
+    EXPECT_OK(db.Commit(txn).status());
+    uint64_t elapsed = db.clock().NowNanos();
+    EXPECT_OK(db.Close());
+    return elapsed;
+  };
+  uint64_t with_stats = run(true);
+  uint64_t without_stats = run(false);
+  EXPECT_GT(with_stats, 0u);
+  EXPECT_EQ(with_stats, without_stats);
+}
+
 }  // namespace
 }  // namespace pglo

@@ -102,6 +102,76 @@ TEST_P(SmgrContractTest, MissingFileOperations) {
   EXPECT_FALSE(smgr_->NumBlocks(7).ok());
 }
 
+TEST_P(SmgrContractTest, VectoredWriteReadRoundTrip) {
+  ASSERT_OK(smgr_->CreateFile(1));
+  uint8_t wbuf[8 * kPageSize], rbuf[8 * kPageSize];
+  for (uint8_t b = 0; b < 8; ++b) FillBlock(wbuf + b * kPageSize, b);
+  ASSERT_OK(smgr_->WriteBlocks(1, 0, 8, wbuf));
+  ASSERT_OK_AND_ASSIGN(BlockNumber n, smgr_->NumBlocks(1));
+  EXPECT_EQ(n, 8u);
+  ASSERT_OK(smgr_->ReadBlocks(1, 0, 8, rbuf));
+  EXPECT_EQ(std::memcmp(rbuf, wbuf, sizeof wbuf), 0);
+  // The vectored image must be indistinguishable from per-block access.
+  for (uint8_t b = 0; b < 8; ++b) {
+    ASSERT_OK(smgr_->ReadBlock(1, b, rbuf));
+    EXPECT_EQ(std::memcmp(rbuf, wbuf + b * kPageSize, kPageSize), 0)
+        << "block " << int{b};
+  }
+}
+
+TEST_P(SmgrContractTest, VectoredZeroLengthIsNoOp) {
+  ASSERT_OK(smgr_->CreateFile(1));
+  uint8_t buf[kPageSize];
+  FillBlock(buf, 9);
+  ASSERT_OK(smgr_->WriteBlock(1, 0, buf));
+  ASSERT_OK(smgr_->ReadBlocks(1, 0, 0, nullptr));
+  ASSERT_OK(smgr_->WriteBlocks(1, 1, 0, nullptr));
+  ASSERT_OK_AND_ASSIGN(BlockNumber n, smgr_->NumBlocks(1));
+  EXPECT_EQ(n, 1u);  // a zero-length write never extends the file
+}
+
+TEST_P(SmgrContractTest, VectoredReadCrossingEofFails) {
+  ASSERT_OK(smgr_->CreateFile(1));
+  uint8_t buf[4 * kPageSize];
+  for (uint8_t b = 0; b < 4; ++b) FillBlock(buf + b * kPageSize, b);
+  ASSERT_OK(smgr_->WriteBlocks(1, 0, 4, buf));
+  // A run that starts inside the file but crosses the append frontier must
+  // fail whole — no partial reads.
+  EXPECT_FALSE(smgr_->ReadBlocks(1, 2, 4, buf).ok());
+  EXPECT_FALSE(smgr_->ReadBlocks(1, 4, 1, buf).ok());
+  ASSERT_OK(smgr_->ReadBlocks(1, 2, 2, buf));
+}
+
+TEST_P(SmgrContractTest, VectoredWriteExtendsFromInsideFile) {
+  ASSERT_OK(smgr_->CreateFile(1));
+  uint8_t buf[4 * kPageSize];
+  for (uint8_t b = 0; b < 4; ++b) FillBlock(buf + b * kPageSize, b);
+  ASSERT_OK(smgr_->WriteBlocks(1, 0, 4, buf));
+  // Overlap the tail and extend past it in one run: blocks 2..5.
+  for (uint8_t b = 0; b < 4; ++b) FillBlock(buf + b * kPageSize, 10 + b);
+  ASSERT_OK(smgr_->WriteBlocks(1, 2, 4, buf));
+  ASSERT_OK_AND_ASSIGN(BlockNumber n, smgr_->NumBlocks(1));
+  EXPECT_EQ(n, 6u);
+  uint8_t rbuf[kPageSize], want[kPageSize];
+  for (uint8_t b = 2; b < 6; ++b) {
+    ASSERT_OK(smgr_->ReadBlock(1, b, rbuf));
+    FillBlock(want, static_cast<uint8_t>(10 + b - 2));
+    EXPECT_EQ(std::memcmp(rbuf, want, kPageSize), 0) << "block " << int{b};
+  }
+}
+
+TEST_P(SmgrContractTest, VectoredWriteLeavingHoleFails) {
+  ASSERT_OK(smgr_->CreateFile(1));
+  uint8_t buf[2 * kPageSize];
+  FillBlock(buf, 1);
+  FillBlock(buf + kPageSize, 2);
+  EXPECT_FALSE(smgr_->WriteBlocks(1, 1, 2, buf).ok());  // 0-block file
+  ASSERT_OK(smgr_->WriteBlocks(1, 0, 2, buf));
+  EXPECT_FALSE(smgr_->WriteBlocks(1, 3, 2, buf).ok());  // skips block 2
+  ASSERT_OK_AND_ASSIGN(BlockNumber n, smgr_->NumBlocks(1));
+  EXPECT_EQ(n, 2u);  // failed writes left no trace
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSmgrs, SmgrContractTest,
                          ::testing::Values("disk", "memory", "worm"));
 
@@ -155,6 +225,55 @@ TEST(WormSmgrTest, RewriteRelocatesAndWastesPlatter) {
   uint8_t rbuf[kPageSize];
   ASSERT_OK(worm.ReadBlock(1, 0, rbuf));
   EXPECT_EQ(std::memcmp(rbuf, buf, kPageSize), 0);  // newest version read
+}
+
+TEST(WormSmgrTest, VectoredRewriteBurnsFreshRunAndRelocates) {
+  TempDir dir;
+  WormSmgr worm(dir.path(), nullptr, nullptr, 8);
+  ASSERT_OK(worm.Open());
+  ASSERT_OK(worm.CreateFile(1));
+  uint8_t buf[4 * kPageSize];
+  for (uint8_t b = 0; b < 4; ++b) FillBlock(buf + b * kPageSize, b);
+  ASSERT_OK(worm.WriteBlocks(1, 0, 4, buf));
+  EXPECT_EQ(worm.stats().optical_writes, 4u);
+  EXPECT_EQ(worm.stats().relocations, 0u);
+  ASSERT_OK_AND_ASSIGN(uint64_t bytes, worm.StorageBytes(1));
+  EXPECT_EQ(bytes, 4 * kPageSize);
+  // Write-once platter: rewriting blocks 1..2 in one run burns two fresh
+  // optical blocks and strands the originals as dead platter space.
+  uint8_t buf2[2 * kPageSize];
+  FillBlock(buf2, 20);
+  FillBlock(buf2 + kPageSize, 21);
+  ASSERT_OK(worm.WriteBlocks(1, 1, 2, buf2));
+  EXPECT_EQ(worm.stats().optical_writes, 6u);
+  EXPECT_EQ(worm.stats().relocations, 2u);
+  ASSERT_OK_AND_ASSIGN(bytes, worm.StorageBytes(1));
+  EXPECT_EQ(bytes, 6 * kPageSize);
+  uint8_t rbuf[4 * kPageSize];
+  ASSERT_OK(worm.ReadBlocks(1, 0, 4, rbuf));
+  std::memcpy(buf + kPageSize, buf2, 2 * kPageSize);
+  EXPECT_EQ(std::memcmp(rbuf, buf, sizeof buf), 0);  // newest versions read
+}
+
+TEST(WormSmgrTest, VectoredReadMixesCacheHitsAndOpticalRuns) {
+  TempDir dir;
+  WormSmgr worm(dir.path(), nullptr, nullptr, 8);
+  ASSERT_OK(worm.Open());
+  ASSERT_OK(worm.CreateFile(1));
+  uint8_t buf[5 * kPageSize];
+  for (uint8_t b = 0; b < 5; ++b) FillBlock(buf + b * kPageSize, b);
+  ASSERT_OK(worm.WriteBlocks(1, 0, 5, buf));
+  worm.DropCache();
+  uint8_t rbuf[5 * kPageSize];
+  ASSERT_OK(worm.ReadBlock(1, 2, rbuf));  // cache block 2 only
+  worm.ResetStats();
+  // The run is served as cached block 2 plus two optical sub-runs around
+  // it, and every block still comes back with the right contents.
+  ASSERT_OK(worm.ReadBlocks(1, 0, 5, rbuf));
+  EXPECT_EQ(std::memcmp(rbuf, buf, sizeof buf), 0);
+  EXPECT_EQ(worm.stats().cache_hits, 1u);
+  EXPECT_EQ(worm.stats().cache_misses, 4u);
+  EXPECT_EQ(worm.stats().optical_reads, 4u);
 }
 
 TEST(WormSmgrTest, CacheServesRepeatReads) {

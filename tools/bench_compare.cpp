@@ -290,6 +290,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Informational physical-work drift: device seek counts and storage-
+  // manager block reads explain *why* simulated times moved (e.g. vectored
+  // I/O should show seeks falling alongside times). Never affects the exit
+  // code.
+  auto tracked = [](const std::string& name) {
+    auto has = [&](const char* prefix, const char* suffix) {
+      size_t plen = std::strlen(prefix);
+      size_t slen = std::strlen(suffix);
+      return name.size() > plen + slen && name.compare(0, plen, prefix) == 0 &&
+             name.compare(name.size() - slen, slen, suffix) == 0;
+    };
+    return has("device.", ".seeks") || has("smgr.", ".blocks_read");
+  };
+  const JsonValue* base_counters = base.value().Get("counters");
+  const JsonValue* next_counters = next.value().Get("counters");
+  if (base_counters != nullptr && base_counters->is_object() &&
+      next_counters != nullptr && next_counters->is_object()) {
+    for (const auto& [config, table] : base_counters->object) {
+      if (!table.is_object()) continue;
+      const JsonValue* next_table = next_counters->Get(config);
+      if (next_table == nullptr || !next_table->is_object()) continue;
+      for (const auto& [name, value] : table.object) {
+        if (!tracked(name) || !value.is_number()) continue;
+        const JsonValue* next_value = next_table->Get(name);
+        if (next_value == nullptr || !next_value->is_number()) continue;
+        if (next_value->number == value.number) continue;
+        double delta = value.number > 0
+                           ? 100.0 * (next_value->number / value.number - 1.0)
+                           : 0.0;
+        std::printf("counter    %s / %s: %.0f -> %.0f (%+.1f%%)\n",
+                    config.c_str(), name.c_str(), value.number,
+                    next_value->number, delta);
+      }
+    }
+  }
+
   if (regressions > 0) {
     std::printf("%d regression(s) over %d compared row(s)\n", regressions,
                 compared);
