@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "resource exhausted";
     case StatusCode::kInternal:
       return "internal error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kOutOfRange,      ///< Offset/sequence number beyond the addressable range.
   kResourceExhausted, ///< No free descriptor/buffer/space.
   kInternal,        ///< Invariant violation inside pglo itself.
+  kUnavailable,     ///< Transient device failure; the operation may be retried.
 };
 
 /// Returns the canonical lower-case name of `code`, e.g. "not found".
@@ -90,6 +91,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -114,6 +118,7 @@ class [[nodiscard]] Status {
     return code() == StatusCode::kResourceExhausted;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

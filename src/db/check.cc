@@ -10,6 +10,10 @@ std::string IntegrityReport::ToString() const {
                     " objects, " + std::to_string(btrees_checked) +
                     " btrees (" + std::to_string(entries_checked) +
                     " entries)";
+  if (worm_orphaned_blocks > 0) {
+    out += ", " + std::to_string(worm_orphaned_blocks) +
+           " orphaned WORM block(s)";
+  }
   if (problems.empty()) {
     out += " — OK";
   } else {
@@ -23,6 +27,9 @@ std::string IntegrityReport::ToString() const {
 
 Result<IntegrityReport> CheckIntegrity(Database* db) {
   IntegrityReport report;
+  if (db->worm() != nullptr) {
+    report.worm_orphaned_blocks = db->worm()->OrphanedBlocks();
+  }
   Transaction* txn = db->Begin();
   PGLO_ASSIGN_OR_RETURN(std::vector<LoManager::ObjectInfo> objects,
                         db->large_objects().List(txn));

@@ -15,6 +15,11 @@ struct IntegrityReport {
   uint64_t objects_checked = 0;   ///< large objects opened and probed
   uint64_t btrees_checked = 0;    ///< index structures validated
   uint64_t entries_checked = 0;   ///< total index entries walked
+  /// WORM optical blocks burned but absent from the relocation map —
+  /// dead platter space left by a crash between burn and map append.
+  /// Informational, not a problem: no logical block points at them, so
+  /// write-once semantics make the leak benign (and unreclaimable).
+  uint64_t worm_orphaned_blocks = 0;
   std::vector<std::string> problems;
 
   bool ok() const { return problems.empty(); }

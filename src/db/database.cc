@@ -2,7 +2,11 @@
 
 #include <sys/stat.h>
 
+#include <filesystem>
+
 #include "common/logging.h"
+#include "fault/faulty_smgr.h"
+#include "fault/retry.h"
 
 namespace pglo {
 
@@ -33,7 +37,24 @@ Status Database::Open(const DatabaseOptions& options) {
 }
 
 Status Database::OpenInternal(bool after_crash) {
-  (void)after_crash;
+  // A database whose very first commit (the catalog bootstrap) never
+  // became durable has no committed state at all: everything under dir is
+  // scratch from the interrupted creation, and half-created files (a
+  // partially formatted ufs.img, a catalog heap whose relation files were
+  // never flushed) cannot be reopened. Wipe and re-initialize.
+  {
+    struct stat st;
+    const std::string clog_path = options_.dir + "/clog";
+    if (::stat(clog_path.c_str(), &st) == 0 &&
+        st.st_size < static_cast<off_t>(CommitLog::RecordSize())) {
+      std::error_code ec;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(options_.dir, ec)) {
+        std::filesystem::remove_all(entry.path(), ec);
+      }
+    }
+  }
+  recovered_from_crash_ = after_crash;
   clock_ = std::make_unique<SimClock>();
   cpu_ = std::make_unique<CpuCostModel>(clock_.get(), options_.cpu_mips);
   if (options_.enable_stats) {
@@ -71,15 +92,41 @@ Status Database::OpenInternal(bool after_crash) {
     }
   }
 
+  FaultInjector* injector = options_.fault_injector;
+  if (injector != nullptr && stats_ != nullptr) {
+    injector->BindStats(stats_.get());
+  }
+  // With an injector installed, the disk and memory managers get the
+  // FaultyStorageManager decorator. The WORM manager consults the injector
+  // directly instead (its burn and map-append are distinct crash points a
+  // wrapper at the block interface could not separate).
+  auto maybe_faulty =
+      [injector](std::unique_ptr<StorageManager> smgr)
+      -> std::unique_ptr<StorageManager> {
+    if (injector == nullptr) return smgr;
+    return std::make_unique<FaultyStorageManager>(std::move(smgr), injector);
+  };
+
   smgrs_ = std::make_unique<SmgrRegistry>();
+  if (injector != nullptr || options_.io_retry_attempts > 1) {
+    RetryPolicy policy;
+    policy.max_attempts = options_.io_retry_attempts;
+    policy.backoff_start_ns = options_.io_retry_backoff_ns;
+    policy.clock = clock_.get();
+    if (stats_ != nullptr) {
+      policy.retries = stats_->counter("fault.io_retries");
+    }
+    smgrs_->SetRetryPolicy(policy);
+  }
   PGLO_RETURN_IF_ERROR(smgrs_->Register(
-      kSmgrDisk,
-      std::make_unique<DiskSmgr>(options_.dir + "/disk", disk_dev)));
+      kSmgrDisk, maybe_faulty(std::make_unique<DiskSmgr>(
+                     options_.dir + "/disk", disk_dev))));
   PGLO_RETURN_IF_ERROR(smgrs_->Register(
-      kSmgrMemory, std::make_unique<MainMemorySmgr>(mem_dev)));
+      kSmgrMemory, maybe_faulty(std::make_unique<MainMemorySmgr>(mem_dev))));
   auto worm = std::make_unique<WormSmgr>(options_.dir, worm_dev,
                                          worm_cache_dev,
                                          options_.worm_cache_blocks);
+  worm->SetFaultInjector(injector);
   PGLO_RETURN_IF_ERROR(worm->Open());
   worm_ = worm.get();
   PGLO_RETURN_IF_ERROR(smgrs_->Register(kSmgrWorm, std::move(worm)));
@@ -103,6 +150,8 @@ Status Database::OpenInternal(bool after_crash) {
   bool fresh = ::stat((options_.dir + "/clog").c_str(), &st) != 0;
 
   clog_ = std::make_unique<CommitLog>();
+  clog_->SetFaultInjector(injector);
+  clog_->SetSynchronous(options_.synchronous_commit);
   PGLO_RETURN_IF_ERROR(clog_->Open(options_.dir + "/clog"));
   txns_ = std::make_unique<TxnManager>(clog_.get(), pool_.get());
   txns_->RestoreNextXid();
@@ -112,6 +161,21 @@ Status Database::OpenInternal(bool after_crash) {
   PGLO_RETURN_IF_ERROR(oids_->Open(options_.dir + "/oids"));
 
   ufs_ = std::make_unique<UnixFileSystem>(ufs_dev, options_.ufs_params);
+  ufs_->SetFaultInjector(injector);
+  if (injector != nullptr || options_.io_retry_attempts > 1) {
+    RetryPolicy ufs_policy;
+    ufs_policy.max_attempts = options_.io_retry_attempts;
+    ufs_policy.backoff_start_ns = options_.io_retry_backoff_ns;
+    ufs_policy.clock = clock_.get();
+    if (stats_ != nullptr) {
+      ufs_policy.retries = stats_->counter("fault.io_retries");
+    }
+    ufs_->SetRetryPolicy(ufs_policy);
+  }
+  // Force-at-commit covers the simulated UNIX file system too: u-file and
+  // p-file bytes live outside the buffer pool, so without this sync a
+  // committed write could evaporate with the OS cache at the next crash.
+  txns_->AddCommitForceHook([this] { return ufs_->Sync(); });
   ufs_->SetReadAhead(options_.readahead_pages);
   if (options_.charge_devices && options_.page_access_instructions > 0) {
     ufs_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
@@ -181,6 +245,11 @@ Status Database::Close() {
 Status Database::SimulateCrashAndReopen() {
   if (!open_) return Status::InvalidArgument("database not open");
   TearDown(/*crash=*/true);
+  if (options_.fault_injector != nullptr) {
+    // Unsynced log tails (e.g. synchronous_commit=false appends) do not
+    // survive the power failure.
+    PGLO_RETURN_IF_ERROR(options_.fault_injector->ApplyVolatileLoss());
+  }
   return OpenInternal(/*after_crash=*/true);
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "db/context.h"
+#include "fault/fault_injector.h"
 #include "lo/lo_manager.h"
 #include "smgr/disk_smgr.h"
 #include "smgr/mm_smgr.h"
@@ -49,6 +50,25 @@ struct DatabaseOptions {
   /// StatsRegistry readable via Database::Stats(). Stats never advance the
   /// simulated clock, so reported times are identical either way.
   bool enable_stats = true;
+
+  /// When set, every stable-storage write in the instance (smgr blocks,
+  /// UFS backing store, WORM burns, commit-log and relocation-map appends)
+  /// is routed through this injector, enabling crash-at-Nth-write, torn
+  /// writes, bit corruption, and transient errors. Null (the default)
+  /// leaves every layer on its unwrapped fast path. Borrowed; must outlive
+  /// the Database.
+  FaultInjector* fault_injector = nullptr;
+
+  /// When false, the commit log skips its fdatasync — a deliberately
+  /// broken configuration whose lost commits the crash harness must catch
+  /// (only meaningful with a fault injector installed).
+  bool synchronous_commit = true;
+
+  /// Transient-I/O retry policy applied in the buffer pool and the UFS
+  /// block cache. Total attempts (not retries); must exceed the plan's
+  /// transient_max_burst for forward progress under injection.
+  uint32_t io_retry_attempts = 4;
+  uint64_t io_retry_backoff_ns = 200000;
 };
 
 /// One POSTGRES-style database instance: storage managers, buffer pool,
@@ -115,6 +135,9 @@ class Database {
 
   bool is_open() const { return open_; }
   const DatabaseOptions& options() const { return options_; }
+  /// True when the current open is a crash recovery (SimulateCrashAndReopen
+  /// rather than a clean Open).
+  bool recovered_from_crash() const { return recovered_from_crash_; }
 
  private:
   Status OpenInternal(bool after_crash);
@@ -122,6 +145,7 @@ class Database {
 
   DatabaseOptions options_;
   bool open_ = false;
+  bool recovered_from_crash_ = false;
 
   std::unique_ptr<SimClock> clock_;
   std::unique_ptr<CpuCostModel> cpu_;

@@ -1,0 +1,122 @@
+#ifndef PGLO_FAULT_CRASH_HARNESS_H_
+#define PGLO_FAULT_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pglo {
+
+/// Configuration for one crash-recovery sweep.
+struct CrashHarnessOptions {
+  /// Host scratch directory. Each crash point runs in its own
+  /// subdirectory (`pt<N>`), removed again on success unless `keep_dirs`.
+  std::string dir;
+
+  uint64_t seed = 42;
+
+  /// Workload shape: transactions run in concurrent pairs over disjoint
+  /// slot partitions, `ops_per_txn` operations each, committing 70% of
+  /// the time. The first (setup) transaction always commits in the
+  /// no-crash run; under injection it may crash like any other.
+  uint32_t num_txns = 10;
+  uint32_t ops_per_txn = 3;
+
+  /// Forwarded into the FaultPlan: torn multi-block/append tails, and a
+  /// per-10000 transient I/O error rate (exercises the retry policy
+  /// underneath the workload — transients never add crash points).
+  bool torn_writes = true;
+  uint32_t transient_error_rate = 0;
+
+  /// Forwarded into DatabaseOptions. `false` is the deliberately broken
+  /// no-fsync commit configuration: the sweep is then EXPECTED to report
+  /// failures (lost commits), which is how the regression test proves the
+  /// harness has teeth.
+  bool synchronous_commit = true;
+
+  /// Keep per-point database directories for post-mortem inspection.
+  bool keep_dirs = false;
+
+  bool verbose = false;
+};
+
+/// Outcome of replaying the workload against one crash point.
+struct CrashPointResult {
+  uint64_t point = 0;
+  /// The injected crash actually fired during replay (it must: every
+  /// enumerated point lies inside the no-crash run's write sequence).
+  bool crash_fired = false;
+  /// The crash hit a commit whose log record may or may not have become
+  /// durable; the verdict was read back from the commit log after reopen.
+  bool in_doubt_commit = false;
+  /// Empty when both oracles passed: every surviving object matches its
+  /// last-committed image, and pglo_fsck-style CheckIntegrity is clean.
+  std::string failure;
+
+  bool ok() const { return failure.empty(); }
+};
+
+struct CrashHarnessReport {
+  uint64_t total_points = 0;   ///< enumerated from the no-crash run
+  uint64_t points_run = 0;
+  uint64_t points_crashed = 0;
+  uint64_t in_doubt_commits = 0;
+  std::vector<CrashPointResult> failures;
+
+  bool ok() const { return points_run > 0 && failures.empty(); }
+  std::string ToString() const;
+};
+
+/// Deterministic crash-recovery sweep (ISSUE 5 tentpole).
+///
+/// The harness drives one fixed seeded workload — LO create / write /
+/// truncate / delete across all four implementations (f-chunk, v-segment,
+/// u-file, p-file) on disk and WORM, plus two Inversion files, under
+/// concurrent transaction pairs — against a FaultInjector-instrumented
+/// Database. A first armed-but-never-crashing run counts every stable
+/// write tick (the crash points) and sanity-checks the final state; then
+/// each selected point N replays the identical prefix, crashes at the
+/// N-th write, recovers via Database::SimulateCrashAndReopen (or a fresh
+/// Open when the crash landed inside Open itself), and checks two
+/// oracles:
+///
+///   1. a differential in-memory model that knows which transactions
+///      committed — every recovered object must equal its last-committed
+///      image byte for byte (commits caught mid-crash are resolved
+///      against the reopened commit log, so either outcome is accepted
+///      for in-doubt transactions, but never a mix of images);
+///   2. CheckIntegrity (the pglo_fsck sweep) must report zero problems.
+///
+/// Replay determinism: the op stream is generated from Random(seed)
+/// consulting only the in-memory model, so a run that crashes at tick N
+/// has executed the exact prefix of the no-crash run. File-backed kinds
+/// (u-file / p-file) overwrite in place and are therefore only mutated in
+/// the setup transaction and deleted/verified afterwards — the documented
+/// non-transactional caveat of those kinds.
+class CrashHarness {
+ public:
+  explicit CrashHarness(const CrashHarnessOptions& opts) : opts_(opts) {}
+
+  /// Runs the workload to completion under a counting (never-crashing)
+  /// injector, verifies the final state against both oracles, and returns
+  /// the number of enumerable crash points.
+  Result<uint64_t> CountCrashPoints();
+
+  /// Replays the workload, crashing at the `point`-th stable write
+  /// (1-based), then recovers and verifies. Infrastructure errors and
+  /// oracle violations both land in `failure`.
+  CrashPointResult RunCrashPoint(uint64_t point);
+
+  /// Enumerates all crash points and runs each (max_points == 0), or an
+  /// evenly strided sample of at most `max_points` of them.
+  Result<CrashHarnessReport> RunAll(uint64_t max_points = 0);
+
+ private:
+  CrashHarnessOptions opts_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_FAULT_CRASH_HARNESS_H_

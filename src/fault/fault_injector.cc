@@ -1,0 +1,134 @@
+#include "fault/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/stats.h"
+
+namespace pglo {
+
+bool FaultInjector::DrawTransient(const char* site) {
+  if (plan_.transient_error_rate == 0) return false;
+  uint32_t& burst = bursts_[site];
+  if (burst >= plan_.transient_max_burst) {
+    // The site has exhausted its burst budget: this attempt is guaranteed to
+    // succeed, so a retry policy with max_attempts > transient_max_burst
+    // always converges.
+    burst = 0;
+    return false;
+  }
+  if (rng_.Uniform(10000) < plan_.transient_error_rate) {
+    ++burst;
+    StatInc(c_transients_);
+    return true;
+  }
+  burst = 0;
+  return false;
+}
+
+FaultInjector::WriteOutcome FaultInjector::OnWrite(const char* site,
+                                                   uint32_t nblocks) {
+  WriteOutcome out;
+  out.applied = nblocks;
+  if (!armed_) return out;
+  if (crashed_) {
+    out.status = CrashStatus(site);
+    out.applied = 0;
+    return out;
+  }
+  if (DrawTransient(site)) {
+    out.status = Status::Unavailable(std::string("injected transient: ") + site);
+    out.applied = 0;
+    return out;
+  }
+  uint64_t before = writes_seen_;
+  writes_seen_ += nblocks;
+  if (plan_.crash_after_writes != 0 && before < plan_.crash_after_writes &&
+      plan_.crash_after_writes <= before + nblocks) {
+    // The crash lands on block (crash_after_writes - before) of this run:
+    // the blocks before it are already on the platter, the Nth never
+    // completes.
+    crashed_ = true;
+    StatInc(c_crashes_);
+    out.status = CrashStatus(site);
+    out.applied = plan_.torn_writes
+                      ? static_cast<uint32_t>(plan_.crash_after_writes - 1 -
+                                              before)
+                      : 0;
+    return out;
+  }
+  if (plan_.corrupt_block_rate != 0 &&
+      rng_.Uniform(10000) < plan_.corrupt_block_rate) {
+    out.corrupt = true;
+    out.corrupt_block = static_cast<uint32_t>(rng_.Uniform(nblocks));
+    // Any bit of the 8K block; the page checksum covers them all.
+    out.corrupt_bit = static_cast<uint32_t>(rng_.Uniform(8192 * 8));
+    StatInc(c_corruptions_);
+  }
+  return out;
+}
+
+Status FaultInjector::OnRead(const char* site, uint32_t nblocks) {
+  (void)nblocks;
+  if (!armed_) return Status::OK();
+  if (crashed_) return CrashStatus(site);
+  if (DrawTransient(site)) {
+    return Status::Unavailable(std::string("injected transient: ") + site);
+  }
+  return Status::OK();
+}
+
+FaultInjector::AppendOutcome FaultInjector::OnAppend(const char* site,
+                                                     size_t nbytes) {
+  AppendOutcome out;
+  out.applied = nbytes;
+  if (!armed_) return out;
+  if (crashed_) {
+    out.status = CrashStatus(site);
+    out.applied = 0;
+    return out;
+  }
+  // One tick regardless of record size: an append is one logical write.
+  // No transient draw — the log files model stable storage directly, and a
+  // spurious Unavailable on a commit record would turn into a false abort.
+  uint64_t before = writes_seen_;
+  writes_seen_ += 1;
+  if (plan_.crash_after_writes != 0 && before < plan_.crash_after_writes &&
+      plan_.crash_after_writes <= before + 1) {
+    crashed_ = true;
+    StatInc(c_crashes_);
+    out.status = CrashStatus(site);
+    // Byte-granular tear: 0 = the record never started (clean edge),
+    // nbytes = the record landed whole but the caller died before learning
+    // so (an in-doubt commit the harness must resolve from the log).
+    out.applied = plan_.torn_writes ? rng_.Uniform(nbytes + 1) : 0;
+    return out;
+  }
+  return out;
+}
+
+void FaultInjector::NoteUnsynced(const std::string& path,
+                                 uint64_t durable_size) {
+  // First registration wins: durable_size at first unsynced append is the
+  // prefix a power failure would preserve.
+  unsynced_.emplace(path, durable_size);
+}
+
+void FaultInjector::ClearUnsynced(const std::string& path) {
+  unsynced_.erase(path);
+}
+
+Status FaultInjector::ApplyVolatileLoss() {
+  for (const auto& [path, durable_size] : unsynced_) {
+    if (::truncate(path.c_str(), static_cast<off_t>(durable_size)) != 0) {
+      return Status::IOError("volatile-loss truncate of " + path + ": " +
+                             std::strerror(errno));
+    }
+  }
+  unsynced_.clear();
+  return Status::OK();
+}
+
+}  // namespace pglo

@@ -1,0 +1,162 @@
+#ifndef PGLO_FAULT_FAULT_INJECTOR_H_
+#define PGLO_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "obs/stats.h"
+
+namespace pglo {
+
+/// A seeded description of the faults one run should experience. All
+/// randomness (torn-append lengths, transient draws, corruption targets)
+/// flows from `seed`, so a plan replays identically every time.
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  /// Crash when the Nth physical write is attempted: writes 1..N-1 reach
+  /// stable storage, write N (and everything after it) does not. Block
+  /// writes count one tick per block; record appends (commit log, WORM
+  /// relocation map) count one tick regardless of size. 0 = never crash.
+  uint64_t crash_after_writes = 0;
+
+  /// When the crash lands inside a vectored multi-block run, apply the
+  /// block-aligned prefix that "made it to the platter" (torn write). A
+  /// crash on a record append applies a seed-chosen byte prefix of the
+  /// record — possibly none, possibly all of it. When false, the
+  /// interrupted run/record is dropped whole.
+  bool torn_writes = true;
+
+  /// Per-10000 probability that a block read or write fails with
+  /// Status::Unavailable (a transient device error the retry policy must
+  /// absorb). Record appends are exempt: transience is a device property
+  /// and the log files model stable storage directly.
+  uint32_t transient_error_rate = 0;
+
+  /// A site never fails more than this many times consecutively, so a
+  /// bounded retry policy with max_attempts > transient_max_burst always
+  /// succeeds eventually.
+  uint32_t transient_max_burst = 2;
+
+  /// Per-10000 probability that a written block has one bit flipped on its
+  /// way to the platter — detectable by the page-checksum path on the next
+  /// read-in. Applied by FaultyStorageManager and the WORM burner only.
+  uint32_t corrupt_block_rate = 0;
+};
+
+/// Deterministic fault-injection hub. One injector is shared by every
+/// wrapped layer of a database instance (storage managers, the UFS block
+/// cache, the commit log, the WORM burner); each layer consults it before
+/// touching stable storage. Disarmed, every hook is a cheap pass-through,
+/// so an installed-but-idle injector does not perturb behaviour.
+///
+/// Fault model (mirrored in DESIGN.md §11): individual 8 KB block writes
+/// are atomic; vectored runs tear at block boundaries; small record
+/// appends tear at byte boundaries; a completed simulated write is durable
+/// (host-file pwrite stands in for stable storage). Volatile-loss of
+/// unsynced appends is modelled separately via NoteUnsynced /
+/// ApplyVolatileLoss, which exists to catch durability regressions such as
+/// skipping the commit-log fsync.
+class FaultInjector {
+ public:
+  struct WriteOutcome {
+    Status status;        ///< OK, Unavailable (transient), or injected crash
+    uint32_t applied = 0; ///< blocks of the run that reached stable storage
+    bool corrupt = false;
+    uint32_t corrupt_block = 0;  ///< index within the run
+    uint32_t corrupt_bit = 0;    ///< bit offset within that block
+  };
+  struct AppendOutcome {
+    Status status;
+    size_t applied = 0;  ///< bytes of the record that reached stable storage
+  };
+
+  FaultInjector() : rng_(1) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Starts counting writes under `plan`. Resets the write counter, the
+  /// crash latch, and the transient burst state.
+  void Arm(const FaultPlan& plan) {
+    plan_ = plan;
+    rng_ = Random(plan.seed);
+    armed_ = true;
+    crashed_ = false;
+    writes_seen_ = 0;
+    bursts_.clear();
+  }
+
+  /// Stops injecting. The write counter and crash latch stay readable (the
+  /// harness inspects them after tearing a run down).
+  void Disarm() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+  bool crashed() const { return crashed_; }
+  uint64_t writes_seen() const { return writes_seen_; }
+
+  /// Consulted before a run of `nblocks` physical block writes at `site`.
+  WriteOutcome OnWrite(const char* site, uint32_t nblocks);
+
+  /// Consulted before a block read; transient errors and the post-crash
+  /// blackout apply, nothing else.
+  Status OnRead(const char* site, uint32_t nblocks);
+
+  /// Consulted before appending one `nbytes` record to a log file at
+  /// `site`. Counts a single write tick; tears at byte granularity.
+  AppendOutcome OnAppend(const char* site, size_t nbytes);
+
+  /// Registers that `path` holds appended bytes beyond `durable_size` that
+  /// were never fsynced. The first registration per path wins: that is the
+  /// stable prefix a crash would expose. Cleared by ClearUnsynced once the
+  /// file is synced.
+  void NoteUnsynced(const std::string& path, uint64_t durable_size);
+  void ClearUnsynced(const std::string& path);
+
+  /// The power-failure half of the model: truncates every file registered
+  /// via NoteUnsynced back to its durable prefix. Called by
+  /// Database::SimulateCrashAndReopen between teardown and recovery.
+  Status ApplyVolatileLoss();
+
+  /// Canonical status for an injected crash; every layer returns exactly
+  /// this so callers can tell a simulated power failure from a real error.
+  static Status CrashStatus(const char* site) {
+    return Status::IOError(std::string(kCrashPrefix) + site);
+  }
+  static bool IsInjectedCrash(const Status& s) {
+    return s.IsIOError() && s.message().rfind(kCrashPrefix, 0) == 0;
+  }
+
+  /// Optional `fault.*` accounting. Null registry = unbound.
+  void BindStats(StatsRegistry* registry) {
+    if (registry == nullptr) return;
+    c_crashes_ = registry->counter("fault.injected_crashes");
+    c_transients_ = registry->counter("fault.transient_errors");
+    c_corruptions_ = registry->counter("fault.corruptions");
+  }
+
+ private:
+  static constexpr const char* kCrashPrefix = "injected crash: ";
+
+  /// Draws the transient decision for one operation at `site`; returns
+  /// true when the op should fail with Unavailable this attempt.
+  bool DrawTransient(const char* site);
+
+  FaultPlan plan_;
+  Random rng_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  uint64_t writes_seen_ = 0;
+  std::unordered_map<std::string, uint32_t> bursts_;
+  std::map<std::string, uint64_t> unsynced_;  ///< path -> durable size
+  Counter* c_crashes_ = nullptr;
+  Counter* c_transients_ = nullptr;
+  Counter* c_corruptions_ = nullptr;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_FAULT_FAULT_INJECTOR_H_

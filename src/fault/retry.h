@@ -1,0 +1,44 @@
+#ifndef PGLO_FAULT_RETRY_H_
+#define PGLO_FAULT_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/status.h"
+#include "device/sim_clock.h"
+#include "obs/stats.h"
+
+namespace pglo {
+
+/// Bounded retry-with-backoff for transient (kUnavailable) device errors.
+/// Held by value in the smgr switch and the UFS; the default single attempt
+/// makes the policy a no-op until Database wires a real one up.
+struct RetryPolicy {
+  uint32_t max_attempts = 1;          ///< total attempts, not retries
+  uint64_t backoff_start_ns = 200000; ///< simulated wait before attempt 2
+  uint32_t backoff_multiplier = 2;    ///< exponential growth per retry
+  SimClock* clock = nullptr;          ///< advanced by each backoff wait
+  Counter* retries = nullptr;         ///< optional "fault.io_retries" counter
+};
+
+/// Runs `op` (a callable returning Status) up to policy.max_attempts times,
+/// retrying only kUnavailable and charging simulated backoff time between
+/// attempts. Any other status — including an injected crash — propagates
+/// immediately; the last transient status propagates when attempts run out.
+template <typename Op>
+Status RetryTransient(const RetryPolicy& policy, Op&& op) {
+  uint64_t backoff = policy.backoff_start_ns;
+  uint32_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  Status s;
+  for (uint32_t attempt = 1;; ++attempt) {
+    s = op();
+    if (!s.IsUnavailable() || attempt >= attempts) return s;
+    StatInc(policy.retries);
+    if (policy.clock != nullptr) policy.clock->Advance(backoff);
+    backoff *= policy.backoff_multiplier;
+  }
+}
+
+}  // namespace pglo
+
+#endif  // PGLO_FAULT_RETRY_H_

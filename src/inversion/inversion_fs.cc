@@ -163,17 +163,41 @@ Status InversionFs::IndexDirEntry(const DirRecord& rec, Tid tid) {
 }
 
 Status InversionFs::Bootstrap(Transaction* txn) {
+  // Every step is individually idempotent so that a crash anywhere inside
+  // a previous bootstrap (files created but empty, index half-built, root
+  // record missing) is repaired by simply running Bootstrap again. The
+  // old short-circuit on the first file's existence left every later step
+  // unfinished forever after a mid-bootstrap crash.
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, ctx_.smgrs->Get(kMetaSmgr));
-  if (smgr->FileExists(kDirectoryRelfile)) return Status::OK();
-  PGLO_RETURN_IF_ERROR(
-      HeapClass::Create(ctx_.pool, RelFileId{kMetaSmgr, kDirectoryRelfile}));
-  PGLO_RETURN_IF_ERROR(
-      HeapClass::Create(ctx_.pool, RelFileId{kMetaSmgr, kStorageRelfile}));
-  PGLO_RETURN_IF_ERROR(
-      HeapClass::Create(ctx_.pool, RelFileId{kMetaSmgr, kFilestatRelfile}));
-  PGLO_RETURN_IF_ERROR(
-      Btree::Create(ctx_.pool, RelFileId{kMetaSmgr, kDirIndexRelfile}));
+  for (Oid relfile :
+       {kDirectoryRelfile, kStorageRelfile, kFilestatRelfile}) {
+    if (!smgr->FileExists(relfile)) {
+      PGLO_RETURN_IF_ERROR(
+          HeapClass::Create(ctx_.pool, RelFileId{kMetaSmgr, relfile}));
+    }
+  }
+  if (smgr->FileExists(kDirIndexRelfile)) {
+    // A b-tree needs its meta and root pages; fewer means the previous
+    // bootstrap crashed between CreateFile and flushing them. Rebuild from
+    // scratch — the index is empty at this point in bootstrap anyway.
+    PGLO_ASSIGN_OR_RETURN(BlockNumber blocks,
+                          smgr->NumBlocks(kDirIndexRelfile));
+    if (blocks < 2) {
+      ctx_.pool->DiscardFile(RelFileId{kMetaSmgr, kDirIndexRelfile},
+                             /*discard_dirty=*/true);
+      PGLO_RETURN_IF_ERROR(smgr->DropFile(kDirIndexRelfile));
+      PGLO_RETURN_IF_ERROR(
+          Btree::Create(ctx_.pool, RelFileId{kMetaSmgr, kDirIndexRelfile}));
+    }
+  } else {
+    PGLO_RETURN_IF_ERROR(
+        Btree::Create(ctx_.pool, RelFileId{kMetaSmgr, kDirIndexRelfile}));
+  }
   // Root directory: "/" with file-id 1, parent 0.
+  Result<std::pair<DirRecord, Tid>> existing_root =
+      LookupIn(txn, kInvalidFileId, "/");
+  if (existing_root.ok()) return Status::OK();
+  if (!existing_root.status().IsNotFound()) return existing_root.status();
   DirRecord root{"/", kRootFileId, kInvalidFileId, /*is_dir=*/true};
   PGLO_ASSIGN_OR_RETURN(Tid root_tid,
                         directory_.Insert(txn, Slice(EncodeDir(root))));

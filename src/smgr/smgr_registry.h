@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/result.h"
+#include "fault/retry.h"
 #include "smgr/smgr.h"
 
 namespace pglo {
@@ -37,8 +38,15 @@ class SmgrRegistry {
     return id < kMaxStorageManagers && table_[id] != nullptr;
   }
 
+  /// Retry policy callers of the switch apply to transient block-I/O
+  /// failures. Defaults to a single attempt (no retries) until Database
+  /// configures it.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
  private:
   std::array<std::unique_ptr<StorageManager>, kMaxStorageManagers> table_;
+  RetryPolicy retry_policy_;
 };
 
 }  // namespace pglo

@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32c.h"
+#include "fault/fault_injector.h"
 
 namespace pglo {
 
@@ -48,6 +49,7 @@ Status WormSmgr::Open() {
   next_optical_ = static_cast<uint32_t>(optical_size / kPageSize);
 
   files_.clear();
+  mapped_burn_records_ = 0;
   uint8_t rec[kMapRecordSize];
   off_t pos = 0;
   for (;;) {
@@ -82,6 +84,7 @@ Status WormSmgr::Open() {
       }
       fs.map[logical] = optical;
       ++fs.blocks_burned;  // every map record is one burned optical block
+      ++mapped_burn_records_;
     }
     pos += kMapRecordSize;
   }
@@ -96,10 +99,25 @@ Status WormSmgr::AppendMapRecord(Oid relfile, BlockNumber logical,
   EncodeFixed32(rec + 8, optical);
   EncodeFixed32(rec + 12, crc32c::Mask(crc32c::Value(rec, 12)));
   off_t end = ::lseek(map_fd_, 0, SEEK_END);
-  if (end < 0 || ::pwrite(map_fd_, rec, kMapRecordSize, end) !=
-                     static_cast<ssize_t>(kMapRecordSize)) {
+  if (end < 0) return Status::IOError("worm map append failed");
+  if (injector_ != nullptr) {
+    auto outcome = injector_->OnAppend("worm.map", kMapRecordSize);
+    if (!outcome.status.ok()) {
+      // Byte-torn map tail; Open's CRC replay truncates it away, leaving
+      // the already-burned optical block orphaned.
+      if (outcome.applied > 0 &&
+          ::pwrite(map_fd_, rec, outcome.applied, end) !=
+              static_cast<ssize_t>(outcome.applied)) {
+        return Status::IOError("worm map torn append failed");
+      }
+      return outcome.status;
+    }
+  }
+  if (::pwrite(map_fd_, rec, kMapRecordSize, end) !=
+      static_cast<ssize_t>(kMapRecordSize)) {
     return Status::IOError("worm map append failed");
   }
+  if (logical != kMarkerLogical) ++mapped_burn_records_;
   return Status::OK();
 }
 
@@ -132,25 +150,41 @@ Status WormSmgr::ReadOpticalRun(uint32_t optical, uint32_t nblocks,
 }
 
 Status WormSmgr::BurnOptical(uint32_t optical, const uint8_t* buf) {
-  ssize_t n = ::pwrite(optical_fd_, buf, kPageSize,
-                       static_cast<off_t>(optical) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("optical write failed");
-  }
-  ++stats_.optical_writes;
-  StatInc(c_optical_writes_);
-  if (optical_device_ != nullptr) optical_device_->ChargeWrite(optical, 1);
-  return Status::OK();
+  return BurnOpticalRun(optical, 1, buf);
 }
 
 Status WormSmgr::BurnOpticalRun(uint32_t optical, uint32_t nblocks,
                                 const uint8_t* buf) {
-  size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
-  ssize_t n = ::pwrite(optical_fd_, buf, bytes,
-                       static_cast<off_t>(optical) * kPageSize);
-  if (n != static_cast<ssize_t>(bytes)) {
-    return Status::IOError("optical write failed");
+  const uint8_t* src = buf;
+  uint32_t apply = nblocks;
+  std::vector<uint8_t> scratch;
+  Status injected;
+  if (injector_ != nullptr) {
+    auto outcome = injector_->OnWrite("worm.burn", nblocks);
+    injected = outcome.status;
+    if (!injected.ok()) {
+      // Crash mid-burn: a block-aligned prefix made it onto the platter
+      // (or nothing, for a transient error) — either way the run's map
+      // records are never appended, so the burned prefix is orphaned.
+      apply = outcome.applied < nblocks ? outcome.applied : nblocks;
+    } else if (outcome.corrupt && outcome.corrupt_block < nblocks) {
+      scratch.assign(buf, buf + static_cast<size_t>(nblocks) * kPageSize);
+      size_t bit =
+          static_cast<size_t>(outcome.corrupt_block) * kPageSize * 8 +
+          outcome.corrupt_bit % (kPageSize * 8);
+      scratch[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      src = scratch.data();
+    }
   }
+  if (apply > 0) {
+    size_t bytes = static_cast<size_t>(apply) * kPageSize;
+    ssize_t n = ::pwrite(optical_fd_, src, bytes,
+                         static_cast<off_t>(optical) * kPageSize);
+    if (n != static_cast<ssize_t>(bytes)) {
+      return Status::IOError("optical write failed");
+    }
+  }
+  if (!injected.ok()) return injected;
   stats_.optical_writes += nblocks;
   StatAdd(c_optical_writes_, nblocks);
   if (optical_device_ != nullptr) {

@@ -12,6 +12,8 @@
 
 namespace pglo {
 
+class FaultInjector;
+
 struct WormSmgrStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
@@ -85,6 +87,22 @@ class WormSmgr : public StorageManager {
   /// Empties the magnetic-disk cache (benchmarks use this to cold-start).
   void DropCache();
 
+  /// Installs crash/corruption hooks on the burner and the relocation-map
+  /// appender. WormSmgr is not wrapped in FaultyStorageManager (that would
+  /// double-count its internal writes), so it consults the injector
+  /// directly: the burn and the map append are separate write ticks, which
+  /// is exactly the window the write-once relocation crash test targets.
+  /// Must be set before Open(). Null detaches.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Optical blocks burned but never recorded in the relocation map — the
+  /// leak a crash between burn and map append leaves behind. Dead platter
+  /// space, not corruption: no logical block points at them. Reported by
+  /// fsck as an informational count.
+  uint64_t OrphanedBlocks() const {
+    return next_optical_ - mapped_burn_records_;
+  }
+
  private:
   static constexpr uint32_t kNoOptical = 0xffffffffu;
 
@@ -129,6 +147,10 @@ class WormSmgr : public StorageManager {
   int optical_fd_ = -1;
   int map_fd_ = -1;
   uint32_t next_optical_ = 0;
+  /// Data records in the relocation map, i.e. burns that were durably
+  /// mapped. next_optical_ minus this = orphaned blocks.
+  uint64_t mapped_burn_records_ = 0;
+  FaultInjector* injector_ = nullptr;
   std::unordered_map<Oid, FileState> files_;
 
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "fault/retry.h"
 
 namespace pglo {
 
@@ -76,9 +77,10 @@ Status BufferPool::WriteRaw(Frame& frame) {
   if (page.IsInitialized()) {
     page.UpdateChecksum();
   }
-  PGLO_RETURN_IF_ERROR(
-      smgr->WriteBlock(frame.id.file.relfile, frame.id.block,
-                       frame.data.get()));
+  PGLO_RETURN_IF_ERROR(RetryTransient(smgrs_->retry_policy(), [&] {
+    return smgr->WriteBlock(frame.id.file.relfile, frame.id.block,
+                            frame.data.get());
+  }));
   frame.dirty = false;
   ++stats_.writebacks;
   StatInc(c_writebacks_);
@@ -172,10 +174,11 @@ Status BufferPool::WriteRawRun(const std::vector<size_t>& run) {
     std::memcpy(write_scratch_.data() + k * kPageSize, fr.data.get(),
                 kPageSize);
   }
-  PGLO_RETURN_IF_ERROR(
-      smgr->WriteBlocks(first.id.file.relfile, first.id.block,
-                        static_cast<uint32_t>(run.size()),
-                        write_scratch_.data()));
+  PGLO_RETURN_IF_ERROR(RetryTransient(smgrs_->retry_policy(), [&] {
+    return smgr->WriteBlocks(first.id.file.relfile, first.id.block,
+                             static_cast<uint32_t>(run.size()),
+                             write_scratch_.data());
+  }));
   for (size_t idx : run) {
     frames_[idx].dirty = false;
   }
@@ -306,11 +309,15 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
   Frame& f = frames_[frame];
   Status s;
   if (run == 1) {
-    s = smgr->ReadBlock(id.file.relfile, id.block, f.data.get());
+    s = RetryTransient(smgrs_->retry_policy(), [&] {
+      return smgr->ReadBlock(id.file.relfile, id.block, f.data.get());
+    });
   } else {
     read_scratch_.resize(static_cast<size_t>(run) * kPageSize);
-    s = smgr->ReadBlocks(id.file.relfile, id.block, run,
-                         read_scratch_.data());
+    s = RetryTransient(smgrs_->retry_policy(), [&] {
+      return smgr->ReadBlocks(id.file.relfile, id.block, run,
+                              read_scratch_.data());
+    });
   }
   if (!s.ok()) {
     free_frames_.push_back(frame);

@@ -8,6 +8,7 @@
 
 #include "common/bytes.h"
 #include "common/crc32c.h"
+#include "fault/fault_injector.h"
 
 namespace pglo {
 
@@ -44,12 +45,15 @@ CommitLog::~CommitLog() {
   }
 }
 
+size_t CommitLog::RecordSize() { return kRecordSize; }
+
 Status CommitLog::Open(const std::string& path) {
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) {
     return Status::IOError("cannot open commit log " + path + ": " +
                            std::strerror(errno));
   }
+  path_ = path;
   entries_.clear();
   next_commit_time_ = 1;
   max_xid_ = kInvalidXid;
@@ -85,6 +89,8 @@ Status CommitLog::Open(const std::string& path) {
     }
     pos += kRecordSize;
   }
+  // Everything that survived replay is durable by definition.
+  synced_size_ = static_cast<uint64_t>(pos);
   return Status::OK();
 }
 
@@ -102,12 +108,35 @@ Status CommitLog::AppendRecord(Xid xid, TxnState state, CommitTime time) {
   EncodeRecord(rec, xid, state, time);
   off_t end = ::lseek(fd_, 0, SEEK_END);
   if (end < 0) return Status::IOError("commit log seek failed");
+  if (injector_ != nullptr) {
+    auto outcome = injector_->OnAppend("clog", kRecordSize);
+    if (!outcome.status.ok()) {
+      // A crash mid-append leaves a byte prefix of the record — possibly
+      // none (clean edge), possibly all of it (durable commit the caller
+      // never learned about; the harness resolves these from the replayed
+      // log after reopen).
+      if (outcome.applied > 0 &&
+          ::pwrite(fd_, rec, outcome.applied, end) !=
+              static_cast<ssize_t>(outcome.applied)) {
+        return Status::IOError("commit log torn append failed");
+      }
+      return outcome.status;
+    }
+  }
   if (::pwrite(fd_, rec, kRecordSize, end) !=
       static_cast<ssize_t>(kRecordSize)) {
     return Status::IOError("commit log append failed");
   }
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError("commit log sync failed");
+  if (synchronous_) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("commit log sync failed");
+    }
+    synced_size_ = static_cast<uint64_t>(end) + kRecordSize;
+    if (injector_ != nullptr) injector_->ClearUnsynced(path_);
+  } else if (injector_ != nullptr) {
+    // Unsynced tail: a power failure would truncate the log back to the
+    // last synced size, silently aborting these "committed" transactions.
+    injector_->NoteUnsynced(path_, synced_size_);
   }
   return Status::OK();
 }

@@ -10,6 +10,8 @@
 
 namespace pglo {
 
+class FaultInjector;
+
 /// Persistent transaction status log.
 ///
 /// POSTGRES's no-overwrite storage system needs no undo/redo log: a tuple's
@@ -58,6 +60,19 @@ class CommitLog {
   /// Highest XID that has any record; used to restart the XID allocator.
   Xid MaxRecordedXid() const { return max_xid_; }
 
+  /// Record size on disk, exposed so crash tests can place truncation
+  /// points exactly on and inside record edges.
+  static size_t RecordSize();
+
+  /// Installs the crash/torn-append hooks. Null detaches.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// When false, AppendRecord skips fdatasync — a deliberately broken
+  /// configuration (the regression the crash harness must catch): records
+  /// appended since the last sync are registered with the fault injector
+  /// as volatile and vanish at the next simulated power failure.
+  void SetSynchronous(bool synchronous) { synchronous_ = synchronous; }
+
  private:
   struct Entry {
     TxnState state;
@@ -67,9 +82,13 @@ class CommitLog {
   Status AppendRecord(Xid xid, TxnState state, CommitTime time);
 
   int fd_ = -1;
+  std::string path_;
   std::unordered_map<Xid, Entry> entries_;
   CommitTime next_commit_time_ = 1;
   Xid max_xid_ = kInvalidXid;
+  FaultInjector* injector_ = nullptr;
+  bool synchronous_ = true;
+  uint64_t synced_size_ = 0;  ///< bytes known durable (fsynced) on disk
 };
 
 }  // namespace pglo

@@ -80,6 +80,9 @@ Result<CommitTime> TxnManager::Commit(Transaction* txn) {
   // Force policy: all of this transaction's versions must be stable before
   // the commit record. Flushing everything is coarse but correct.
   PGLO_RETURN_IF_ERROR(pool_->FlushAll());
+  for (auto& hook : force_hooks_) {
+    PGLO_RETURN_IF_ERROR(hook());
+  }
   PGLO_ASSIGN_OR_RETURN(CommitTime time, clog_->RecordCommit(txn->xid()));
   txn->state_ = TxnState::kCommitted;
   Finish(txn, /*committed=*/true);

@@ -1,9 +1,11 @@
 #ifndef PGLO_TXN_TXN_MANAGER_H_
 #define PGLO_TXN_TXN_MANAGER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "storage/buffer_pool.h"
@@ -59,6 +61,14 @@ class TxnManager {
   /// The latest commit tick — the "now" that time-travel queries address.
   CommitTime Now() const { return clog_->Now(); }
 
+  /// Registers an extra force-at-commit step, run after the buffer-pool
+  /// flush and before the commit record. Database uses this to sync
+  /// non-pool stores (the simulated UNIX file system) that hold committed
+  /// large-object data.
+  void AddCommitForceHook(std::function<Status()> hook) {
+    force_hooks_.push_back(std::move(hook));
+  }
+
   const CommitLog& commit_log() const { return *clog_; }
   size_t active_count() const { return active_.size(); }
 
@@ -72,6 +82,7 @@ class TxnManager {
   Xid next_xid_ = kFirstNormalXid;
   int xid_fd_ = -1;
   std::unordered_map<Transaction*, std::unique_ptr<Transaction>> active_;
+  std::vector<std::function<Status()>> force_hooks_;
 };
 
 }  // namespace pglo

@@ -34,6 +34,10 @@ Status UfsBlockCache::Open(const std::string& path) {
 }
 
 Status UfsBlockCache::ReadBacking(uint32_t block, uint8_t* buf) {
+  if (injector_ != nullptr) {
+    PGLO_RETURN_IF_ERROR(RetryTransient(
+        retry_policy_, [&] { return injector_->OnRead("ufs", 1); }));
+  }
   ssize_t n = ::pread(fd_, buf, kPageSize,
                       static_cast<off_t>(block) * kPageSize);
   if (n < 0) return Status::IOError("ufs backing read failed");
@@ -47,19 +51,15 @@ Status UfsBlockCache::ReadBacking(uint32_t block, uint8_t* buf) {
 }
 
 Status UfsBlockCache::WriteBacking(uint32_t block, const uint8_t* buf) {
-  ssize_t n = ::pwrite(fd_, buf, kPageSize,
-                       static_cast<off_t>(block) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("ufs backing write failed");
-  }
-  if (device_ != nullptr) device_->ChargeWrite(block, 1);
-  StatInc(c_blocks_written_);
-  if (block + 1 > backing_blocks_) backing_blocks_ = block + 1;
-  return Status::OK();
+  return WriteBackingRun(block, 1, buf);
 }
 
 Status UfsBlockCache::ReadBackingRun(uint32_t block, uint32_t nblocks,
                                      uint8_t* buf) {
+  if (injector_ != nullptr) {
+    PGLO_RETURN_IF_ERROR(RetryTransient(
+        retry_policy_, [&] { return injector_->OnRead("ufs", nblocks); }));
+  }
   size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
   ssize_t n = ::pread(fd_, buf, bytes, static_cast<off_t>(block) * kPageSize);
   if (n < 0) return Status::IOError("ufs backing read failed");
@@ -73,6 +73,29 @@ Status UfsBlockCache::ReadBackingRun(uint32_t block, uint32_t nblocks,
 
 Status UfsBlockCache::WriteBackingRun(uint32_t block, uint32_t nblocks,
                                       const uint8_t* buf) {
+  uint32_t apply = nblocks;
+  if (injector_ != nullptr) {
+    FaultInjector::WriteOutcome outcome;
+    Status s = RetryTransient(retry_policy_, [&] {
+      outcome = injector_->OnWrite("ufs", nblocks);
+      return outcome.status;
+    });
+    if (!s.ok()) {
+      // Crash (or exhausted transient): a block-aligned prefix of the
+      // write-back may have reached the platter.
+      apply = outcome.applied < nblocks ? outcome.applied : nblocks;
+      if (apply > 0) {
+        size_t bytes = static_cast<size_t>(apply) * kPageSize;
+        if (::pwrite(fd_, buf, bytes,
+                     static_cast<off_t>(block) * kPageSize) !=
+            static_cast<ssize_t>(bytes)) {
+          return Status::IOError("ufs backing torn write failed");
+        }
+        if (block + apply > backing_blocks_) backing_blocks_ = block + apply;
+      }
+      return s;
+    }
+  }
   size_t bytes = static_cast<size_t>(nblocks) * kPageSize;
   ssize_t n = ::pwrite(fd_, buf, bytes, static_cast<off_t>(block) * kPageSize);
   if (n != static_cast<ssize_t>(bytes)) {

@@ -10,6 +10,8 @@
 #include "common/result.h"
 #include "device/cpu_cost.h"
 #include "device/device_model.h"
+#include "fault/fault_injector.h"
+#include "fault/retry.h"
 #include "obs/stats.h"
 #include "storage/page.h"
 
@@ -43,6 +45,17 @@ class UfsBlockCache {
   /// coalesces adjacent dirty blocks into vectored write-backs; 0 keeps
   /// the historical one-command-per-block behaviour.
   void SetReadAhead(uint32_t pages) { readahead_pages_ = pages; }
+
+  /// Installs crash/transient hooks on the backing-store accesses (the
+  /// UFS's "raw device"). Torn vectored write-backs apply a block-aligned
+  /// prefix. No corruption injection here: the backing file holds raw user
+  /// bytes with no checksum to catch a flip, so an injected flip would be
+  /// indistinguishable from workload data. Null detaches.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Retry policy for transient backing-store failures, mirroring the
+  /// buffer pool's. Defaults to a single attempt.
+  void SetRetryPolicy(const RetryPolicy& policy) { retry_policy_ = policy; }
 
   /// Mirrors cache and backing-store accounting into `registry` counters
   /// under `ufs.*`. Null registry = unbound (no overhead).
@@ -90,6 +103,8 @@ class UfsBlockCache {
   void Touch(uint32_t block, Entry& e);
 
   DeviceModel* device_;
+  FaultInjector* injector_ = nullptr;
+  RetryPolicy retry_policy_;
   CpuCostModel* cpu_ = nullptr;
   uint64_t access_instructions_ = 0;
   size_t capacity_;

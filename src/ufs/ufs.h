@@ -92,6 +92,16 @@ class UnixFileSystem {
   /// Forwards the sequential read-ahead window to the buffer cache.
   void SetReadAhead(uint32_t pages) { cache_.SetReadAhead(pages); }
 
+  /// Forwards crash/transient hooks to the buffer cache's backing store.
+  void SetFaultInjector(FaultInjector* injector) {
+    cache_.SetFaultInjector(injector);
+  }
+
+  /// Forwards the transient-error retry policy to the buffer cache.
+  void SetRetryPolicy(const RetryPolicy& policy) {
+    cache_.SetRetryPolicy(policy);
+  }
+
   /// Forwards to the buffer cache's stats binding (`ufs.*` counters) and
   /// binds `ufs.{read,write}` trace spans with `ufs.{read_ns,write_ns}`
   /// histograms around ReadAt/WriteAt.

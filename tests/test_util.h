@@ -37,6 +37,17 @@ class TempDir {
   std::string path_;
 };
 
+/// Seed for randomized (property) tests: PGLO_TEST_SEED overrides the
+/// fixed default, so a failure printed with its seed can be replayed with
+///   PGLO_TEST_SEED=<seed> ctest -R <test>
+inline uint64_t TestSeed(uint64_t fallback = 42) {
+  const char* env = std::getenv("PGLO_TEST_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
 }  // namespace testing
 }  // namespace pglo
 

@@ -11,6 +11,11 @@
 # deterministic, so any drift is a real behavioural change; regenerate the
 # baseline deliberately (see bench/baselines/README.md) when one is
 # intended.
+#
+# A crash-recovery gate follows: pglo_crashtest --quick sweeps a sample of
+# injected crash points through the full workload replay + recovery
+# verification (see DESIGN.md §11). Set PGLO_TEST_SEED to vary the seed;
+# the default is the same fixed seed the unit tests use.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -38,18 +43,33 @@ bench_gate() {
   trap - EXIT
 }
 
+crashtest_gate() {
+  builddir="$1"
+  echo "== crashtest gate: pglo_crashtest --quick (seed ${PGLO_TEST_SEED:-42}) =="
+  workdir="$(mktemp -d /tmp/pglo_crash_gate_XXXXXX)"
+  trap 'rm -rf "$workdir"' EXIT
+  "$builddir/tools/pglo_crashtest" --quick --seed="${PGLO_TEST_SEED:-42}" \
+      "$workdir/crashdb"
+  rm -rf "$workdir"
+  trap - EXIT
+}
+
 case "${1:-default}" in
   default)
     run_preset default
     bench_gate build
+    crashtest_gate build
     ;;
   asan)
     run_preset asan
+    crashtest_gate build-asan
     ;;
   all)
     run_preset default
     bench_gate build
+    crashtest_gate build
     run_preset asan
+    crashtest_gate build-asan
     ;;
   *)
     echo "usage: $0 [default|asan|all]" >&2
