@@ -55,6 +55,10 @@ class JsonWriter {
   void Double(double v);  ///< shortest round-trip representation
   void Bool(bool v) { Prefix(); out_ += v ? "true" : "false"; }
   void Null() { Prefix(); out_ += "null"; }
+  /// Splices `doc` verbatim as one value. `doc` must be a complete JSON
+  /// document (used to embed output of another serializer, e.g. a
+  /// StatsSnapshot, without re-walking it).
+  void Raw(std::string_view doc) { Prefix(); out_ += doc; }
 
   const std::string& str() const { return out_; }
   std::string Take() && { return std::move(out_); }

@@ -37,11 +37,29 @@ Status Database::Open(const DatabaseOptions& options) {
 }
 
 Status Database::OpenInternal(bool after_crash) {
+  Status s = OpenBody(after_crash);
+  if (!s.ok()) {
+    // An unclean Open is exactly what the black box exists for: whatever
+    // the recorder captured before the failure (the recovery-start event,
+    // injected faults, repairs attempted) is the post-mortem.
+    if (recorder_ != nullptr && !options_.blackbox_path.empty()) {
+      Status dump = recorder_->DumpToFile(blackbox_file(),
+                                          "open-failed: " + s.ToString());
+      if (!dump.ok()) {
+        PGLO_LOG(Error) << "blackbox dump failed: " << dump.ToString();
+      }
+    }
+  }
+  return s;
+}
+
+Status Database::OpenBody(bool after_crash) {
   // A database whose very first commit (the catalog bootstrap) never
   // became durable has no committed state at all: everything under dir is
   // scratch from the interrupted creation, and half-created files (a
   // partially formatted ufs.img, a catalog heap whose relation files were
   // never flushed) cannot be reopened. Wipe and re-initialize.
+  bool wiped = false;
   {
     struct stat st;
     const std::string clog_path = options_.dir + "/clog";
@@ -50,8 +68,15 @@ Status Database::OpenInternal(bool after_crash) {
       std::error_code ec;
       for (const auto& entry :
            std::filesystem::directory_iterator(options_.dir, ec)) {
+        // The black-box dump is post-mortem evidence of the interrupted
+        // creation, not half-created database state: it survives the wipe.
+        if (!options_.blackbox_path.empty() &&
+            entry.path().filename() == options_.blackbox_path) {
+          continue;
+        }
         std::filesystem::remove_all(entry.path(), ec);
       }
+      wiped = true;
     }
   }
   recovered_from_crash_ = after_crash;
@@ -60,6 +85,18 @@ Status Database::OpenInternal(bool after_crash) {
   if (options_.enable_stats) {
     stats_ = std::make_unique<StatsRegistry>();
     stats_->SetClock(clock_.get());
+  }
+  EventLog* events = nullptr;
+  if (stats_ != nullptr && options_.enable_flight_recorder) {
+    recorder_ = std::make_unique<FlightRecorder>(options_.recorder_options,
+                                                 stats_.get());
+    stats_->SetRecorder(recorder_.get());
+    events = &recorder_->events();
+    if (after_crash) events->Append(EventType::kRecoveryStart, "");
+    if (wiped) {
+      events->Append(EventType::kRecoveryRepair,
+                     "wiped half-created database");
+    }
   }
 
   DeviceModel* disk_dev = nullptr;
@@ -96,6 +133,7 @@ Status Database::OpenInternal(bool after_crash) {
   if (injector != nullptr && stats_ != nullptr) {
     injector->BindStats(stats_.get());
   }
+  if (injector != nullptr) injector->BindEventLog(events);
   // With an injector installed, the disk and memory managers get the
   // FaultyStorageManager decorator. The WORM manager consults the injector
   // directly instead (its burn and map-append are distinct crash points a
@@ -116,6 +154,7 @@ Status Database::OpenInternal(bool after_crash) {
     if (stats_ != nullptr) {
       policy.retries = stats_->counter("fault.io_retries");
     }
+    policy.events = events;
     smgrs_->SetRetryPolicy(policy);
   }
   PGLO_RETURN_IF_ERROR(smgrs_->Register(
@@ -127,6 +166,7 @@ Status Database::OpenInternal(bool after_crash) {
                                          worm_cache_dev,
                                          options_.worm_cache_blocks);
   worm->SetFaultInjector(injector);
+  worm->SetEventLog(events);
   PGLO_RETURN_IF_ERROR(worm->Open());
   worm_ = worm.get();
   PGLO_RETURN_IF_ERROR(smgrs_->Register(kSmgrWorm, std::move(worm)));
@@ -140,6 +180,7 @@ Status Database::OpenInternal(bool after_crash) {
   pool_ = std::make_unique<BufferPool>(smgrs_.get(),
                                        options_.buffer_pool_frames);
   if (stats_ != nullptr) pool_->BindStats(stats_.get());
+  pool_->SetEventLog(events);
   pool_->SetReadAhead(options_.readahead_pages);
   if (options_.charge_devices && options_.page_access_instructions > 0) {
     pool_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
@@ -154,6 +195,7 @@ Status Database::OpenInternal(bool after_crash) {
   clog_->SetSynchronous(options_.synchronous_commit);
   PGLO_RETURN_IF_ERROR(clog_->Open(options_.dir + "/clog"));
   txns_ = std::make_unique<TxnManager>(clog_.get(), pool_.get());
+  txns_->BindEventLog(events);
   txns_->RestoreNextXid();
   PGLO_RETURN_IF_ERROR(txns_->OpenXidFile(options_.dir + "/xid"));
 
@@ -170,6 +212,7 @@ Status Database::OpenInternal(bool after_crash) {
     if (stats_ != nullptr) {
       ufs_policy.retries = stats_->counter("fault.io_retries");
     }
+    ufs_policy.events = events;
     ufs_->SetRetryPolicy(ufs_policy);
   }
   // Force-at-commit covers the simulated UNIX file system too: u-file and
@@ -212,6 +255,11 @@ void Database::TearDown(bool crash) {
     if (ufs_ != nullptr) ufs_->CrashDiscard();
     if (worm_ != nullptr) worm_->DropCache();
   }
+  // The injector is borrowed and outlives us; its event-log binding must
+  // not outlive the recorder it points into.
+  if (options_.fault_injector != nullptr) {
+    options_.fault_injector->BindEventLog(nullptr);
+  }
   // Destruction order: consumers before providers.
   lo_.reset();
   codecs_.reset();
@@ -227,6 +275,8 @@ void Database::TearDown(bool crash) {
   worm_cache_device_.reset();
   ufs_device_.reset();
   disk_device_.reset();
+  if (stats_ != nullptr) stats_->SetRecorder(nullptr);
+  recorder_.reset();
   stats_.reset();
   cpu_.reset();
   clock_.reset();
@@ -242,8 +292,26 @@ Status Database::Close() {
   return Status::OK();
 }
 
+Result<std::string> Database::DumpBlackbox(const std::string& reason) {
+  if (recorder_ == nullptr) {
+    return Status::InvalidArgument("flight recorder is not enabled");
+  }
+  std::string path = blackbox_file();
+  if (path.empty()) path = options_.dir + "/pglo_blackbox.json";
+  PGLO_RETURN_IF_ERROR(recorder_->DumpToFile(path, reason));
+  return path;
+}
+
 Status Database::SimulateCrashAndReopen() {
   if (!open_) return Status::InvalidArgument("database not open");
+  // Serialize the black box before the "power" goes: the dump is the
+  // flight recorder's whole point — the history leading up to this crash.
+  if (recorder_ != nullptr && !options_.blackbox_path.empty()) {
+    Status dump = recorder_->DumpToFile(blackbox_file(), "simulated-crash");
+    if (!dump.ok()) {
+      PGLO_LOG(Error) << "blackbox dump failed: " << dump.ToString();
+    }
+  }
   TearDown(/*crash=*/true);
   if (options_.fault_injector != nullptr) {
     // Unsynced log tails (e.g. synchronous_commit=false appends) do not

@@ -7,6 +7,7 @@
 #include "db/context.h"
 #include "fault/fault_injector.h"
 #include "lo/lo_manager.h"
+#include "obs/flight_recorder.h"
 #include "smgr/disk_smgr.h"
 #include "smgr/mm_smgr.h"
 #include "smgr/worm_smgr.h"
@@ -50,6 +51,18 @@ struct DatabaseOptions {
   /// StatsRegistry readable via Database::Stats(). Stats never advance the
   /// simulated clock, so reported times are identical either way.
   bool enable_stats = true;
+
+  /// When true (and stats are enabled), a FlightRecorder is installed in
+  /// the registry's recorder slot for the life of the instance: rolling
+  /// trace tail, periodic snapshot deltas, slow-op capture, and the typed
+  /// event log. On SimulateCrashAndReopen or a failed Open the recorder
+  /// dumps to `blackbox_path`. Like stats, never advances the clock.
+  bool enable_flight_recorder = true;
+  FlightRecorderOptions recorder_options;
+
+  /// Black-box dump file name, relative to `dir`. Empty disables the
+  /// automatic crash/failed-open dump (DumpBlackbox still works).
+  std::string blackbox_path = "pglo_blackbox.json";
 
   /// When set, every stable-storage write in the instance (smgr blocks,
   /// UFS backing store, WORM burns, commit-log and relocation-map appends)
@@ -128,6 +141,26 @@ class Database {
   }
   /// Null when options.enable_stats is false.
   StatsRegistry* stats_registry() { return stats_.get(); }
+  /// The always-on flight recorder; null when disabled (or stats off).
+  FlightRecorder* recorder() { return recorder_.get(); }
+  /// Appends a structured event to the recorder's log; no-op when the
+  /// recorder is off. For layers above the Database (Inversion, query,
+  /// benches) that want their milestones in the black box.
+  void LogEvent(EventType type, std::string detail, uint64_t a = 0,
+                uint64_t b = 0) {
+    if (recorder_ != nullptr) {
+      recorder_->events().Append(type, std::move(detail), a, b);
+    }
+  }
+  /// Serializes the recorder to the instance's black-box file and returns
+  /// its path. Fails when the recorder is off.
+  Result<std::string> DumpBlackbox(const std::string& reason);
+  /// Full path of the black-box dump file ("" when disabled).
+  std::string blackbox_file() const {
+    return options_.blackbox_path.empty()
+               ? std::string()
+               : options_.dir + "/" + options_.blackbox_path;
+  }
   /// Zeroes every counter and histogram (no-op when disabled).
   void ResetStats() {
     if (stats_ != nullptr) stats_->Reset();
@@ -141,6 +174,7 @@ class Database {
 
  private:
   Status OpenInternal(bool after_crash);
+  Status OpenBody(bool after_crash);
   void TearDown(bool crash);
 
   DatabaseOptions options_;
@@ -150,6 +184,7 @@ class Database {
   std::unique_ptr<SimClock> clock_;
   std::unique_ptr<CpuCostModel> cpu_;
   std::unique_ptr<StatsRegistry> stats_;
+  std::unique_ptr<FlightRecorder> recorder_;
   std::unique_ptr<MagneticDiskModel> disk_device_;
   std::unique_ptr<MagneticDiskModel> ufs_device_;
   std::unique_ptr<MagneticDiskModel> worm_cache_device_;

@@ -12,6 +12,7 @@
 #include "db/database.h"
 #include "fault/fault_injector.h"
 #include "inversion/inversion_fs.h"
+#include "obs/trace_export.h"
 
 namespace pglo {
 namespace {
@@ -59,7 +60,7 @@ class Replayer {
     inv_paths_[6] = "/h/f0";
     inv_paths_[7] = "/h/f1";
     dopts_.dir = dir_;
-    dopts_.charge_devices = false;
+    dopts_.charge_devices = opts_.charge_devices;
     dopts_.buffer_pool_frames = 64;  // small pool: evictions mid-txn
     dopts_.fault_injector = injector_;
     dopts_.synchronous_commit = opts_.synchronous_commit;
@@ -133,6 +134,24 @@ class Replayer {
   Status CloseDb() { return db_->Close(); }
 
   bool had_in_doubt() const { return had_in_doubt_; }
+
+  /// Streams this replay's spans to `sink` (no-op when stats are off).
+  /// Valid until the next crash/reopen discards the registry.
+  void AttachTraceSink(TraceSink* sink) {
+    if (db_ != nullptr && db_->stats_registry() != nullptr) {
+      db_->stats_registry()->SetTraceSink(sink);
+    }
+  }
+
+  /// Best-effort black-box dump of a still-open instance — used for
+  /// failure modes that never pass through SimulateCrashAndReopen (which
+  /// dumps on its own).
+  void DumpBlackboxIfOpen(const std::string& reason) {
+    if (db_ != nullptr && db_->is_open()) {
+      Result<std::string> r = db_->DumpBlackbox(reason);
+      (void)r;
+    }
+  }
 
  private:
   struct TxnRun {
@@ -445,6 +464,12 @@ FaultPlan MakePlan(const CrashHarnessOptions& opts, uint64_t crash_after) {
   return plan;
 }
 
+std::string BlackboxIfExists(const std::string& dir) {
+  std::string path = dir + "/pglo_blackbox.json";
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) ? path : std::string();
+}
+
 }  // namespace
 
 std::string CrashHarnessReport::ToString() const {
@@ -458,6 +483,7 @@ std::string CrashHarnessReport::ToString() const {
     out += " — " + std::to_string(failures.size()) + " FAILURE(S):";
     for (const CrashPointResult& f : failures) {
       out += "\n  point " + std::to_string(f.point) + ": " + f.failure;
+      if (!f.blackbox.empty()) out += "\n    blackbox: " + f.blackbox;
     }
   }
   return out;
@@ -493,7 +519,27 @@ CrashPointResult CrashHarness::RunCrashPoint(uint64_t point) {
   injector.Arm(MakePlan(opts_, point));
   Replayer replay(opts_, dir, &injector);
   Status s = replay.OpenDb();
+  // Optional Chrome trace of the replay up to the crash tick (--trace).
+  std::unique_ptr<ChromeTraceWriter> trace;
+  if (s.ok() && !opts_.trace_path.empty()) {
+    Result<std::unique_ptr<ChromeTraceWriter>> tw =
+        ChromeTraceWriter::Open(opts_.trace_path);
+    if (tw.ok()) {
+      trace = std::move(tw.value());
+      trace->BeginProcess("crash-point-" + std::to_string(point));
+      replay.AttachTraceSink(trace.get());
+    } else if (opts_.verbose) {
+      PGLO_LOG(Error) << "cannot open trace file: " << tw.status().ToString();
+    }
+  }
   if (s.ok()) s = replay.Replay();
+  // The spans after recovery belong to a fresh registry the writer is no
+  // longer attached to; everything up to the crash is already streamed.
+  if (trace != nullptr) {
+    Status ts = trace->Finish();
+    if (!ts.ok()) PGLO_LOG(Error) << "trace finish: " << ts.ToString();
+    trace.reset();
+  }
   // The replay may run to completion even though the crash fired: a crash
   // during post-commit garbage collection is tolerated by design (the
   // commit record is already durable; storage reclaim is best-effort), so
@@ -502,23 +548,31 @@ CrashPointResult CrashHarness::RunCrashPoint(uint64_t point) {
     res.failure = s.ok()
                       ? "crash point never fired; workload ran to completion"
                       : "replay failed before the crash: " + s.ToString();
+    replay.DumpBlackboxIfOpen(res.failure);
+    res.blackbox = BlackboxIfExists(dir);
     return res;
   }
   res.crash_fired = true;
+  // From here on the black box is already on disk: either
+  // SimulateCrashAndReopen wrote it on the way down, or the failed Open
+  // did. Failing paths only need to point at it.
   s = replay.Recover();
   if (!s.ok()) {
     res.failure = "recovery failed: " + s.ToString();
+    res.blackbox = BlackboxIfExists(dir);
     return res;
   }
   res.in_doubt_commit = replay.had_in_doubt();
   s = replay.Verify();
   if (!s.ok()) {
     res.failure = s.ToString();
+    res.blackbox = BlackboxIfExists(dir);
     return res;
   }
   s = replay.CloseDb();
   if (!s.ok()) {
     res.failure = "post-recovery close failed: " + s.ToString();
+    res.blackbox = BlackboxIfExists(dir);
     return res;
   }
   if (!opts_.keep_dirs) RemoveTree(dir);

@@ -40,6 +40,17 @@ struct CrashHarnessOptions {
   bool keep_dirs = false;
 
   bool verbose = false;
+
+  /// When non-empty, single-point replays stream their spans to this
+  /// Chrome trace file — the run up to the crash tick, visualized. Only
+  /// meaningful together with charge_devices (an uncharged run's spans all
+  /// sit at simulated time zero).
+  std::string trace_path;
+
+  /// Charge device timing models during replay. Off by default: crash
+  /// points are write-count-indexed, so timing changes nothing, and the
+  /// sweep runs faster without it. Turned on for traced replays.
+  bool charge_devices = false;
 };
 
 /// Outcome of replaying the workload against one crash point.
@@ -54,6 +65,10 @@ struct CrashPointResult {
   /// Empty when both oracles passed: every surviving object matches its
   /// last-committed image, and pglo_fsck-style CheckIntegrity is clean.
   std::string failure;
+  /// Path of the flight recorder's black-box dump (pglo_blackbox.json)
+  /// when one was produced — set for every failing point, whose directory
+  /// is always kept.
+  std::string blackbox;
 
   bool ok() const { return failure.empty(); }
 };

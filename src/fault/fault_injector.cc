@@ -22,6 +22,9 @@ bool FaultInjector::DrawTransient(const char* site) {
   if (rng_.Uniform(10000) < plan_.transient_error_rate) {
     ++burst;
     StatInc(c_transients_);
+    if (events_ != nullptr) {
+      events_->Append(EventType::kTransientError, site, burst);
+    }
     return true;
   }
   burst = 0;
@@ -52,6 +55,10 @@ FaultInjector::WriteOutcome FaultInjector::OnWrite(const char* site,
     // completes.
     crashed_ = true;
     StatInc(c_crashes_);
+    if (events_ != nullptr) {
+      events_->Append(EventType::kCrashInjected, site,
+                      plan_.crash_after_writes);
+    }
     out.status = CrashStatus(site);
     out.applied = plan_.torn_writes
                       ? static_cast<uint32_t>(plan_.crash_after_writes - 1 -
@@ -66,6 +73,10 @@ FaultInjector::WriteOutcome FaultInjector::OnWrite(const char* site,
     // Any bit of the 8K block; the page checksum covers them all.
     out.corrupt_bit = static_cast<uint32_t>(rng_.Uniform(8192 * 8));
     StatInc(c_corruptions_);
+    if (events_ != nullptr) {
+      events_->Append(EventType::kCorruptionInjected, site, out.corrupt_block,
+                      out.corrupt_bit);
+    }
   }
   return out;
 }
@@ -99,6 +110,10 @@ FaultInjector::AppendOutcome FaultInjector::OnAppend(const char* site,
       plan_.crash_after_writes <= before + 1) {
     crashed_ = true;
     StatInc(c_crashes_);
+    if (events_ != nullptr) {
+      events_->Append(EventType::kCrashInjected, site,
+                      plan_.crash_after_writes);
+    }
     out.status = CrashStatus(site);
     // Byte-granular tear: 0 = the record never started (clean edge),
     // nbytes = the record landed whole but the caller died before learning

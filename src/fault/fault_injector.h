@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "obs/event_log.h"
 #include "obs/stats.h"
 
 namespace pglo {
@@ -138,6 +139,12 @@ class FaultInjector {
     c_corruptions_ = registry->counter("fault.corruptions");
   }
 
+  /// Structured-event sink for injected faults (kCrashInjected,
+  /// kTransientError, kCorruptionInjected). The injector is borrowed and
+  /// outlives the Database, so Database::TearDown re-binds null before the
+  /// recorder that owns the log is destroyed.
+  void BindEventLog(EventLog* events) { events_ = events; }
+
  private:
   static constexpr const char* kCrashPrefix = "injected crash: ";
 
@@ -155,6 +162,7 @@ class FaultInjector {
   Counter* c_crashes_ = nullptr;
   Counter* c_transients_ = nullptr;
   Counter* c_corruptions_ = nullptr;
+  EventLog* events_ = nullptr;
 };
 
 }  // namespace pglo

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "device/sim_clock.h"
+#include "obs/event_log.h"
 #include "obs/stats.h"
 
 namespace pglo {
@@ -19,6 +20,7 @@ struct RetryPolicy {
   uint32_t backoff_multiplier = 2;    ///< exponential growth per retry
   SimClock* clock = nullptr;          ///< advanced by each backoff wait
   Counter* retries = nullptr;         ///< optional "fault.io_retries" counter
+  EventLog* events = nullptr;         ///< optional kIoRetry event sink
 };
 
 /// Runs `op` (a callable returning Status) up to policy.max_attempts times,
@@ -34,6 +36,10 @@ Status RetryTransient(const RetryPolicy& policy, Op&& op) {
     s = op();
     if (!s.IsUnavailable() || attempt >= attempts) return s;
     StatInc(policy.retries);
+    if (policy.events != nullptr) {
+      policy.events->Append(EventType::kIoRetry, std::string(s.message()),
+                            attempt);
+    }
     if (policy.clock != nullptr) policy.clock->Advance(backoff);
     backoff *= policy.backoff_multiplier;
   }

@@ -1,0 +1,111 @@
+#include "obs/event_log.h"
+
+#include "common/json.h"
+
+namespace pglo {
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kTxnBegin:
+      return "txn.begin";
+    case EventType::kTxnCommit:
+      return "txn.commit";
+    case EventType::kTxnAbort:
+      return "txn.abort";
+    case EventType::kCrashInjected:
+      return "fault.crash";
+    case EventType::kTransientError:
+      return "fault.transient";
+    case EventType::kCorruptionInjected:
+      return "fault.corruption";
+    case EventType::kIoRetry:
+      return "fault.retry";
+    case EventType::kRecoveryStart:
+      return "recovery.start";
+    case EventType::kRecoveryRepair:
+      return "recovery.repair";
+    case EventType::kReadAheadRamp:
+      return "readahead.ramp";
+    case EventType::kSlowOp:
+      return "slow_op.captured";
+    case EventType::kCrashDump:
+      return "recorder.dump";
+  }
+  return "unknown";
+}
+
+void EventLog::Append(EventType type, std::string detail, uint64_t a,
+                      uint64_t b) {
+  StructuredEvent ev;
+  ev.type = type;
+  ev.seq = next_seq_++;
+  ev.sim_ns = clock_ != nullptr ? clock_->NowNanos() : 0;
+  ev.a = a;
+  ev.b = b;
+  ev.detail = std::move(detail);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+  } else {
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<StructuredEvent> EventLog::Events() const {
+  std::vector<StructuredEvent> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t EventLog::CountOf(EventType type) const {
+  size_t n = 0;
+  for (const StructuredEvent& ev : ring_) {
+    if (ev.type == type) ++n;
+  }
+  return n;
+}
+
+void EventLog::Clear() {
+  ring_.clear();
+  head_ = 0;
+  next_seq_ = 0;
+}
+
+void EventLog::ToJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("total");
+  w->Uint(next_seq_);
+  w->Key("dropped");
+  w->Uint(dropped());
+  w->Key("entries");
+  w->BeginArray();
+  for (const StructuredEvent& ev : Events()) {
+    w->BeginObject();
+    w->Key("seq");
+    w->Uint(ev.seq);
+    w->Key("sim_ns");
+    w->Uint(ev.sim_ns);
+    w->Key("type");
+    w->String(EventTypeName(ev.type));
+    if (!ev.detail.empty()) {
+      w->Key("detail");
+      w->String(ev.detail);
+    }
+    if (ev.a != 0) {
+      w->Key("a");
+      w->Uint(ev.a);
+    }
+    if (ev.b != 0) {
+      w->Key("b");
+      w->Uint(ev.b);
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace pglo

@@ -1,0 +1,175 @@
+#ifndef PGLO_OBS_FLIGHT_RECORDER_H_
+#define PGLO_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/event_log.h"
+#include "obs/stats.h"
+
+namespace pglo {
+
+/// Sizing and thresholds for one FlightRecorder (DESIGN.md §12).
+struct FlightRecorderOptions {
+  /// Most recent completed trace spans retained in the span ring.
+  size_t trace_capacity = 1024;
+  /// Structured events retained (see EventLog).
+  size_t event_capacity = 1024;
+  /// StatsSnapshot deltas retained in the time-series ring.
+  size_t delta_capacity = 256;
+  /// Slow-operation span trees retained.
+  size_t slow_op_capacity = 16;
+  /// Simulated-time distance between snapshot-delta samples. Sampling is
+  /// driven by top-level span completions, so a tick lands on the first
+  /// operation boundary after the interval elapses — never mid-span.
+  uint64_t snapshot_interval_ns = 1'000'000'000;  // 1 simulated second
+  /// A top-level operation strictly exceeding this simulated duration has
+  /// its full span tree captured. 0 disables slow-op capture (and its
+  /// tree-building bookkeeping) entirely.
+  uint64_t slow_op_budget_ns = 0;
+};
+
+/// Always-on, bounded-memory black box over the StatsRegistry/TraceSink
+/// spine (ISSUE 6 tentpole).
+///
+/// PR 1's stats and PR 2's profiler are pull-based: numbers exist when a
+/// bench asks for them, and they die with the process when a crash harness
+/// pulls the plug. The flight recorder inverts that: it is installed for
+/// the life of the Database in the registry's dedicated recorder slot
+/// (independent of the attachable TraceSink benches use), continuously
+/// retaining
+///
+///   1. the most recent N completed TraceSpans (a rolling trace tail),
+///   2. periodic StatsSnapshot *deltas* sampled on simulated-time ticks —
+///      a rolling time-series of every counter and histogram,
+///   3. full span trees of operations that blew a simulated-time budget
+///      (the Profiler's nesting discipline, applied selectively), so a p99
+///      outlier is explainable after the fact, not just countable,
+///   4. a typed structured EventLog (txn lifecycle, fault injections,
+///      recovery repairs, read-ahead ramps, retry bursts).
+///
+/// Everything lives in fixed-size rings: memory is bounded regardless of
+/// workload length, and the retained tail is exactly the history leading
+/// up to whatever went wrong. On a crash (or a failed Open) the whole
+/// recorder serializes to `pglo_blackbox.json` (DumpToFile), which the
+/// crash harness attaches to every failing crash point.
+///
+/// Like every obs component, the recorder never advances the SimClock, so
+/// recorder-on and recorder-off runs report bit-identical simulated times
+/// (proven by bench_ablation_obs).
+class FlightRecorder : public TraceSink {
+ public:
+  /// One retained completed span (TraceEvent with the name copied out of
+  /// its transient string_view).
+  struct RecordedSpan {
+    std::string name;
+    uint64_t begin_ns = 0;
+    uint64_t end_ns = 0;
+    uint64_t detail = 0;
+    uint32_t depth = 0;
+  };
+
+  /// One sampled counter/histogram delta since the previous sample.
+  /// Histograms contribute `<name>.count` and `<name>.sum_ns` rows, so the
+  /// whole time-series is uniformly (name, delta) pairs, sorted by name.
+  struct SnapshotDelta {
+    uint64_t seq = 0;
+    uint64_t sim_ns = 0;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+  };
+
+  /// A captured slow operation: the full reconstructed span tree.
+  struct SpanNode {
+    std::string name;
+    uint64_t begin_ns = 0;
+    uint64_t end_ns = 0;
+    uint64_t detail = 0;
+    std::vector<SpanNode> children;
+  };
+  struct SlowOp {
+    uint64_t seq = 0;  ///< capture index (total_slow_ops_ at capture time)
+    SpanNode root;
+  };
+
+  /// `registry` is consulted (never owned) for snapshot sampling; its
+  /// clock stamps events and drives the tick schedule.
+  FlightRecorder(const FlightRecorderOptions& options,
+                 StatsRegistry* registry);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// TraceSink: ring-appends the span; builds slow-op trees when a budget
+  /// is set; samples a snapshot delta when a depth-0 completion crosses
+  /// the sampling interval.
+  void OnSpan(const TraceEvent& event) override;
+
+  EventLog& events() { return events_; }
+  const EventLog& events() const { return events_; }
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+  /// Retained spans, oldest first.
+  std::vector<RecordedSpan> TraceTail() const;
+  uint64_t total_spans() const { return total_spans_; }
+
+  /// Retained snapshot deltas, oldest first.
+  const std::vector<SnapshotDelta>& deltas_ring() const { return deltas_; }
+  std::vector<SnapshotDelta> Deltas() const;
+  uint64_t total_deltas() const { return total_deltas_; }
+
+  /// Unconditionally samples a delta now (the "last pre-crash delta" every
+  /// black-box dump must carry, regardless of whether simulated time ever
+  /// advanced — fault-injection runs often hold the clock at zero).
+  void ForceSample();
+
+  /// Captured slow operations, oldest first.
+  std::vector<SlowOp> SlowOps() const;
+  uint64_t total_slow_ops() const { return total_slow_ops_; }
+
+  /// Serializes the whole recorder (schema "pglo-blackbox-v1"): events,
+  /// snapshot-delta time-series, slow ops, trace tail, and a final full
+  /// snapshot. `reason` records why the dump was taken.
+  std::string ToJson(const std::string& reason);
+
+  /// ForceSample + ToJson + atomic-enough write to `path` (truncate +
+  /// rename is overkill for a post-mortem artifact; a torn dump is still
+  /// more evidence than none).
+  Status DumpToFile(const std::string& path, const std::string& reason);
+
+ private:
+  void RecordSpanRing(const TraceEvent& event);
+  void BuildSlowOpTree(const TraceEvent& event);
+  void MaybeSample(uint64_t now_ns);
+  void SampleDelta(uint64_t now_ns);
+
+  FlightRecorderOptions options_;
+  StatsRegistry* registry_;
+  EventLog events_;
+
+  // Span ring.
+  std::vector<RecordedSpan> trace_ring_;
+  size_t trace_head_ = 0;
+  uint64_t total_spans_ = 0;
+
+  // Snapshot-delta ring + the previous full snapshot it diffs against.
+  std::vector<SnapshotDelta> deltas_;
+  size_t delta_head_ = 0;
+  uint64_t total_deltas_ = 0;
+  uint64_t next_sample_ns_ = 0;
+  StatsSnapshot prev_snapshot_;
+
+  // Slow-op capture (Profiler-style pending adoption).
+  std::vector<SpanNode> pending_;
+  std::vector<uint32_t> pending_depth_;
+  std::vector<SlowOp> slow_ops_;
+  size_t slow_head_ = 0;
+  uint64_t total_slow_ops_ = 0;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_OBS_FLIGHT_RECORDER_H_

@@ -90,12 +90,37 @@ std::string StatsSnapshot::ToString() const {
   return out;
 }
 
+namespace {
+
+// Indices into `v` ordered by the name `key` extracts. Snapshot() already
+// yields sorted vectors (std::map iteration), but ToJson/ToPrometheus must
+// stay byte-stable even for snapshots assembled by hand, so they sort an
+// index rather than trusting the container.
+template <typename V, typename KeyFn>
+std::vector<size_t> SortedIndex(const V& v, KeyFn key) {
+  std::vector<size_t> idx(v.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return key(v[a]) < key(v[b]); });
+  return idx;
+}
+
+}  // namespace
+
 std::string StatsSnapshot::ToJson() const {
+  std::vector<size_t> cidx =
+      SortedIndex(counters, [](const auto& c) -> const std::string& {
+        return c.first;
+      });
+  std::vector<size_t> hidx = SortedIndex(
+      histograms,
+      [](const HistogramEntry& h) -> const std::string& { return h.name; });
   JsonWriter w;
   w.BeginObject();
   w.Key("counters");
   w.BeginObject();
-  for (const auto& [name, value] : counters) {
+  for (size_t i : cidx) {
+    const auto& [name, value] = counters[i];
     if (value == 0) continue;
     w.Key(name);
     w.Uint(value);
@@ -103,7 +128,8 @@ std::string StatsSnapshot::ToJson() const {
   w.EndObject();
   w.Key("histograms");
   w.BeginObject();
-  for (const HistogramEntry& h : histograms) {
+  for (size_t i : hidx) {
+    const HistogramEntry& h = histograms[i];
     if (h.count == 0) continue;
     w.Key(h.name);
     w.BeginObject();
@@ -124,6 +150,67 @@ std::string StatsSnapshot::ToJson() const {
   w.EndObject();
   w.EndObject();
   return std::move(w).Take();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted convention maps
+// dots (and any other byte) to underscores under a pglo_ namespace prefix.
+std::string PromName(const std::string& name) {
+  std::string out = "pglo_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string StatsSnapshot::ToPrometheus() const {
+  std::vector<size_t> cidx =
+      SortedIndex(counters, [](const auto& c) -> const std::string& {
+        return c.first;
+      });
+  std::vector<size_t> hidx = SortedIndex(
+      histograms,
+      [](const HistogramEntry& h) -> const std::string& { return h.name; });
+  std::string out;
+  for (size_t i : cidx) {
+    const auto& [name, value] = counters[i];
+    if (value == 0) continue;
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    AppendUint(&out, value);
+    out += '\n';
+  }
+  for (size_t i : hidx) {
+    const HistogramEntry& h = histograms[i];
+    if (h.count == 0) continue;
+    std::string prom = PromName(h.name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} ";
+    AppendUint(&out, h.p50_ns);
+    out += '\n';
+    out += prom + "{quantile=\"0.99\"} ";
+    AppendUint(&out, h.p99_ns);
+    out += '\n';
+    out += prom + "_sum ";
+    AppendUint(&out, h.sum_ns);
+    out += '\n';
+    out += prom + "_count ";
+    AppendUint(&out, h.count);
+    out += '\n';
+  }
+  return out;
 }
 
 Counter* StatsRegistry::counter(const std::string& name) {

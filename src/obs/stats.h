@@ -126,8 +126,16 @@ struct StatsSnapshot {
   /// Machine-readable form: {"counters": {name: value, ...},
   /// "histograms": {name: {count, sum_ns, min_ns, max_ns, p50_ns, p99_ns}}}.
   /// Zero-valued counters and empty histograms are omitted, matching
-  /// ToString, so diffs between snapshots stay small.
+  /// ToString, so diffs between snapshots stay small. Keys are emitted in
+  /// sorted order, so two snapshots with equal contents serialize to
+  /// byte-identical documents (committed BENCH_*.json files diff cleanly).
   std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4). Counter names are
+  /// sanitized to [a-zA-Z0-9_] and prefixed `pglo_`; histograms become
+  /// summaries with p50/p99 quantiles plus _count and _sum series. Zero
+  /// counters and empty histograms are omitted, matching ToJson.
+  std::string ToPrometheus() const;
 };
 
 /// Process-wide (per-Database) registry of named counters and histograms.
@@ -150,8 +158,16 @@ class StatsRegistry {
   Counter* counter(const std::string& name);
   Histogram* histogram(const std::string& name);
 
+  /// The attachable sink benches and profilers install per run. Distinct
+  /// from the recorder slot below: a bench calling SetTraceSink must not
+  /// silently detach the always-on flight recorder.
   void SetTraceSink(TraceSink* sink) { sink_ = sink; }
   TraceSink* trace_sink() const { return sink_; }
+
+  /// The always-on recorder slot, installed for the life of the Database.
+  /// Both sinks (when present) see every completed span.
+  void SetRecorder(TraceSink* recorder) { recorder_ = recorder; }
+  TraceSink* recorder() const { return recorder_; }
 
   StatsSnapshot Snapshot() const;
 
@@ -165,13 +181,16 @@ class StatsRegistry {
   void ExitSpan(std::string_view name, uint64_t begin_ns, uint64_t end_ns,
                 uint32_t depth, uint64_t detail) {
     span_depth_ = depth;
-    if (sink_ != nullptr) {
-      sink_->OnSpan(TraceEvent{name, begin_ns, end_ns, depth, detail});
+    if (sink_ != nullptr || recorder_ != nullptr) {
+      TraceEvent event{name, begin_ns, end_ns, depth, detail};
+      if (sink_ != nullptr) sink_->OnSpan(event);
+      if (recorder_ != nullptr) recorder_->OnSpan(event);
     }
   }
 
   const SimClock* clock_ = nullptr;
   TraceSink* sink_ = nullptr;
+  TraceSink* recorder_ = nullptr;
   uint32_t span_depth_ = 0;
   // std::map: ordered iteration gives sorted snapshots; unique_ptr gives
   // stable Counter/Histogram addresses across inserts.

@@ -59,12 +59,22 @@ Status WormSmgr::Open() {
       if (::ftruncate(map_fd_, pos) != 0) {
         return Status::IOError("worm map truncate failed");
       }
+      if (events_ != nullptr) {
+        events_->Append(EventType::kRecoveryRepair,
+                        "worm.map: truncated short tail record",
+                        static_cast<uint64_t>(pos));
+      }
       break;
     }
     uint32_t stored_crc = DecodeFixed32(rec + 12);
     if (crc32c::Unmask(stored_crc) != crc32c::Value(rec, 12)) {
       if (::ftruncate(map_fd_, pos) != 0) {
         return Status::IOError("worm map truncate failed");
+      }
+      if (events_ != nullptr) {
+        events_->Append(EventType::kRecoveryRepair,
+                        "worm.map: truncated record with bad crc",
+                        static_cast<uint64_t>(pos));
       }
       break;
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "device/device_model.h"
+#include "obs/event_log.h"
 #include "smgr/smgr.h"
 #include "storage/page.h"
 
@@ -95,6 +96,10 @@ class WormSmgr : public StorageManager {
   /// Must be set before Open(). Null detaches.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Structured-event sink; Open() reports relocation-map repairs
+  /// (kRecoveryRepair) through it. Must be set before Open(). Null = silent.
+  void SetEventLog(EventLog* events) { events_ = events; }
+
   /// Optical blocks burned but never recorded in the relocation map — the
   /// leak a crash between burn and map append leaves behind. Dead platter
   /// space, not corruption: no logical block points at them. Reported by
@@ -151,6 +156,7 @@ class WormSmgr : public StorageManager {
   /// mapped. next_optical_ minus this = orphaned blocks.
   uint64_t mapped_burn_records_ = 0;
   FaultInjector* injector_ = nullptr;
+  EventLog* events_ = nullptr;
   std::unordered_map<Oid, FileState> files_;
 
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;

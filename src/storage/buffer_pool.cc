@@ -306,6 +306,9 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
   if (readahead_pages_ > 1) {
     readahead_[id.file].next_expected = id.block + run;
   }
+  if (run > 1 && events_ != nullptr) {
+    events_->Append(EventType::kReadAheadRamp, "bufpool", run, id.block);
+  }
   Frame& f = frames_[frame];
   Status s;
   if (run == 1) {

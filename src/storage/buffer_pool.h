@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "device/cpu_cost.h"
+#include "obs/event_log.h"
 #include "obs/stats.h"
 #include "smgr/smgr_registry.h"
 #include "storage/page.h"
@@ -116,6 +117,10 @@ class BufferPool {
     h_writeback_ns_ = registry->histogram("bufpool.writeback_ns");
   }
 
+  /// Structured-event sink: a kReadAheadRamp event records each vectored
+  /// prefetch the sequential detector issues. Null = silent.
+  void SetEventLog(EventLog* events) { events_ = events; }
+
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -204,6 +209,7 @@ class BufferPool {
   CpuCostModel* cpu_ = nullptr;
   uint64_t access_instructions_ = 0;
   StatsRegistry* registry_ = nullptr;
+  EventLog* events_ = nullptr;
   Counter* c_hits_ = nullptr;
   Counter* c_misses_ = nullptr;
   Counter* c_evictions_ = nullptr;

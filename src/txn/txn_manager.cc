@@ -54,6 +54,7 @@ Transaction* TxnManager::Track(std::unique_ptr<Transaction> txn) {
 Transaction* TxnManager::Begin() {
   Xid xid = AllocateXid();
   clog_->RecordBegin(xid);
+  if (events_ != nullptr) events_->Append(EventType::kTxnBegin, "", xid);
   Snapshot snap(clog_, xid, clog_->Now());
   return Track(std::unique_ptr<Transaction>(new Transaction(xid, snap)));
 }
@@ -61,6 +62,9 @@ Transaction* TxnManager::Begin() {
 Transaction* TxnManager::BeginAsOf(CommitTime as_of) {
   Xid xid = AllocateXid();
   clog_->RecordBegin(xid);
+  if (events_ != nullptr) {
+    events_->Append(EventType::kTxnBegin, "as-of", xid, as_of);
+  }
   Snapshot snap(clog_, xid, clog_->Now(), as_of);
   return Track(std::unique_ptr<Transaction>(new Transaction(xid, snap)));
 }
@@ -84,6 +88,9 @@ Result<CommitTime> TxnManager::Commit(Transaction* txn) {
     PGLO_RETURN_IF_ERROR(hook());
   }
   PGLO_ASSIGN_OR_RETURN(CommitTime time, clog_->RecordCommit(txn->xid()));
+  if (events_ != nullptr) {
+    events_->Append(EventType::kTxnCommit, "", txn->xid(), time);
+  }
   txn->state_ = TxnState::kCommitted;
   Finish(txn, /*committed=*/true);
   return time;
@@ -95,6 +102,7 @@ Status TxnManager::Abort(Transaction* txn) {
     return Status::InvalidArgument("transaction already finished");
   }
   PGLO_RETURN_IF_ERROR(clog_->RecordAbort(txn->xid()));
+  if (events_ != nullptr) events_->Append(EventType::kTxnAbort, "", txn->xid());
   txn->state_ = TxnState::kAborted;
   Finish(txn, /*committed=*/false);
   return Status::OK();

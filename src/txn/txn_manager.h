@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/event_log.h"
 #include "storage/buffer_pool.h"
 #include "txn/commit_log.h"
 #include "txn/transaction.h"
@@ -69,6 +70,10 @@ class TxnManager {
     force_hooks_.push_back(std::move(hook));
   }
 
+  /// Structured-event sink for the transaction lifecycle (begin, commit,
+  /// abort). Null = silent.
+  void BindEventLog(EventLog* events) { events_ = events; }
+
   const CommitLog& commit_log() const { return *clog_; }
   size_t active_count() const { return active_.size(); }
 
@@ -83,6 +88,7 @@ class TxnManager {
   int xid_fd_ = -1;
   std::unordered_map<Transaction*, std::unique_ptr<Transaction>> active_;
   std::vector<std::function<Status()>> force_hooks_;
+  EventLog* events_ = nullptr;
 };
 
 }  // namespace pglo

@@ -305,6 +305,116 @@ TEST(StatsSnapshotTest, ToJsonRoundTrips) {
   EXPECT_NE(json.find("\"sum_ns\":300"), std::string::npos) << json;
 }
 
+TEST(StatsSnapshotTest, ToJsonSortsHandBuiltSnapshots) {
+  // Snapshot() yields sorted vectors, but deltas and tests build snapshots
+  // by hand; serialization must not trust input order, so two snapshots
+  // with equal contents are byte-identical documents no matter how they
+  // were assembled.
+  StatsSnapshot shuffled;
+  shuffled.counters.emplace_back("z.last", 3);
+  shuffled.counters.emplace_back("a.first", 1);
+  shuffled.counters.emplace_back("m.middle", 2);
+  StatsSnapshot::HistogramEntry h1{"z.op_ns", 1, 10, 10, 10, 10, 10};
+  StatsSnapshot::HistogramEntry h2{"a.op_ns", 2, 30, 10, 20, 20, 20};
+  shuffled.histograms.push_back(h1);
+  shuffled.histograms.push_back(h2);
+
+  StatsSnapshot sorted;
+  sorted.counters.emplace_back("a.first", 1);
+  sorted.counters.emplace_back("m.middle", 2);
+  sorted.counters.emplace_back("z.last", 3);
+  sorted.histograms.push_back(h2);
+  sorted.histograms.push_back(h1);
+
+  EXPECT_EQ(shuffled.ToJson(), sorted.ToJson());
+  size_t a = shuffled.ToJson().find("a.first");
+  size_t m = shuffled.ToJson().find("m.middle");
+  size_t z = shuffled.ToJson().find("z.last");
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(StatsSnapshotTest, ToPrometheusExposition) {
+  StatsSnapshot snap;
+  snap.counters.emplace_back("smgr.worm-cache.hits", 17);
+  snap.counters.emplace_back("bufpool.hits", 5);
+  snap.counters.emplace_back("zeroed", 0);  // omitted
+  StatsSnapshot::HistogramEntry h;
+  h.name = "bufpool.get_ns";
+  h.count = 2;
+  h.sum_ns = 300;
+  h.min_ns = 100;
+  h.max_ns = 200;
+  h.p50_ns = 127;
+  h.p99_ns = 255;
+  snap.histograms.push_back(h);
+
+  std::string text = snap.ToPrometheus();
+  // Names sanitized to [a-zA-Z0-9_] and prefixed: dots AND hyphens become
+  // underscores.
+  EXPECT_NE(text.find("# TYPE pglo_bufpool_hits counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("pglo_bufpool_hits 5"), std::string::npos);
+  EXPECT_NE(text.find("pglo_smgr_worm_cache_hits 17"), std::string::npos);
+  EXPECT_EQ(text.find("zeroed"), std::string::npos);
+  // Histograms become summaries: quantiles plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE pglo_bufpool_get_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("pglo_bufpool_get_ns{quantile=\"0.5\"} 127"),
+            std::string::npos);
+  EXPECT_NE(text.find("pglo_bufpool_get_ns{quantile=\"0.99\"} 255"),
+            std::string::npos);
+  EXPECT_NE(text.find("pglo_bufpool_get_ns_sum 300"), std::string::npos);
+  EXPECT_NE(text.find("pglo_bufpool_get_ns_count 2"), std::string::npos);
+  // Counters sorted by original name, so output is byte-stable.
+  EXPECT_LT(text.find("pglo_bufpool_hits"),
+            text.find("pglo_smgr_worm_cache_hits"));
+}
+
+TEST(DatabaseStatsTest, CounterNamesFollowTheDottedConvention) {
+  // Every counter a real workload produces must be `<layer>.<metric>` (or
+  // `<layer>.<instance>.<metric>`): lowercase [a-z0-9._-] with at least
+  // one dot. The hyphen allowance exists for instance labels such as
+  // "worm-cache". A new layer with a freestyle name fails here.
+  TempDir dir;
+  Database db;
+  DatabaseOptions options;
+  options.dir = dir.Sub("db");
+  ASSERT_OK(db.Open(options));
+  Transaction* txn = db.Begin();
+  for (uint8_t smgr : {kSmgrDisk, kSmgrWorm}) {
+    LoSpec spec;
+    spec.kind = StorageKind::kFChunk;
+    spec.smgr = smgr;
+    ASSERT_OK_AND_ASSIGN(Oid oid, db.large_objects().Create(txn, spec));
+    ASSERT_OK_AND_ASSIGN(auto lo, db.large_objects().Instantiate(txn, oid));
+    std::string payload(20000, 'n');
+    ASSERT_OK(lo->Write(txn, 0, Slice(payload)));
+    std::string buf(payload.size(), 0);
+    ASSERT_OK(lo->Read(txn, 0, buf.size(),
+                       reinterpret_cast<uint8_t*>(buf.data()))
+                  .status());
+  }
+  ASSERT_OK(db.Commit(txn).status());
+
+  StatsSnapshot snap = db.Stats();
+  ASSERT_FALSE(snap.counters.empty());
+  auto check_name = [](const std::string& name) {
+    EXPECT_NE(name.find('.'), std::string::npos) << "undotted: " << name;
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name.front(), '.');
+    EXPECT_NE(name.back(), '.');
+    for (char c : name) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                c == '.' || c == '_' || c == '-';
+      EXPECT_TRUE(ok) << "bad char '" << c << "' in counter: " << name;
+    }
+  };
+  for (const auto& [name, value] : snap.counters) check_name(name);
+  for (const auto& h : snap.histograms) check_name(h.name);
+  ASSERT_OK(db.Close());
+}
+
 TEST(DatabaseStatsTest, DisabledStatsReportsEmptyAndStillWorks) {
   TempDir dir;
   Database db;

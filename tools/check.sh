@@ -16,16 +16,30 @@
 # injected crash points through the full workload replay + recovery
 # verification (see DESIGN.md §11). Set PGLO_TEST_SEED to vary the seed;
 # the default is the same fixed seed the unit tests use.
+#
+# An observability gate then proves the flight recorder is free:
+# bench_ablation_obs --quick runs the same workload with the recorder off
+# and on, fails unless both report bit-identical simulated time, and
+# compares against the committed baseline.
+#
+# "ci" is the mode for unattended runs (.github/workflows/ci.yml): the full
+# "all" sequence, with a per-test ctest timeout so a hung test fails the
+# run instead of wedging it. PGLO_TEST_TIMEOUT overrides the default 600 s.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 run_preset() {
   preset="$1"
+  timeout="${2:-}"
   echo "== preset: $preset =="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$(nproc)"
-  ctest --preset "$preset" -j "$(nproc)"
+  if [ -n "$timeout" ]; then
+    ctest --preset "$preset" -j "$(nproc)" --timeout "$timeout"
+  else
+    ctest --preset "$preset" -j "$(nproc)"
+  fi
 }
 
 bench_gate() {
@@ -54,10 +68,29 @@ crashtest_gate() {
   trap - EXIT
 }
 
+obs_gate() {
+  builddir="$1"
+  baseline="bench/baselines/BENCH_ablation_obs_quick.json"
+  echo "== obs gate: bench_ablation_obs --quick vs $baseline =="
+  workdir="$(mktemp -d /tmp/pglo_obs_gate_XXXXXX)"
+  trap 'rm -rf "$workdir"' EXIT
+  out="$workdir/BENCH_ablation_obs_quick.json"
+  # The bench itself exits non-zero if recorder-on simulated time is not
+  # bit-identical to recorder-off; bench_compare then guards against drift
+  # in the absolute simulated times.
+  "$builddir/bench/bench_ablation_obs" --quick --json="$out" \
+      "$workdir/db" > "$workdir/bench.log"
+  "$builddir/tools/bench_compare" --validate "$out"
+  "$builddir/tools/bench_compare" "$baseline" "$out"
+  rm -rf "$workdir"
+  trap - EXIT
+}
+
 case "${1:-default}" in
   default)
     run_preset default
     bench_gate build
+    obs_gate build
     crashtest_gate build
     ;;
   asan)
@@ -67,12 +100,24 @@ case "${1:-default}" in
   all)
     run_preset default
     bench_gate build
+    obs_gate build
     crashtest_gate build
     run_preset asan
     crashtest_gate build-asan
     ;;
+  ci)
+    # Unattended mode: same coverage as "all", plus per-test timeouts so a
+    # hung test fails fast instead of stalling the pipeline.
+    timeout="${PGLO_TEST_TIMEOUT:-600}"
+    run_preset default "$timeout"
+    bench_gate build
+    obs_gate build
+    crashtest_gate build
+    run_preset asan "$timeout"
+    crashtest_gate build-asan
+    ;;
   *)
-    echo "usage: $0 [default|asan|all]" >&2
+    echo "usage: $0 [default|asan|all|ci]" >&2
     exit 2
     ;;
 esac

@@ -2,7 +2,7 @@
 //
 //   pglo_crashtest [--seed=N] [--all-points | --sample=K | --point=N]
 //                  [--txns=N] [--ops=N] [--no-torn] [--async-commit]
-//                  [--quick] [--keep] [--verbose] [dir]
+//                  [--quick] [--keep] [--verbose] [--trace=FILE] [dir]
 //
 // Replays a seeded workload (LO create/write/truncate/delete across all
 // four implementations plus Inversion files, under concurrent transaction
@@ -14,6 +14,12 @@
 // the fsck integrity sweep is clean. In-doubt commits (crash during the
 // commit record) are resolved against the reopened commit log — either
 // outcome is accepted, a mix of images never is.
+//
+// --trace=FILE (single-point mode) replays the point with device charging
+// on and streams a Chrome trace of the run up to the crash tick to FILE —
+// load it in chrome://tracing or Perfetto. Every failing point leaves its
+// database directory behind with a pglo_blackbox.json flight-recorder
+// dump; the report prints the path.
 //
 // --sample=K runs an evenly strided sample of at most K points.
 // --quick is shorthand for a small bounded run (txns=4, sample=25) used
@@ -72,11 +78,17 @@ int main(int argc, char** argv) {
       opts.keep_dirs = true;
     } else if (std::strcmp(a, "--verbose") == 0) {
       opts.verbose = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      opts.trace_path = a + 8;
+      // A trace of uncharged devices would put every span at t=0; charge
+      // them. Crash points are write-count-indexed, so this changes
+      // nothing about which write the power failure lands on.
+      opts.charge_devices = true;
     } else if (a[0] == '-') {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--all-points|--sample=K|--point=N] "
                    "[--txns=N] [--ops=N] [--no-torn] [--async-commit] "
-                   "[--quick] [--keep] [--verbose] [dir]\n",
+                   "[--quick] [--keep] [--verbose] [--trace=FILE] [dir]\n",
                    argv[0]);
       return 2;
     } else {
@@ -91,6 +103,12 @@ int main(int argc, char** argv) {
     CrashPointResult r = single.RunCrashPoint(one_point);
     std::printf("point %llu: %s\n", static_cast<unsigned long long>(r.point),
                 r.ok() ? "ok" : r.failure.c_str());
+    if (!r.blackbox.empty()) {
+      std::printf("blackbox: %s\n", r.blackbox.c_str());
+    }
+    if (!opts.trace_path.empty()) {
+      std::printf("trace: %s\n", opts.trace_path.c_str());
+    }
     return r.ok() ? 0 : 1;
   }
 

@@ -1,0 +1,309 @@
+// pglo_top — flight-recorder time-series viewer.
+//
+//   pglo_top [--events] [--slow-ops] [--counter=NAME] [--prometheus]
+//            [--limit=N] [--follow[=SECS]] pglo_blackbox.json
+//
+// Renders a pglo-blackbox-v1 dump (written by Database on a simulated
+// crash or failed Open, or on demand via Database::DumpBlackbox): a
+// summary header, then the snapshot-delta time-series as a counters ×
+// samples table — each column is one sampling tick, each cell the change
+// in that counter since the previous tick. With no mode flag the top
+// counters (by total movement) are shown; --counter=NAME plots one
+// counter's series as a bar chart; --events prints the structured event
+// log; --slow-ops prints each captured slow operation's span tree;
+// --prometheus re-emits the dump's final snapshot in Prometheus text
+// exposition.
+//
+// --follow re-reads and re-renders the file every SECS wall seconds
+// (default 2) until interrupted — "live" viewing of a recorder that a
+// running process keeps dumping.
+//
+// Exit status: 0 ok, 1 unreadable/invalid dump, 2 usage.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/stats.h"
+
+using pglo::JsonValue;
+using pglo::ParseJsonFile;
+using pglo::Result;
+using pglo::StatsSnapshot;
+
+namespace {
+
+struct Options {
+  bool events = false;
+  bool slow_ops = false;
+  bool prometheus = false;
+  std::string counter;
+  size_t limit = 12;      // counters rows in the table
+  int follow_secs = 0;    // 0 = render once
+  std::string path;
+};
+
+double SimSeconds(double ns) { return ns * 1e-9; }
+
+void PrintHeader(const JsonValue& dump) {
+  std::printf("pglo_top — %s\n", dump.GetString("reason", "?").c_str());
+  std::printf("dumped at sim %.6f s\n",
+              SimSeconds(dump.GetNumber("dumped_at_ns")));
+  const JsonValue* ev = dump.Get("events");
+  const JsonValue* deltas = dump.Get("snapshot_deltas");
+  const JsonValue* slow = dump.Get("slow_ops");
+  const JsonValue* trace = dump.Get("trace");
+  std::printf(
+      "events %.0f (%.0f dropped) · deltas %.0f · slow ops %.0f · spans "
+      "%.0f\n\n",
+      ev != nullptr ? ev->GetNumber("total") : 0.0,
+      ev != nullptr ? ev->GetNumber("dropped") : 0.0,
+      deltas != nullptr ? deltas->GetNumber("total") : 0.0,
+      slow != nullptr ? slow->GetNumber("total") : 0.0,
+      trace != nullptr ? trace->GetNumber("total") : 0.0);
+}
+
+/// The retained delta entries: each is {seq, sim_ns, counters{name: d}}.
+const std::vector<JsonValue>* DeltaEntries(const JsonValue& dump) {
+  const JsonValue* deltas = dump.Get("snapshot_deltas");
+  if (deltas == nullptr) return nullptr;
+  const JsonValue* entries = deltas->Get("entries");
+  if (entries == nullptr || !entries->is_array()) return nullptr;
+  return &entries->array;
+}
+
+void PrintTimeSeries(const JsonValue& dump, const Options& opt) {
+  const std::vector<JsonValue>* entries = DeltaEntries(dump);
+  if (entries == nullptr || entries->empty()) {
+    std::printf("(no snapshot deltas retained)\n");
+    return;
+  }
+  // Last few ticks fit a terminal; older ones scroll off like top(1).
+  constexpr size_t kMaxCols = 8;
+  size_t first = entries->size() > kMaxCols ? entries->size() - kMaxCols : 0;
+  // Rank counters by total movement across the shown window.
+  std::vector<std::pair<std::string, double>> totals;
+  for (size_t i = first; i < entries->size(); ++i) {
+    const JsonValue* counters = (*entries)[i].Get("counters");
+    if (counters == nullptr) continue;
+    for (const auto& [name, v] : counters->object) {
+      auto it = std::find_if(totals.begin(), totals.end(),
+                             [&](const auto& t) { return t.first == name; });
+      if (it == totals.end()) {
+        totals.emplace_back(name, v.number);
+      } else {
+        it->second += v.number;
+      }
+    }
+  }
+  std::sort(totals.begin(), totals.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (totals.size() > opt.limit) totals.resize(opt.limit);
+
+  std::printf("%-36s", "counter / sim_s");
+  for (size_t i = first; i < entries->size(); ++i) {
+    std::printf(" %9.3f", SimSeconds((*entries)[i].GetNumber("sim_ns")));
+  }
+  std::printf("\n");
+  for (const auto& [name, total] : totals) {
+    std::printf("%-36s", name.c_str());
+    for (size_t i = first; i < entries->size(); ++i) {
+      const JsonValue* counters = (*entries)[i].Get("counters");
+      const JsonValue* v =
+          counters != nullptr ? counters->Get(name) : nullptr;
+      if (v != nullptr) {
+        std::printf(" %9.0f", v->number);
+      } else {
+        std::printf(" %9s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  if (totals.empty()) std::printf("(all counters quiet in this window)\n");
+}
+
+void PrintOneCounter(const JsonValue& dump, const std::string& name) {
+  const std::vector<JsonValue>* entries = DeltaEntries(dump);
+  if (entries == nullptr || entries->empty()) {
+    std::printf("(no snapshot deltas retained)\n");
+    return;
+  }
+  double max = 0;
+  for (const JsonValue& e : *entries) {
+    const JsonValue* counters = e.Get("counters");
+    const JsonValue* v = counters != nullptr ? counters->Get(name) : nullptr;
+    if (v != nullptr) max = std::max(max, v->number);
+  }
+  std::printf("%s (per-tick delta, max %.0f)\n", name.c_str(), max);
+  for (const JsonValue& e : *entries) {
+    const JsonValue* counters = e.Get("counters");
+    const JsonValue* v = counters != nullptr ? counters->Get(name) : nullptr;
+    double val = v != nullptr ? v->number : 0.0;
+    int bar = max > 0 ? static_cast<int>(val / max * 40) : 0;
+    std::printf("%9.3f %10.0f |", SimSeconds(e.GetNumber("sim_ns")), val);
+    for (int i = 0; i < bar; ++i) std::printf("#");
+    std::printf("\n");
+  }
+}
+
+void PrintEvents(const JsonValue& dump) {
+  const JsonValue* ev = dump.Get("events");
+  const JsonValue* entries = ev != nullptr ? ev->Get("entries") : nullptr;
+  if (entries == nullptr || entries->array.empty()) {
+    std::printf("(no events retained)\n");
+    return;
+  }
+  std::printf("%6s %12s  %-18s %-12s %-12s %s\n", "seq", "sim_s", "type",
+              "a", "b", "detail");
+  for (const JsonValue& e : entries->array) {
+    std::printf("%6.0f %12.6f  %-18s %-12.0f %-12.0f %s\n",
+                e.GetNumber("seq"), SimSeconds(e.GetNumber("sim_ns")),
+                e.GetString("type", "?").c_str(), e.GetNumber("a"),
+                e.GetNumber("b"), e.GetString("detail").c_str());
+  }
+}
+
+void PrintSpanTree(const JsonValue& node, int depth) {
+  double dur =
+      node.GetNumber("end_ns") - node.GetNumber("begin_ns");
+  std::printf("%*s%-*s %12.3f ms\n", depth * 2, "",
+              40 - depth * 2, node.GetString("name", "?").c_str(),
+              dur * 1e-6);
+  const JsonValue* children = node.Get("children");
+  if (children == nullptr) return;
+  for (const JsonValue& child : children->array) {
+    PrintSpanTree(child, depth + 1);
+  }
+}
+
+void PrintSlowOps(const JsonValue& dump) {
+  const JsonValue* slow = dump.Get("slow_ops");
+  const JsonValue* entries = slow != nullptr ? slow->Get("entries") : nullptr;
+  if (entries == nullptr || entries->array.empty()) {
+    std::printf("(no slow ops captured)\n");
+    return;
+  }
+  std::printf("budget %.3f ms, %.0f captured in total\n\n",
+              slow->GetNumber("budget_ns") * 1e-6, slow->GetNumber("total"));
+  for (const JsonValue& op : entries->array) {
+    std::printf("slow op #%.0f — %.3f ms\n", op.GetNumber("seq"),
+                op.GetNumber("duration_ns") * 1e-6);
+    const JsonValue* tree = op.Get("tree");
+    if (tree != nullptr) PrintSpanTree(*tree, 1);
+    std::printf("\n");
+  }
+}
+
+/// Rebuilds a StatsSnapshot from the dump's final_snapshot object so the
+/// exposition goes through the one real serializer.
+void PrintPrometheus(const JsonValue& dump) {
+  const JsonValue* snap = dump.Get("final_snapshot");
+  if (snap == nullptr) {
+    std::printf("(no final snapshot in dump)\n");
+    return;
+  }
+  StatsSnapshot s;
+  const JsonValue* counters = snap->Get("counters");
+  if (counters != nullptr) {
+    for (const auto& [name, v] : counters->object) {
+      s.counters.emplace_back(name, static_cast<uint64_t>(v.number));
+    }
+  }
+  const JsonValue* hists = snap->Get("histograms");
+  if (hists != nullptr) {
+    for (const auto& [name, h] : hists->object) {
+      StatsSnapshot::HistogramEntry e;
+      e.name = name;
+      e.count = static_cast<uint64_t>(h.GetNumber("count"));
+      e.sum_ns = static_cast<uint64_t>(h.GetNumber("sum_ns"));
+      e.min_ns = static_cast<uint64_t>(h.GetNumber("min_ns"));
+      e.max_ns = static_cast<uint64_t>(h.GetNumber("max_ns"));
+      e.p50_ns = static_cast<uint64_t>(h.GetNumber("p50_ns"));
+      e.p99_ns = static_cast<uint64_t>(h.GetNumber("p99_ns"));
+      s.histograms.push_back(std::move(e));
+    }
+  }
+  std::fputs(s.ToPrometheus().c_str(), stdout);
+}
+
+int RenderOnce(const Options& opt) {
+  Result<JsonValue> dump = ParseJsonFile(opt.path);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "pglo_top: %s\n", dump.status().ToString().c_str());
+    return 1;
+  }
+  if (dump.value().GetString("schema") != "pglo-blackbox-v1") {
+    std::fprintf(stderr, "pglo_top: %s is not a pglo-blackbox-v1 dump\n",
+                 opt.path.c_str());
+    return 1;
+  }
+  if (opt.prometheus) {
+    PrintPrometheus(dump.value());
+    return 0;
+  }
+  PrintHeader(dump.value());
+  if (opt.events) {
+    PrintEvents(dump.value());
+  } else if (opt.slow_ops) {
+    PrintSlowOps(dump.value());
+  } else if (!opt.counter.empty()) {
+    PrintOneCounter(dump.value(), opt.counter);
+  } else {
+    PrintTimeSeries(dump.value(), opt);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--events") == 0) {
+      opt.events = true;
+    } else if (std::strcmp(a, "--slow-ops") == 0) {
+      opt.slow_ops = true;
+    } else if (std::strcmp(a, "--prometheus") == 0) {
+      opt.prometheus = true;
+    } else if (std::strncmp(a, "--counter=", 10) == 0) {
+      opt.counter = a + 10;
+    } else if (std::strncmp(a, "--limit=", 8) == 0) {
+      opt.limit = static_cast<size_t>(std::strtoul(a + 8, nullptr, 10));
+    } else if (std::strcmp(a, "--follow") == 0) {
+      opt.follow_secs = 2;
+    } else if (std::strncmp(a, "--follow=", 9) == 0) {
+      opt.follow_secs = std::atoi(a + 9);
+      if (opt.follow_secs <= 0) opt.follow_secs = 2;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--events] [--slow-ops] [--counter=NAME] "
+                   "[--prometheus] [--limit=N] [--follow[=SECS]] "
+                   "pglo_blackbox.json\n",
+                   argv[0]);
+      return 2;
+    } else {
+      opt.path = a;
+    }
+  }
+  if (opt.path.empty()) {
+    std::fprintf(stderr, "pglo_top: no dump file given\n");
+    return 2;
+  }
+  if (opt.follow_secs == 0) return RenderOnce(opt);
+  for (;;) {
+    // Clear screen between renders, like top(1); harmless when piped.
+    std::printf("\033[H\033[2J");
+    int rc = RenderOnce(opt);
+    if (rc != 0) return rc;
+    std::fflush(stdout);
+    ::sleep(static_cast<unsigned>(opt.follow_secs));
+  }
+}
