@@ -76,14 +76,15 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
                              const WorkloadScale& scale) {
   Timings t;
   FrameParams params;
+  std::unique_ptr<Session> session = db->Connect();
   const uint64_t file_frames = scale.seq_frames;
   {
-    Transaction* txn = db->Begin();
+    Transaction* txn = session->Begin();
     PGLO_RETURN_IF_ERROR(fs->Create(txn, path, spec).status());
-    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+    PGLO_RETURN_IF_ERROR(session->Commit().status());
   }
   {
-    Transaction* txn = db->Begin();
+    Transaction* txn = session->Begin();
     PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, /*writable=*/true));
     SimTimer timer(&db->clock());
     for (uint64_t i = 0; i < file_frames; ++i) {
@@ -91,12 +92,12 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
       PGLO_RETURN_IF_ERROR(file->Write(Slice(frame)));
     }
     file.reset();
-    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+    PGLO_RETURN_IF_ERROR(session->Commit().status());
     t.seq_write = timer.ElapsedSeconds();
   }
   Bytes buf(kFrameSize);
   {
-    Transaction* txn = db->Begin();
+    Transaction* txn = session->Begin();
     PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, false));
     SimTimer timer(&db->clock());
     for (uint64_t i = 0; i < file_frames; ++i) {
@@ -105,10 +106,10 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
     }
     t.seq_read = timer.ElapsedSeconds();
     file.reset();
-    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+    PGLO_RETURN_IF_ERROR(session->Commit().status());
   }
   {
-    Transaction* txn = db->Begin();
+    Transaction* txn = session->Begin();
     PGLO_ASSIGN_OR_RETURN(auto file, fs->Open(txn, path, false));
     Random rng(7);
     SimTimer timer(&db->clock());
@@ -122,7 +123,7 @@ Result<Timings> RunInversion(Database* db, InversionFs* fs,
     }
     t.rand_read = timer.ElapsedSeconds();
     file.reset();
-    PGLO_RETURN_IF_ERROR(db->Commit(txn).status());
+    PGLO_RETURN_IF_ERROR(session->Commit().status());
   }
   return t;
 }
@@ -149,9 +150,10 @@ int Main(int argc, char** argv) {
   }
   InversionFs fs(db.context(), &db.large_objects());
   {
-    Transaction* txn = db.Begin();
+    std::unique_ptr<Session> boot = db.Connect();
+    Transaction* txn = boot->Begin();
     s = fs.Bootstrap(txn);
-    if (s.ok()) s = db.Commit(txn).status();
+    if (s.ok()) s = boot->Commit().status();
     if (!s.ok()) {
       std::fprintf(stderr, "bootstrap failed: %s\n", s.ToString().c_str());
       return 1;

@@ -199,7 +199,8 @@ void BM_LoThroughput(benchmark::State& state) {
     state.SkipWithError("open failed");
     return;
   }
-  Transaction* txn = database.Begin();
+  std::unique_ptr<Session> session = database.Connect();
+  Transaction* txn = session->Begin();
   LoSpec spec;
   spec.kind = vsegment ? StorageKind::kVSegment : StorageKind::kFChunk;
   Oid oid = database.large_objects().Create(txn, spec).value();
@@ -223,7 +224,8 @@ void BM_LoThroughput(benchmark::State& state) {
     }
   }
   state.SetBytesProcessed(state.iterations() * frame.size());
-  benchmark::DoNotOptimize(database.Abort(txn).ok());
+  benchmark::DoNotOptimize(session->Abort().ok());
+  session.reset();
   benchmark::DoNotOptimize(database.Close().ok());
   if (dir) {
     int rc = std::system(("rm -rf '" + std::string(dir) + "'").c_str());

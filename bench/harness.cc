@@ -57,7 +57,7 @@ DatabaseOptions PaperOptions(const std::string& dir) {
 }
 
 Result<Oid> LoBenchRunner::CreateObject(const BenchConfig& config) {
-  Transaction* txn = db_->Begin();
+  Transaction* txn = session_->Begin();
   LoSpec spec;
   spec.kind = config.kind;
   spec.codec = config.codec;
@@ -75,13 +75,13 @@ Result<Oid> LoBenchRunner::CreateObject(const BenchConfig& config) {
     Bytes data = MakeFrame(kCreateSeed, frame, params);
     PGLO_RETURN_IF_ERROR(lo->Write(txn, frame * kFrameSize, Slice(data)));
   }
-  PGLO_RETURN_IF_ERROR(db_->Commit(txn).status());
+  PGLO_RETURN_IF_ERROR(session_->Commit().status());
   PGLO_RETURN_IF_ERROR(db_->ufs().Sync());
   return oid;
 }
 
 Result<double> LoBenchRunner::RunOp(Oid oid, Op op, uint64_t seed) {
-  Transaction* txn = db_->Begin();
+  Transaction* txn = session_->Begin();
   PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
                         db_->large_objects().Instantiate(txn, oid));
   Random rng(seed);
@@ -134,7 +134,7 @@ Result<double> LoBenchRunner::RunOp(Oid oid, Op op, uint64_t seed) {
       break;
     }
   }
-  PGLO_RETURN_IF_ERROR(db_->Commit(txn).status());
+  PGLO_RETURN_IF_ERROR(session_->Commit().status());
   if (OpIsWrite(op)) {
     // The file implementations keep their writes in the OS buffer cache;
     // force them out so every column pays for durability of its writes
@@ -146,10 +146,10 @@ Result<double> LoBenchRunner::RunOp(Oid oid, Op op, uint64_t seed) {
 }
 
 Result<LargeObject::StorageFootprint> LoBenchRunner::Footprint(Oid oid) {
-  Transaction* txn = db_->Begin();
+  Transaction* txn = session_->Begin();
   Result<LargeObject::StorageFootprint> fp =
       db_->large_objects().Footprint(txn, oid);
-  PGLO_RETURN_IF_ERROR(db_->Abort(txn));
+  PGLO_RETURN_IF_ERROR(session_->Abort());
   return fp;
 }
 

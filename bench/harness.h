@@ -68,11 +68,12 @@ inline WorkloadScale ScaleFor(bool quick) {
 }
 
 /// Drives one database instance through object creation and the benchmark
-/// operations, measuring simulated elapsed time.
+/// operations, measuring simulated elapsed time. The runner connects one
+/// backend session and runs every operation through it.
 class LoBenchRunner {
  public:
   explicit LoBenchRunner(Database* db, WorkloadScale scale = WorkloadScale{})
-      : db_(db), scale_(scale) {}
+      : db_(db), scale_(scale), session_(db->Connect()) {}
 
   /// Creates the 51.2 MB object frame by frame (one transaction), as the
   /// paper did. Returns its oid.
@@ -88,6 +89,7 @@ class LoBenchRunner {
  private:
   Database* db_;
   WorkloadScale scale_;
+  std::unique_ptr<Session> session_;
 };
 
 /// Renders a Figure 2/3-style table: rows = operations, columns = configs,

@@ -51,17 +51,18 @@ int main(int argc, char** argv) {
   DatabaseOptions options;
   options.dir = dir;
   CHECK_OK(db.Open(options));
+  auto session = db.Connect();
   InversionFs fs(db.context(), &db.large_objects());
   {
-    Transaction* txn = db.Begin();
+    Transaction* txn = session->Begin();
     CHECK_OK(fs.Bootstrap(txn));
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(session->Commit().status());
   }
 
   // --- build a small tree, with a compressed v-segment file (§10) ------
   pglo::CommitTime snapshot;
   {
-    Transaction* txn = db.Begin();
+    Transaction* txn = session->Begin();
     CHECK_OK(fs.MkDir(txn, "/home").status());
     CHECK_OK(fs.MkDir(txn, "/home/mike").status());
     CHECK_OK(fs.Create(txn, "/home/mike/notes.txt", LoSpec{}).status());
@@ -82,11 +83,11 @@ int main(int argc, char** argv) {
             Slice("\\section{Tertiary storage management}\n")));
       }
     }
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(session->Commit().status());
     snapshot = db.Now();
   }
   {
-    Transaction* txn = db.Begin();
+    Transaction* txn = session->Begin();
     Ls(fs, txn, "/");
     Ls(fs, txn, "/home/mike");
     auto st = fs.Stat(txn, "/home/mike/thesis.tex");
@@ -98,22 +99,22 @@ int main(int argc, char** argv) {
     CHECK_OK(fp.status());
     std::printf("  (lzss v-segment storage: %llu bytes on disk)\n",
                 static_cast<unsigned long long>(fp.value().data_bytes));
-    CHECK_OK(db.Abort(txn));
+    CHECK_OK(session->Abort());
   }
 
   // --- a transaction that goes wrong: everything rolls back ------------
   {
-    Transaction* txn = db.Begin();
+    Transaction* txn = session->Begin();
     CHECK_OK(fs.Rename(txn, "/home/mike/notes.txt", "/home/mike/junk"));
     auto f = fs.Open(txn, "/home/mike/thesis.tex", true);
     CHECK_OK(f.status());
     CHECK_OK(f.value()->Truncate(0));
     std::printf("$ (a buggy script renamed notes.txt and truncated the "
                 "thesis... abort!)\n");
-    CHECK_OK(db.Abort(txn));
+    CHECK_OK(session->Abort());
   }
   {
-    Transaction* txn = db.Begin();
+    Transaction* txn = session->Begin();
     auto exists = fs.Exists(txn, "/home/mike/notes.txt");
     CHECK_OK(exists.status());
     auto st = fs.Stat(txn, "/home/mike/thesis.tex");
@@ -122,21 +123,21 @@ int main(int argc, char** argv) {
                 "bytes (both restored)\n",
                 exists.value() ? "true" : "false",
                 static_cast<unsigned long long>(st.value().size));
-    CHECK_OK(db.Abort(txn));
+    CHECK_OK(session->Abort());
   }
 
   // --- destructive change, committed — then time travel ----------------
   {
-    Transaction* txn = db.Begin();
+    Transaction* txn = session->Begin();
     CHECK_OK(fs.Remove(txn, "/home/mike/notes.txt"));
     auto f = fs.Open(txn, "/home/mike/thesis.tex", true);
     CHECK_OK(f.status());
     CHECK_OK(f.value()->Seek(0, pglo::Whence::kSet).status());
     CHECK_OK(f.value()->Write(Slice("\\section{REWRITTEN}\n")));
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(session->Commit().status());
   }
   {
-    Transaction* historical = db.BeginAsOf(snapshot);
+    Transaction* historical = session->BeginAsOf(snapshot);
     auto exists = fs.Exists(historical, "/home/mike/notes.txt");
     CHECK_OK(exists.status());
     auto f = fs.Open(historical, "/home/mike/thesis.tex", false);
@@ -148,7 +149,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(snapshot),
                 exists.value() ? "true" : "false",
                 Slice(head.value()).ToString().c_str());
-    CHECK_OK(db.Abort(historical));
+    CHECK_OK(session->Abort());
   }
 
   CHECK_OK(db.Close());

@@ -26,7 +26,9 @@ using pglo::DatabaseOptions;
 using pglo::Oid;
 using pglo::Slice;
 using pglo::query::QueryResult;
-using pglo::query::Session;
+// The query layer's Session wraps a POSTQUEL parser/executor; the engine
+// backend connection is pglo::Session from db.Connect().
+using QuerySession = pglo::query::Session;
 
 #define CHECK_OK(expr)                                            \
   do {                                                            \
@@ -38,7 +40,7 @@ using pglo::query::Session;
     }                                                             \
   } while (0)
 
-static QueryResult Run(Session& session, const std::string& q) {
+static QueryResult Run(QuerySession& session, const std::string& q) {
   std::printf("postquel> %s\n", q.c_str());
   auto result = session.Run(q);
   CHECK_OK(result.status());
@@ -54,7 +56,8 @@ int main(int argc, char** argv) {
   DatabaseOptions options;
   options.dir = dir;
   CHECK_OK(db.Open(options));
-  Session session(&db);
+  QuerySession session(&db);
+  auto backend = db.Connect();  // engine-level work below goes through it
 
   // §4: "create large type type-name (input = ..., output = ...,
   //      storage = storage type)"
@@ -73,7 +76,7 @@ int main(int argc, char** argv) {
                       "retrieve (EMP.picture) where EMP.name = \"Mike\"");
   Oid img = r.rows[0][0].as_lo().oid;
   {
-    pglo::Transaction* txn = db.Begin();
+    pglo::Transaction* txn = backend->Begin();
     auto lo = db.large_objects().Instantiate(txn, img);
     CHECK_OK(lo.status());
     pglo::Bytes image(8 + 64 * 64);
@@ -85,7 +88,7 @@ int main(int argc, char** argv) {
       }
     }
     CHECK_OK(lo.value()->Write(txn, 0, Slice(image)));
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(backend->Commit().status());
     std::printf("-- drew a 64x64 image into large object %u\n", img);
   }
 
@@ -102,13 +105,13 @@ int main(int argc, char** argv) {
   Oid clipped = r.rows[0][0].as_lo().oid;
   std::printf("-- clip() returned temporary large object %u\n", clipped);
   {
-    pglo::Transaction* txn = db.Begin();
-    auto exists = db.large_objects().Exists(txn, clipped);
+    backend->Begin();
+    auto exists = backend->ExistsLo(clipped);
     CHECK_OK(exists.status());
     std::printf("-- after the query committed, the temporary was "
                 "garbage-collected: exists = %s (§5)\n",
                 exists.value() ? "true" : "false");
-    CHECK_OK(db.Abort(txn));
+    CHECK_OK(backend->Abort());
   }
 
   // Store a clip into a class: the temporary is promoted and survives.

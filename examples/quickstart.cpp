@@ -1,6 +1,6 @@
 // Quickstart: the paper's file-oriented large object interface (§4).
 //
-// Creates a database, stores a large object with the f-chunk
+// Connects a backend session, stores a large object with the f-chunk
 // implementation, and exercises open / seek / read / write — including the
 // transactional behaviour (abort rolls writes back) and time travel that
 // §6.3 promises "for free".
@@ -18,10 +18,10 @@ using pglo::DatabaseOptions;
 using pglo::LoDescriptor;
 using pglo::LoSpec;
 using pglo::Oid;
+using pglo::Session;
 using pglo::Slice;
 using pglo::Status;
 using pglo::StorageKind;
-using pglo::Transaction;
 using pglo::Whence;
 
 #define CHECK_OK(expr)                                            \
@@ -45,18 +45,22 @@ int main(int argc, char** argv) {
   CHECK_OK(db.Open(options));
   std::printf("opened database in %s\n", dir.c_str());
 
+  // One backend connection; every transaction below runs through it.
+  // (Concurrent clients would each call Connect() from their own thread.)
+  auto session = db.Connect();
+
   // --- create and fill a large object ---------------------------------
   Oid picture;
   {
-    Transaction* txn = db.Begin();
+    session->Begin();
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;  // chunked, transactional (§6.3)
     spec.codec = "lzss";               // conversion-routine pair (§3)
-    auto created = db.large_objects().Create(txn, spec);
+    auto created = session->CreateLo(spec);
     CHECK_OK(created.status());
     picture = created.value();
 
-    auto fd = db.large_objects().Open(txn, picture, /*writable=*/true);
+    auto fd = session->OpenLo(picture, /*writable=*/true);
     CHECK_OK(fd.status());
     CHECK_OK(fd.value()->Write(Slice("JOE'S PICTURE: ")));
     for (int i = 0; i < 1000; ++i) {
@@ -66,14 +70,14 @@ int main(int argc, char** argv) {
     CHECK_OK(size.status());
     std::printf("wrote %llu bytes into large object %u\n",
                 static_cast<unsigned long long>(size.value()), picture);
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(session->Commit().status());
   }
 
   // --- file-oriented random access (§4) --------------------------------
   pglo::CommitTime before_edit;
   {
-    Transaction* txn = db.Begin();
-    auto fd = db.large_objects().Open(txn, picture, /*writable=*/false);
+    session->Begin();
+    auto fd = session->OpenLo(picture, /*writable=*/false);
     CHECK_OK(fd.status());
     // "open the large object, seek to any byte location, and read any
     // number of bytes."
@@ -82,47 +86,47 @@ int main(int argc, char** argv) {
     CHECK_OK(bytes.status());
     std::printf("frame 500 reads: \"%s\"\n",
                 Slice(bytes.value()).ToString().c_str());
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(session->Commit().status());
     before_edit = db.Now();
   }
 
   // --- abort really rolls back (§6.3: chunks live in a class) ----------
   {
-    Transaction* txn = db.Begin();
-    auto fd = db.large_objects().Open(txn, picture, /*writable=*/true);
+    session->Begin();
+    auto fd = session->OpenLo(picture, /*writable=*/true);
     CHECK_OK(fd.status());
     CHECK_OK(fd.value()->Write(Slice("GARBAGE OVER THE HEADER")));
-    CHECK_OK(db.Abort(txn));
+    CHECK_OK(session->Abort());
   }
   {
-    Transaction* txn = db.Begin();
-    auto fd = db.large_objects().Open(txn, picture, false);
+    session->Begin();
+    auto fd = session->OpenLo(picture, false);
     CHECK_OK(fd.status());
     auto head = fd.value()->Read(15);
     CHECK_OK(head.status());
     std::printf("after abort the object still begins: \"%s\"\n",
                 Slice(head.value()).ToString().c_str());
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(session->Commit().status());
   }
 
   // --- a committed edit, then time travel past it (§6.3) ---------------
   {
-    Transaction* txn = db.Begin();
-    auto fd = db.large_objects().Open(txn, picture, true);
+    session->Begin();
+    auto fd = session->OpenLo(picture, true);
     CHECK_OK(fd.status());
     CHECK_OK(fd.value()->Write(Slice("SUE'S PICTURE: ")));
-    CHECK_OK(db.Commit(txn).status());
+    CHECK_OK(session->Commit().status());
   }
   {
-    Transaction* current = db.Begin();
-    auto fd = db.large_objects().Open(current, picture, false);
+    session->Begin();
+    auto fd = session->OpenLo(picture, false);
     CHECK_OK(fd.status());
     auto now_head = fd.value()->Read(15);
     CHECK_OK(now_head.status());
-    CHECK_OK(db.Commit(current).status());
+    CHECK_OK(session->Commit().status());
 
-    Transaction* historical = db.BeginAsOf(before_edit);
-    auto old_fd = db.large_objects().Open(historical, picture, false);
+    session->BeginAsOf(before_edit);
+    auto old_fd = session->OpenLo(picture, false);
     CHECK_OK(old_fd.status());
     auto old_head = old_fd.value()->Read(15);
     CHECK_OK(old_head.status());
@@ -131,19 +135,20 @@ int main(int argc, char** argv) {
     std::printf("time travel:  \"%s\"  (as of commit tick %llu)\n",
                 Slice(old_head.value()).ToString().c_str(),
                 static_cast<unsigned long long>(before_edit));
-    CHECK_OK(db.Abort(historical));
+    CHECK_OK(session->Abort());
   }
 
   // --- storage accounting (compression worked) --------------------------
   {
-    Transaction* txn = db.Begin();
-    auto fp = db.large_objects().Footprint(txn, picture);
+    session->Begin();
+    auto fp = db.large_objects().Footprint(session->txn(), picture);
     CHECK_OK(fp.status());
     std::printf("chunk storage on disk: %llu bytes (lzss-compressed)\n",
                 static_cast<unsigned long long>(fp.value().data_bytes));
-    CHECK_OK(db.Abort(txn));
+    CHECK_OK(session->Abort());
   }
 
+  session.reset();  // disconnect the backend
   CHECK_OK(db.Close());
   std::printf("done.\n");
   return 0;

@@ -17,6 +17,7 @@ using pglo::Database;
 using pglo::DatabaseOptions;
 using pglo::LoSpec;
 using pglo::Oid;
+using pglo::Session;
 using pglo::Slice;
 using pglo::StorageKind;
 using pglo::Transaction;
@@ -35,9 +36,10 @@ namespace {
 
 constexpr uint64_t kFrames = 500;  // a 2 MB clip: 500 x 4096-byte frames
 
-Oid StoreClip(Database& db, const LoSpec& spec) {
-  Transaction* txn = db.Begin();
-  auto created = db.large_objects().Create(txn, spec);
+Oid StoreClip(Session& session, const LoSpec& spec) {
+  Database& db = session.db();
+  Transaction* txn = session.Begin();
+  auto created = session.CreateLo(spec);
   CHECK_OK(created.status());
   auto lo = db.large_objects().Instantiate(txn, created.value());
   CHECK_OK(lo.status());
@@ -46,12 +48,13 @@ Oid StoreClip(Database& db, const LoSpec& spec) {
     pglo::Bytes frame = pglo::MakeFrame(/*seed=*/7, i, params);
     CHECK_OK(lo.value()->Write(txn, i * params.frame_size, Slice(frame)));
   }
-  CHECK_OK(db.Commit(txn).status());
+  CHECK_OK(session.Commit().status());
   return created.value();
 }
 
-void Report(Database& db, const char* label, Oid oid) {
-  Transaction* txn = db.Begin();
+void Report(Session& session, const char* label, Oid oid) {
+  Database& db = session.db();
+  Transaction* txn = session.Begin();
   auto lo = db.large_objects().Instantiate(txn, oid);
   CHECK_OK(lo.status());
   // Random-access one frame to prove byte-range access works everywhere.
@@ -66,7 +69,7 @@ void Report(Database& db, const char* label, Oid oid) {
               static_cast<unsigned long long>(fp.value().data_bytes),
               static_cast<unsigned long long>(fp.value().index_bytes),
               static_cast<unsigned long long>(fp.value().map_bytes));
-  CHECK_OK(db.Abort(txn));
+  CHECK_OK(session.Abort());
 }
 
 }  // namespace
@@ -81,6 +84,7 @@ int main(int argc, char** argv) {
   options.dir = dir;
   options.buffer_pool_frames = 512;
   CHECK_OK(db.Open(options));
+  auto session = db.Connect();
 
   std::printf("storing a %llu-frame clip (%.1f MB) under each §6 "
               "implementation:\n\n",
@@ -91,42 +95,42 @@ int main(int argc, char** argv) {
     LoSpec spec;
     spec.kind = StorageKind::kUserFile;
     spec.ufile_path = "clips_teaser.vid";  // user controls placement
-    Report(db, "u-file (user-placed, unprotected)", StoreClip(db, spec));
+    Report(*session, "u-file (user-placed, unprotected)", StoreClip(*session, spec));
   }
   {  // §6.2 p-file: DBMS-allocated name.
     LoSpec spec;
     spec.kind = StorageKind::kPostgresFile;
-    Report(db, "p-file (DBMS-allocated name)", StoreClip(db, spec));
+    Report(*session, "p-file (DBMS-allocated name)", StoreClip(*session, spec));
   }
   {  // §6.3 f-chunk, uncompressed.
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;
-    Report(db, "f-chunk (transactions+time travel)", StoreClip(db, spec));
+    Report(*session, "f-chunk (transactions+time travel)", StoreClip(*session, spec));
   }
   {  // §6.3 f-chunk + the weak codec: no space saved (Figure 1!).
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;
     spec.codec = "rle";
-    Report(db, "f-chunk + rle (~30%: saves nothing)", StoreClip(db, spec));
+    Report(*session, "f-chunk + rle (~30%: saves nothing)", StoreClip(*session, spec));
   }
   {  // §6.4 v-segment + weak codec: the 30% is realized.
     LoSpec spec;
     spec.kind = StorageKind::kVSegment;
     spec.codec = "rle";
     spec.max_segment = 4096;  // one segment per frame
-    Report(db, "v-segment + rle (~30%: realized)", StoreClip(db, spec));
+    Report(*session, "v-segment + rle (~30%: realized)", StoreClip(*session, spec));
   }
   {  // §6.3 f-chunk + the strong codec: halves the pages.
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;
     spec.codec = "lzss";
-    Report(db, "f-chunk + lzss (~50%: halves pages)", StoreClip(db, spec));
+    Report(*session, "f-chunk + lzss (~50%: halves pages)", StoreClip(*session, spec));
   }
   {  // §7: same object on the WORM jukebox storage manager.
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;
     spec.smgr = pglo::kSmgrWorm;
-    Report(db, "f-chunk on the WORM jukebox (§7)", StoreClip(db, spec));
+    Report(*session, "f-chunk on the WORM jukebox (§7)", StoreClip(*session, spec));
   }
 
   std::printf("\nnote the Figure-1 effect above: rle under f-chunk saves "

@@ -26,6 +26,14 @@ namespace pglo {
 /// scans. Deletion is by simple entry removal (pages are never merged —
 /// acceptable for an index whose workload is insert/lookup heavy, and
 /// documented behaviour of the reproduction).
+///
+/// Multi-backend: every public operation (and iterator step) holds the
+/// index file's exclusive relation latch from the pool's RelLatchRegistry
+/// — the same coarse granularity HeapClass uses, and a deliberate match
+/// for the 1993 lock table rather than per-page latch crabbing. The latch
+/// is re-entrant, so an iterator obtained under Seek() may keep stepping
+/// while its owner holds other latches. Callers that latch a heap class
+/// and its index acquire heap first, index second (see DESIGN.md §13).
 class Btree {
  public:
   /// Packed (block, slot) value payload.

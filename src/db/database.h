@@ -1,10 +1,12 @@
 #ifndef PGLO_DB_DATABASE_H_
 #define PGLO_DB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
 #include "db/context.h"
+#include "db/session.h"
 #include "fault/fault_injector.h"
 #include "lo/lo_manager.h"
 #include "obs/flight_recorder.h"
@@ -77,6 +79,12 @@ struct DatabaseOptions {
   /// (only meaningful with a fault injector installed).
   bool synchronous_commit = true;
 
+  /// Group commit (DESIGN.md §13): concurrent committers batch behind one
+  /// leader — one buffer-pool flush and one commit-log append + fdatasync
+  /// commit the whole group. Off by default; single-session runs with it
+  /// off reproduce the historical commit sequence bit-identically.
+  bool group_commit = false;
+
   /// Transient-I/O retry policy applied in the buffer pool and the UFS
   /// block cache. Total attempts (not retries); must exceed the plan's
   /// transient_max_burst for forward progress under injection.
@@ -88,8 +96,11 @@ struct DatabaseOptions {
 /// transaction system, large objects, and the simulated UNIX file system —
 /// everything §6–§9 measures, behind one handle.
 ///
-/// Single execution stream (like the 1993 system, one backend per
-/// database); not thread-safe.
+/// Multi-backend: the engine below is internally synchronized, so K
+/// threads may work concurrently — one Session each (Connect()). Open,
+/// Close, SimulateCrashAndReopen, and stats resets are control-plane
+/// operations: callers quiesce the backends first, exactly as the 1993
+/// postmaster did.
 class Database {
  public:
   Database();
@@ -107,7 +118,20 @@ class Database {
   /// without flushing, then reopens from stable storage — a power failure.
   Status SimulateCrashAndReopen();
 
+  // --- backends ---------------------------------------------------------
+  /// Opens a backend connection. Each concurrent thread gets its own
+  /// Session; the session handles transaction lifecycle and per-backend
+  /// accounting. Destroy the session (or let it go out of scope) to
+  /// disconnect; an in-progress transaction is then aborted.
+  std::unique_ptr<Session> Connect() {
+    return std::unique_ptr<Session>(
+        new Session(this, next_backend_id_.fetch_add(1) + 1));
+  }
+
   // --- transactions ---------------------------------------------------
+  // Deprecated direct transaction control — prefer Connect() + Session,
+  // which rejects use-after-commit and attributes work per backend. Kept
+  // as shims because single-stream callers predate the Session API.
   Transaction* Begin() { return txns_->Begin(); }
   Transaction* BeginAsOf(CommitTime as_of) { return txns_->BeginAsOf(as_of); }
   /// Commits and then runs large-object garbage collection (§5).
@@ -157,9 +181,11 @@ class Database {
   Result<std::string> DumpBlackbox(const std::string& reason);
   /// Full path of the black-box dump file ("" when disabled).
   std::string blackbox_file() const {
-    return options_.blackbox_path.empty()
-               ? std::string()
-               : options_.dir + "/" + options_.blackbox_path;
+    if (options_.blackbox_path.empty()) return std::string();
+    std::string dir = options_.dir;
+    // Normalize so "dir/" + "/name" style options never produce "//".
+    while (!dir.empty() && dir.back() == '/') dir.pop_back();
+    return dir + "/" + options_.blackbox_path;
   }
   /// Zeroes every counter and histogram (no-op when disabled).
   void ResetStats() {
@@ -180,6 +206,9 @@ class Database {
   DatabaseOptions options_;
   bool open_ = false;
   bool recovered_from_crash_ = false;
+  std::atomic<uint32_t> next_backend_id_{0};
+  /// Directory fd lent to the buffer pool for commit-time syncfs.
+  int dir_fd_ = -1;
 
   std::unique_ptr<SimClock> clock_;
   std::unique_ptr<CpuCostModel> cpu_;

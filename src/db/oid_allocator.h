@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 #include <string>
 
 #include "common/bytes.h"
@@ -32,6 +33,7 @@ class OidAllocator {
   OidAllocator& operator=(const OidAllocator&) = delete;
 
   Status Open(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu_);
     fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
     if (fd_ < 0) {
       return Status::IOError("cannot open oid file: " +
@@ -48,15 +50,20 @@ class OidAllocator {
   }
 
   Oid Allocate() {
+    std::lock_guard<std::mutex> lock(mu_);
     Oid oid = next_++;
     Status s = Persist();
     (void)s;  // best effort; slack covers a lost write
     return oid;
   }
 
-  Oid peek_next() const { return next_; }
+  Oid peek_next() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
 
  private:
+  /// Assumes mu_ is held.
   Status Persist() {
     uint8_t buf[8];
     EncodeFixed64(buf, next_);
@@ -66,6 +73,7 @@ class OidAllocator {
     return Status::OK();
   }
 
+  mutable std::mutex mu_;  ///< concurrent backends allocate during LO create
   int fd_ = -1;
   Oid next_ = kFirstUserOid;
 };

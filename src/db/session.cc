@@ -1,0 +1,82 @@
+#include "db/session.h"
+
+#include "common/logging.h"
+#include "db/database.h"
+
+namespace pglo {
+
+Session::~Session() {
+  if (txn_ != nullptr) {
+    // Connection dropped mid-transaction: roll back, like a backend exit.
+    Status s = db_->Abort(txn_);
+    if (!s.ok()) {
+      PGLO_LOG(Error) << "session abort at destruction failed: "
+                      << s.ToString();
+    }
+    txn_ = nullptr;
+  }
+}
+
+Transaction* Session::Begin() {
+  PGLO_CHECK(txn_ == nullptr);  // one transaction per session at a time
+  txn_ = db_->txns().Begin();
+  ++stats_.begun;
+  return txn_;
+}
+
+Transaction* Session::BeginAsOf(CommitTime as_of) {
+  PGLO_CHECK(txn_ == nullptr);
+  txn_ = db_->txns().BeginAsOf(as_of);
+  ++stats_.begun;
+  return txn_;
+}
+
+Status Session::RequireTxn() const {
+  if (txn_ == nullptr) {
+    return Status::InvalidArgument(
+        "session has no transaction in progress (Begin() first; Commit() "
+        "consumes the transaction)");
+  }
+  return Status::OK();
+}
+
+Result<CommitTime> Session::Commit() {
+  PGLO_RETURN_IF_ERROR(RequireTxn());
+  PGLO_ASSIGN_OR_RETURN(CommitTime time, db_->Commit(txn_));
+  txn_ = nullptr;  // consumed only on success; on error the caller aborts
+  ++stats_.committed;
+  return time;
+}
+
+Status Session::Abort() {
+  PGLO_RETURN_IF_ERROR(RequireTxn());
+  Status s = db_->Abort(txn_);
+  // Even a failed abort record leaves the transaction unusable.
+  txn_ = nullptr;
+  ++stats_.aborted;
+  return s;
+}
+
+Result<Oid> Session::CreateLo(const LoSpec& spec) {
+  PGLO_RETURN_IF_ERROR(RequireTxn());
+  return db_->large_objects().Create(txn_, spec);
+}
+
+Result<LoDescriptor*> Session::OpenLo(Oid oid, bool writable) {
+  PGLO_RETURN_IF_ERROR(RequireTxn());
+  PGLO_ASSIGN_OR_RETURN(LoDescriptor * desc,
+                        db_->large_objects().Open(txn_, oid, writable));
+  ++stats_.lo_opens;
+  return desc;
+}
+
+Status Session::CloseLo(LoDescriptor* desc) {
+  return db_->large_objects().Close(desc);
+}
+
+Result<bool> Session::ExistsLo(Oid oid) {
+  PGLO_RETURN_IF_ERROR(RequireTxn());
+  return db_->large_objects().Exists(txn_, oid);
+}
+
+}  // namespace pglo

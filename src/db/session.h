@@ -1,0 +1,96 @@
+#ifndef PGLO_DB_SESSION_H_
+#define PGLO_DB_SESSION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "lo/lo_manager.h"
+#include "txn/transaction.h"
+#include "txn/xid.h"
+
+namespace pglo {
+
+class Database;
+
+/// Per-backend work counters, owned (and only ever written) by the
+/// session's thread — read them after the backend joins.
+struct SessionStats {
+  uint64_t begun = 0;      ///< transactions started
+  uint64_t committed = 0;  ///< successful commits
+  uint64_t aborted = 0;    ///< explicit aborts + failed commits rolled back
+  uint64_t lo_opens = 0;   ///< large-object descriptors opened
+};
+
+/// One backend's connection to a Database — the multi-backend analogue of
+/// the 1993 system's per-client backend process. Obtain via
+/// Database::Connect(); use from ONE thread at a time (sessions are the
+/// unit of concurrency: K threads → K sessions, never a shared session).
+///
+/// A session runs at most one transaction at a time. Commit() consumes the
+/// transaction: the Transaction* obtained from Begin() is invalid
+/// afterwards, and a second Commit()/Abort() without a new Begin() is
+/// rejected rather than touching freed state.
+///
+/// The engine below (buffer pool, commit log, access methods) is shared
+/// and internally synchronized; everything a session does interleaves
+/// safely with other sessions' work.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Starts a read-write transaction. The session must not already have
+  /// one in progress.
+  Transaction* Begin();
+
+  /// Starts a read-only time-travel transaction as of commit tick `as_of`.
+  Transaction* BeginAsOf(CommitTime as_of);
+
+  /// Commits the session's transaction (running large-object garbage
+  /// collection afterwards, like Database::Commit) and consumes it. On
+  /// success returns the commit tick. On failure the transaction is still
+  /// open — Abort() it or retry.
+  Result<CommitTime> Commit();
+
+  /// Aborts and consumes the session's transaction.
+  Status Abort();
+
+  /// The in-progress transaction, or null between transactions. Pass this
+  /// to APIs that take an explicit Transaction*.
+  Transaction* txn() const { return txn_; }
+  bool in_txn() const { return txn_ != nullptr; }
+
+  // --- large objects under the session's transaction -------------------
+  /// Creates a large object; requires an in-progress transaction.
+  Result<Oid> CreateLo(const LoSpec& spec);
+  /// Opens a descriptor under the session's transaction; closed
+  /// automatically when the transaction ends.
+  Result<LoDescriptor*> OpenLo(Oid oid, bool writable);
+  Status CloseLo(LoDescriptor* desc);
+  /// True if `oid` names a large object visible to the session's
+  /// transaction.
+  Result<bool> ExistsLo(Oid oid);
+
+  Database& db() { return *db_; }
+  /// Small dense id (1, 2, 3, ...) for logs and per-backend reporting.
+  uint32_t backend_id() const { return backend_id_; }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  friend class Database;
+  Session(Database* db, uint32_t backend_id)
+      : db_(db), backend_id_(backend_id) {}
+
+  /// The session's transaction must be in-progress; shared error otherwise.
+  Status RequireTxn() const;
+
+  Database* db_;
+  uint32_t backend_id_;
+  Transaction* txn_ = nullptr;
+  SessionStats stats_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_DB_SESSION_H_

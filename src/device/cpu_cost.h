@@ -1,6 +1,7 @@
 #ifndef PGLO_DEVICE_CPU_COST_H_
 #define PGLO_DEVICE_CPU_COST_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "device/sim_clock.h"
@@ -19,9 +20,11 @@ class CpuCostModel {
   explicit CpuCostModel(SimClock* clock, double mips = 10.0)
       : clock_(clock), mips_(mips) {}
 
-  /// Charges `instructions` of simulated CPU time.
+  /// Charges `instructions` of simulated CPU time. Safe to call from
+  /// concurrent backends: the instruction total and the clock advance are
+  /// both atomic adds.
   void ChargeInstructions(uint64_t instructions) {
-    instructions_ += instructions;
+    instructions_.fetch_add(instructions, std::memory_order_relaxed);
     uint64_t ns =
         static_cast<uint64_t>(static_cast<double>(instructions) /
                               (mips_ * 1e6) * 1e9);
@@ -34,14 +37,16 @@ class CpuCostModel {
         static_cast<uint64_t>(instr_per_byte * static_cast<double>(bytes)));
   }
 
-  uint64_t total_instructions() const { return instructions_; }
+  uint64_t total_instructions() const {
+    return instructions_.load(std::memory_order_relaxed);
+  }
   double mips() const { return mips_; }
   void set_mips(double mips) { mips_ = mips; }
 
  private:
   SimClock* clock_;
   double mips_;
-  uint64_t instructions_ = 0;
+  std::atomic<uint64_t> instructions_{0};
 };
 
 }  // namespace pglo

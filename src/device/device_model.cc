@@ -55,6 +55,9 @@ void MagneticDiskModel::Charge(uint64_t block, uint64_t nblocks) {
 
 void MagneticDiskModel::ChargeRead(uint64_t block, uint64_t nblocks) {
   TraceSpan span(registry_, h_read_, span_read_name_);
+  // Declared after `span`, so the lock is released before the span completes
+  // and the recorder sink never runs under the device mutex.
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t seeks_before = stats_.seeks;
   NoteRead(nblocks);
   Charge(block, nblocks);
@@ -63,6 +66,7 @@ void MagneticDiskModel::ChargeRead(uint64_t block, uint64_t nblocks) {
 
 void MagneticDiskModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
   TraceSpan span(registry_, h_write_, span_write_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t seeks_before = stats_.seeks;
   NoteWrite(nblocks);
   Charge(block, nblocks);
@@ -96,6 +100,7 @@ void WormJukeboxModel::Charge(uint64_t block, uint64_t nblocks) {
 
 void WormJukeboxModel::ChargeRead(uint64_t block, uint64_t nblocks) {
   TraceSpan span(registry_, h_read_, span_read_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t seeks_before = stats_.seeks;
   NoteRead(nblocks);
   Charge(block, nblocks);
@@ -104,6 +109,7 @@ void WormJukeboxModel::ChargeRead(uint64_t block, uint64_t nblocks) {
 
 void WormJukeboxModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
   TraceSpan span(registry_, h_write_, span_write_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t seeks_before = stats_.seeks;
   NoteWrite(nblocks);
   Charge(block, nblocks);
@@ -121,6 +127,7 @@ void MemoryDeviceModel::Charge(uint64_t nblocks) {
 void MemoryDeviceModel::ChargeRead(uint64_t block, uint64_t nblocks) {
   (void)block;
   TraceSpan span(registry_, h_read_, span_read_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   NoteRead(nblocks);
   Charge(nblocks);
 }
@@ -128,6 +135,7 @@ void MemoryDeviceModel::ChargeRead(uint64_t block, uint64_t nblocks) {
 void MemoryDeviceModel::ChargeWrite(uint64_t block, uint64_t nblocks) {
   (void)block;
   TraceSpan span(registry_, h_write_, span_write_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   NoteWrite(nblocks);
   Charge(nblocks);
 }

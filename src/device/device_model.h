@@ -2,6 +2,7 @@
 #define PGLO_DEVICE_DEVICE_MODEL_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "device/sim_clock.h"
@@ -50,8 +51,16 @@ class DeviceModel {
   virtual uint32_t block_size() const = 0;
   virtual std::string name() const = 0;
 
-  const DeviceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DeviceStats(); }
+  /// Copy, not reference: Charge* calls from other backends mutate the
+  /// counters concurrently, so callers get a coherent point-in-time view.
+  DeviceStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DeviceStats();
+  }
 
   /// Mirrors per-op accounting into `registry` counters named
   /// `device.<label>.{seeks,blocks_read,blocks_written,busy_ns}`, plus
@@ -101,6 +110,11 @@ class DeviceModel {
   }
 
   DeviceStats stats_;
+
+  // Serializes each device command: the positional model (sequential-vs-seek
+  // detection) and DeviceStats are read-modify-write state. Subclasses hold
+  // it across NoteRead/NoteWrite + Charge so seek accounting is coherent.
+  mutable std::mutex mu_;
 
  private:
   Counter* c_seeks_ = nullptr;

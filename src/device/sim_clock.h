@@ -1,6 +1,7 @@
 #ifndef PGLO_DEVICE_SIM_CLOCK_H_
 #define PGLO_DEVICE_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace pglo {
@@ -13,23 +14,30 @@ namespace pglo {
 /// SimClock instead; benchmarks report simulated seconds. Wall-clock time
 /// never enters a measurement, which also makes benchmark output
 /// deterministic.
+///
+/// The counter is atomic so that concurrent backends can charge work against
+/// one shared clock: each Advance is a fetch_add, so the total charged is
+/// exact regardless of interleaving. A single execution stream observes the
+/// same values as the pre-atomic clock.
 class SimClock {
  public:
   SimClock() = default;
 
   /// Advances the clock by `ns` simulated nanoseconds.
-  void Advance(uint64_t ns) { now_ns_ += ns; }
+  void Advance(uint64_t ns) {
+    now_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
   void AdvanceSeconds(double s) {
-    now_ns_ += static_cast<uint64_t>(s * 1e9);
+    Advance(static_cast<uint64_t>(s * 1e9));
   }
 
-  uint64_t NowNanos() const { return now_ns_; }
-  double NowSeconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+  uint64_t NowNanos() const { return now_ns_.load(std::memory_order_relaxed); }
+  double NowSeconds() const { return static_cast<double>(NowNanos()) * 1e-9; }
 
-  void Reset() { now_ns_ = 0; }
+  void Reset() { now_ns_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_ns_ = 0;
+  std::atomic<uint64_t> now_ns_{0};
 };
 
 /// Scoped stopwatch over a SimClock; Elapsed* report simulated time since

@@ -68,7 +68,12 @@ Status FaultyStorageManager::WriteBlocks(Oid relfile, BlockNumber start,
 }
 
 Status FaultyStorageManager::Sync(Oid relfile) {
-  if (injector_->crashed()) return FaultInjector::CrashStatus(site_.c_str());
+  // Disarmed the injector is a pass-through like every other hook; the
+  // crash latch stays readable for the harness but must not fail syncs
+  // issued after recovery.
+  if (injector_->armed() && injector_->crashed()) {
+    return FaultInjector::CrashStatus(site_.c_str());
+  }
   return inner_->Sync(relfile);
 }
 

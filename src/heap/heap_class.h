@@ -22,6 +22,12 @@ namespace pglo {
 ///
 /// The class does not know its schema — payloads are opaque bytes; the
 /// query layer and the large-object implementations impose structure.
+///
+/// Multi-backend: every public operation holds the relation's exclusive
+/// latch (from the pool's RelLatchRegistry) for its duration, so two
+/// backends' operations on one class serialize; visibility between their
+/// transactions is still decided by snapshots. The insert hint is
+/// per-HeapClass-instance and protected by the same latch.
 class HeapClass {
  public:
   /// Wraps an existing relation file (create it via Create()).

@@ -214,6 +214,7 @@ Result<Oid> LoManager::CreateInternal(Transaction* txn, const LoSpec& spec,
     if (!committed) {
       ScheduleDestroy(entry);
     } else if (temp) {
+      std::lock_guard<std::mutex> lock(mu_);
       unlink_queue_.push_back(oid);
     }
   });
@@ -240,7 +241,10 @@ Status LoManager::Promote(Transaction* txn, Oid oid) {
   // promotion must happen inside the transaction that created the temp,
   // before that transaction commits).
   txn->OnFinish([this, oid](bool committed) {
-    if (committed) promoted_.insert(oid);
+    if (committed) {
+      std::lock_guard<std::mutex> lock(mu_);
+      promoted_.insert(oid);
+    }
   });
   return Status::OK();
 }
@@ -258,6 +262,7 @@ Status LoManager::Unlink(Transaction* txn, Oid oid, bool destroy_storage) {
 }
 
 void LoManager::ScheduleDestroy(const CatalogEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
   destroy_queue_.push_back(entry);
 }
 
@@ -286,12 +291,19 @@ Result<LoDescriptor*> LoManager::Open(Transaction* txn, Oid oid,
   auto desc = std::unique_ptr<LoDescriptor>(
       new LoDescriptor(this, txn, oid, std::move(lo), writable));
   LoDescriptor* raw = desc.get();
-  open_[raw] = std::move(desc);
-  txn->OnFinish([this, raw](bool) { open_.erase(raw); });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_[raw] = std::move(desc);
+  }
+  txn->OnFinish([this, raw](bool) {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_.erase(raw);
+  });
   return raw;
 }
 
 Status LoManager::Close(LoDescriptor* desc) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = open_.find(desc);
   if (it == open_.end()) {
     return Status::InvalidArgument("descriptor not open");
@@ -303,13 +315,23 @@ Status LoManager::Close(LoDescriptor* desc) {
 
 Status LoManager::CollectGarbage() {
   // 1. Unlink committed temporaries under a fresh system transaction.
-  if (!unlink_queue_.empty()) {
-    std::vector<Oid> pending;
+  // Queues are swapped out under the lock, then drained without it: the
+  // commit below fires OnFinish callbacks that re-enter ScheduleDestroy.
+  std::vector<Oid> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     pending.swap(unlink_queue_);
+  }
+  if (!pending.empty()) {
     Transaction* txn = ctx_.txns->Begin();
     bool any = false;
     for (Oid oid : pending) {
-      if (promoted_.erase(oid) > 0) continue;  // kept by Promote()
+      bool was_promoted;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        was_promoted = promoted_.erase(oid) > 0;
+      }
+      if (was_promoted) continue;  // kept by Promote()
       Status s = Unlink(txn, oid, /*destroy_storage=*/true);
       if (s.ok()) {
         any = true;
@@ -327,7 +349,10 @@ Status LoManager::CollectGarbage() {
   }
   // 2. Physically reclaim queued storage.
   std::vector<CatalogEntry> doomed;
-  doomed.swap(destroy_queue_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(destroy_queue_);
+  }
   for (const CatalogEntry& entry : doomed) {
     PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
                           InstantiateEntry(entry));

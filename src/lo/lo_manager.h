@@ -2,6 +2,7 @@
 #define PGLO_LO_LO_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -82,6 +83,13 @@ class LoDescriptor {
 /// time-travelable). The row records the storage kind, the conversion
 /// routine (codec) name, and the relation files / UNIX file backing the
 /// object.
+///
+/// Multi-backend: the catalog heap is serialized by its relation latch
+/// (catalog access is the outermost latch a backend takes — see DESIGN.md
+/// §13), and the manager's own descriptor table and GC queues sit behind
+/// an internal mutex, so concurrent sessions may create/open/unlink
+/// freely. A LoDescriptor itself belongs to the one backend whose
+/// transaction opened it and is not shared across threads.
 class LoManager {
  public:
   explicit LoManager(const DbContext& ctx);
@@ -178,6 +186,10 @@ class LoManager {
 
   DbContext ctx_;
   HeapClass catalog_;
+  // Guards the descriptor table and GC queues (catalog_ is protected by
+  // its relation latch). Never held across heap/txn calls — transaction
+  // finish callbacks re-enter ScheduleDestroy and the queue pushes.
+  mutable std::mutex mu_;
   std::unordered_map<LoDescriptor*, std::unique_ptr<LoDescriptor>> open_;
   std::vector<CatalogEntry> destroy_queue_;
   std::vector<Oid> unlink_queue_;       ///< committed temporaries awaiting GC

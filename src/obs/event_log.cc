@@ -38,11 +38,12 @@ void EventLog::Append(EventType type, std::string detail, uint64_t a,
                       uint64_t b) {
   StructuredEvent ev;
   ev.type = type;
-  ev.seq = next_seq_++;
   ev.sim_ns = clock_ != nullptr ? clock_->NowNanos() : 0;
   ev.a = a;
   ev.b = b;
   ev.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = next_seq_++;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
   } else {
@@ -51,7 +52,7 @@ void EventLog::Append(EventType type, std::string detail, uint64_t a,
   }
 }
 
-std::vector<StructuredEvent> EventLog::Events() const {
+std::vector<StructuredEvent> EventLog::EventsLocked() const {
   std::vector<StructuredEvent> out;
   out.reserve(ring_.size());
   for (size_t i = 0; i < ring_.size(); ++i) {
@@ -60,7 +61,13 @@ std::vector<StructuredEvent> EventLog::Events() const {
   return out;
 }
 
+std::vector<StructuredEvent> EventLog::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EventsLocked();
+}
+
 size_t EventLog::CountOf(EventType type) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const StructuredEvent& ev : ring_) {
     if (ev.type == type) ++n;
@@ -69,20 +76,22 @@ size_t EventLog::CountOf(EventType type) const {
 }
 
 void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   head_ = 0;
   next_seq_ = 0;
 }
 
 void EventLog::ToJson(JsonWriter* w) const {
+  std::lock_guard<std::mutex> lock(mu_);
   w->BeginObject();
   w->Key("total");
   w->Uint(next_seq_);
   w->Key("dropped");
-  w->Uint(dropped());
+  w->Uint(next_seq_ - ring_.size());
   w->Key("entries");
   w->BeginArray();
-  for (const StructuredEvent& ev : Events()) {
+  for (const StructuredEvent& ev : EventsLocked()) {
     w->BeginObject();
     w->Key("seq");
     w->Uint(ev.seq);

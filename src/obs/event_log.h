@@ -2,6 +2,7 @@
 #define PGLO_OBS_EVENT_LOG_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,9 @@ struct StructuredEvent {
 /// O(1) and never allocate once the ring has wrapped (slots are reused);
 /// when full, the oldest event is overwritten, so the log always holds the
 /// most recent `capacity` events leading up to whatever went wrong.
+///
+/// Appends and reads are internally serialized, so concurrent backends can
+/// share one log; events interleave in append order.
 class EventLog {
  public:
   explicit EventLog(size_t capacity = 1024)
@@ -64,10 +68,19 @@ class EventLog {
               uint64_t b = 0);
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return ring_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
   /// Total events ever appended (retained + overwritten).
-  uint64_t total_appended() const { return next_seq_; }
-  uint64_t dropped() const { return next_seq_ - ring_.size(); }
+  uint64_t total_appended() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_;
+  }
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_ - ring_.size();
+  }
 
   /// Retained events, oldest first.
   std::vector<StructuredEvent> Events() const;
@@ -82,8 +95,11 @@ class EventLog {
   void ToJson(JsonWriter* w) const;
 
  private:
+  std::vector<StructuredEvent> EventsLocked() const;
+
   const SimClock* clock_ = nullptr;
   size_t capacity_;
+  mutable std::mutex mu_;
   size_t head_ = 0;  ///< slot the next append writes (once wrapped)
   uint64_t next_seq_ = 0;
   std::vector<StructuredEvent> ring_;

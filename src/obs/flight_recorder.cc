@@ -54,6 +54,7 @@ FlightRecorder::FlightRecorder(const FlightRecorderOptions& options,
 }
 
 void FlightRecorder::OnSpan(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
   RecordSpanRing(event);
   if (options_.slow_op_budget_ns > 0) BuildSlowOpTree(event);
   // Sampling only on top-level completions: a delta then always describes
@@ -134,6 +135,7 @@ void FlightRecorder::ForceSample() {
   if (registry_ == nullptr) return;
   uint64_t now =
       registry_->clock() != nullptr ? registry_->clock()->NowNanos() : 0;
+  std::lock_guard<std::mutex> lock(mu_);
   SampleDelta(now);
 }
 
@@ -189,7 +191,8 @@ void FlightRecorder::SampleDelta(uint64_t now_ns) {
   }
 }
 
-std::vector<FlightRecorder::RecordedSpan> FlightRecorder::TraceTail() const {
+std::vector<FlightRecorder::RecordedSpan> FlightRecorder::TraceTailLocked()
+    const {
   std::vector<RecordedSpan> out;
   out.reserve(trace_ring_.size());
   for (size_t i = 0; i < trace_ring_.size(); ++i) {
@@ -198,7 +201,13 @@ std::vector<FlightRecorder::RecordedSpan> FlightRecorder::TraceTail() const {
   return out;
 }
 
-std::vector<FlightRecorder::SnapshotDelta> FlightRecorder::Deltas() const {
+std::vector<FlightRecorder::RecordedSpan> FlightRecorder::TraceTail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TraceTailLocked();
+}
+
+std::vector<FlightRecorder::SnapshotDelta> FlightRecorder::DeltasLocked()
+    const {
   std::vector<SnapshotDelta> out;
   out.reserve(deltas_.size());
   for (size_t i = 0; i < deltas_.size(); ++i) {
@@ -207,7 +216,12 @@ std::vector<FlightRecorder::SnapshotDelta> FlightRecorder::Deltas() const {
   return out;
 }
 
-std::vector<FlightRecorder::SlowOp> FlightRecorder::SlowOps() const {
+std::vector<FlightRecorder::SnapshotDelta> FlightRecorder::Deltas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DeltasLocked();
+}
+
+std::vector<FlightRecorder::SlowOp> FlightRecorder::SlowOpsLocked() const {
   std::vector<SlowOp> out;
   out.reserve(slow_ops_.size());
   for (size_t i = 0; i < slow_ops_.size(); ++i) {
@@ -216,7 +230,13 @@ std::vector<FlightRecorder::SlowOp> FlightRecorder::SlowOps() const {
   return out;
 }
 
+std::vector<FlightRecorder::SlowOp> FlightRecorder::SlowOps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SlowOpsLocked();
+}
+
 std::string FlightRecorder::ToJson(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
   w.BeginObject();
   w.Key("schema");
@@ -241,7 +261,7 @@ std::string FlightRecorder::ToJson(const std::string& reason) {
   w.Uint(options_.snapshot_interval_ns);
   w.Key("entries");
   w.BeginArray();
-  for (const SnapshotDelta& d : Deltas()) {
+  for (const SnapshotDelta& d : DeltasLocked()) {
     w.BeginObject();
     w.Key("seq");
     w.Uint(d.seq);
@@ -267,7 +287,7 @@ std::string FlightRecorder::ToJson(const std::string& reason) {
   w.Uint(total_slow_ops_);
   w.Key("entries");
   w.BeginArray();
-  for (const SlowOp& op : SlowOps()) {
+  for (const SlowOp& op : SlowOpsLocked()) {
     w.BeginObject();
     w.Key("seq");
     w.Uint(op.seq);
@@ -286,7 +306,7 @@ std::string FlightRecorder::ToJson(const std::string& reason) {
   w.Uint(total_spans_);
   w.Key("entries");
   w.BeginArray();
-  for (const RecordedSpan& span : TraceTail()) {
+  for (const RecordedSpan& span : TraceTailLocked()) {
     w.BeginObject();
     w.Key("name");
     w.String(span.name);
@@ -316,6 +336,10 @@ std::string FlightRecorder::ToJson(const std::string& reason) {
 
 Status FlightRecorder::DumpToFile(const std::string& path,
                                   const std::string& reason) {
+  // Serialize whole dumps: two backends post-morteming at once must not
+  // interleave truncate-and-write cycles on the same file. (Distinct from
+  // mu_, which ToJson/ForceSample take internally.)
+  std::lock_guard<std::mutex> dump_lock(dump_mu_);
   // The forced sample is the "last pre-crash delta": whatever changed
   // since the previous tick is in the dump even when simulated time never
   // advanced far enough to trigger periodic sampling.

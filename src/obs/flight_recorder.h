@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -114,12 +115,17 @@ class FlightRecorder : public TraceSink {
 
   /// Retained spans, oldest first.
   std::vector<RecordedSpan> TraceTail() const;
-  uint64_t total_spans() const { return total_spans_; }
+  uint64_t total_spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_spans_;
+  }
 
   /// Retained snapshot deltas, oldest first.
-  const std::vector<SnapshotDelta>& deltas_ring() const { return deltas_; }
   std::vector<SnapshotDelta> Deltas() const;
-  uint64_t total_deltas() const { return total_deltas_; }
+  uint64_t total_deltas() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_deltas_;
+  }
 
   /// Unconditionally samples a delta now (the "last pre-crash delta" every
   /// black-box dump must carry, regardless of whether simulated time ever
@@ -128,7 +134,10 @@ class FlightRecorder : public TraceSink {
 
   /// Captured slow operations, oldest first.
   std::vector<SlowOp> SlowOps() const;
-  uint64_t total_slow_ops() const { return total_slow_ops_; }
+  uint64_t total_slow_ops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_slow_ops_;
+  }
 
   /// Serializes the whole recorder (schema "pglo-blackbox-v1"): events,
   /// snapshot-delta time-series, slow ops, trace tail, and a final full
@@ -141,14 +150,27 @@ class FlightRecorder : public TraceSink {
   Status DumpToFile(const std::string& path, const std::string& reason);
 
  private:
+  // *Locked helpers assume mu_ is held by the caller.
   void RecordSpanRing(const TraceEvent& event);
   void BuildSlowOpTree(const TraceEvent& event);
   void MaybeSample(uint64_t now_ns);
   void SampleDelta(uint64_t now_ns);
+  std::vector<RecordedSpan> TraceTailLocked() const;
+  std::vector<SnapshotDelta> DeltasLocked() const;
+  std::vector<SlowOp> SlowOpsLocked() const;
 
   FlightRecorderOptions options_;
   StatsRegistry* registry_;
   EventLog events_;
+
+  // Guards every ring and the slow-op pending stack. Concurrent backends
+  // complete spans simultaneously; one lock keeps ring indices and the
+  // adoption discipline coherent. EventLog has its own lock (always
+  // acquired after mu_ when both are taken).
+  mutable std::mutex mu_;
+  // Serializes DumpToFile invocations (file truncate + write); outermost,
+  // taken before mu_.
+  std::mutex dump_mu_;
 
   // Span ring.
   std::vector<RecordedSpan> trace_ring_;

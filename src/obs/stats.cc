@@ -22,29 +22,42 @@ size_t BucketFor(uint64_t ns) {
 }  // namespace
 
 void Histogram::Record(uint64_t ns) {
-  ++count_;
-  sum_ += ns;
-  min_ = std::min(min_, ns);
-  max_ = std::max(max_, ns);
-  ++buckets_[BucketFor(ns)];
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  buckets_[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
 }
 
-void Histogram::Reset() { *this = Histogram(); }
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
 
 uint64_t Histogram::PercentileNs(double p) const {
-  if (count_ == 0) return 0;
-  uint64_t rank = static_cast<uint64_t>(p / 100.0 * count_);
-  if (rank >= count_) rank = count_ - 1;
+  uint64_t total = count();
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 * total);
+  if (rank >= total) rank = total - 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i];
+    seen += bucket(i);
     if (seen > rank) {
       // Upper bound of bucket i, clamped to the observed max.
       uint64_t bound = i + 1 >= 64 ? ~0ull : (1ull << (i + 1)) - 1;
-      return std::min(bound, max_);
+      return std::min(bound, max_ns());
     }
   }
-  return max_;
+  return max_ns();
 }
 
 uint64_t StatsSnapshot::Value(std::string_view name) const {
@@ -214,18 +227,21 @@ std::string StatsSnapshot::ToPrometheus() const {
 }
 
 Counter* StatsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(names_mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Histogram* StatsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(names_mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 StatsSnapshot StatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(names_mu_);
   StatsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -247,6 +263,7 @@ StatsSnapshot StatsRegistry::Snapshot() const {
 }
 
 void StatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(names_mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }

@@ -1,9 +1,11 @@
 #ifndef PGLO_OBS_STATS_H_
 #define PGLO_OBS_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -37,20 +39,27 @@ namespace pglo {
 
 /// A named monotonic counter. Obtained from (and owned by) a StatsRegistry;
 /// the pointer is stable for the registry's lifetime, so hot paths hold it
-/// and increment without any lookup.
+/// and increment without any lookup. Increments are relaxed atomic adds, so
+/// concurrent backends can share one counter without losing updates.
 class Counter {
  public:
-  void Add(uint64_t n) { value_ += n; }
-  void Inc() { ++value_; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Inc() { value_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// Latency histogram over simulated nanoseconds: power-of-two buckets
 /// (bucket i counts samples in [2^i, 2^(i+1))), plus exact count/sum/min/max.
+///
+/// All fields are relaxed atomics: concurrent Records never lose samples,
+/// and min/max converge via CAS. A snapshot taken while backends are
+/// recording may observe fields from slightly different instants (count from
+/// before a Record, sum from after) — acceptable for monitoring output, and
+/// impossible in a single execution stream.
 class Histogram {
  public:
   static constexpr size_t kNumBuckets = 64;
@@ -58,25 +67,30 @@ class Histogram {
   void Record(uint64_t ns);
   void Reset();
 
-  uint64_t count() const { return count_; }
-  uint64_t sum_ns() const { return sum_; }
-  uint64_t min_ns() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max_ns() const { return max_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ns() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min_ns() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_ns() const { return max_.load(std::memory_order_relaxed); }
   double mean_ns() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+    uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum_ns()) / c;
   }
   /// Upper bound of the bucket holding the p-th percentile sample
   /// (p in [0, 100]); 0 when empty.
   uint64_t PercentileNs(double p) const;
 
-  const uint64_t* buckets() const { return buckets_; }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = ~0ull;
-  uint64_t max_ = 0;
-  uint64_t buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
 };
 
 /// One completed trace span, delivered to a TraceSink.
@@ -177,10 +191,18 @@ class StatsRegistry {
  private:
   friend class TraceSpan;
 
-  uint32_t EnterSpan() { return span_depth_++; }
+  // Span nesting depth is a per-thread property: each backend thread has
+  // its own stack of live spans, so the counter is thread_local (one
+  // backend observes exactly the sequence the per-registry counter gave).
+  static uint32_t& SpanDepthTls() {
+    static thread_local uint32_t depth = 0;
+    return depth;
+  }
+
+  uint32_t EnterSpan() { return SpanDepthTls()++; }
   void ExitSpan(std::string_view name, uint64_t begin_ns, uint64_t end_ns,
                 uint32_t depth, uint64_t detail) {
-    span_depth_ = depth;
+    SpanDepthTls() = depth;
     if (sink_ != nullptr || recorder_ != nullptr) {
       TraceEvent event{name, begin_ns, end_ns, depth, detail};
       if (sink_ != nullptr) sink_->OnSpan(event);
@@ -191,7 +213,9 @@ class StatsRegistry {
   const SimClock* clock_ = nullptr;
   TraceSink* sink_ = nullptr;
   TraceSink* recorder_ = nullptr;
-  uint32_t span_depth_ = 0;
+  // Guards name → counter/histogram creation; resolved pointers are stable
+  // and lock-free to use.
+  mutable std::mutex names_mu_;
   // std::map: ordered iteration gives sorted snapshots; unique_ptr gives
   // stable Counter/Histogram addresses across inserts.
   std::map<std::string, std::unique_ptr<Counter>> counters_;

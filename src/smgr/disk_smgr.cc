@@ -25,6 +25,7 @@ std::string DiskSmgr::PathFor(Oid relfile) const {
 }
 
 Result<int> DiskSmgr::GetFd(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = fds_.find(relfile);
   if (it != fds_.end()) return it->second;
   int fd = ::open(PathFor(relfile).c_str(), O_RDWR, 0644);
@@ -37,11 +38,12 @@ Result<int> DiskSmgr::GetFd(Oid relfile) {
 }
 
 Status DiskSmgr::CreateFile(Oid relfile) {
-  if (FileExists(relfile)) {
-    return Status::AlreadyExists("relation file already exists");
-  }
+  std::lock_guard<std::mutex> lock(mu_);
   int fd = ::open(PathFor(relfile).c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
   if (fd < 0) {
+    if (errno == EEXIST) {
+      return Status::AlreadyExists("relation file already exists");
+    }
     return Status::IOError("create failed: " +
                            std::string(std::strerror(errno)));
   }
@@ -50,6 +52,7 @@ Status DiskSmgr::CreateFile(Oid relfile) {
 }
 
 Status DiskSmgr::DropFile(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = fds_.find(relfile);
   if (it != fds_.end()) {
     ::close(it->second);
@@ -62,7 +65,10 @@ Status DiskSmgr::DropFile(Oid relfile) {
 }
 
 bool DiskSmgr::FileExists(Oid relfile) {
-  if (fds_.count(relfile)) return true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fds_.count(relfile)) return true;
+  }
   struct stat st;
   return ::stat(PathFor(relfile).c_str(), &st) == 0;
 }

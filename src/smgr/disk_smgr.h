@@ -1,6 +1,7 @@
 #ifndef PGLO_SMGR_DISK_SMGR_H_
 #define PGLO_SMGR_DISK_SMGR_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -48,6 +49,10 @@ class DiskSmgr : public StorageManager {
 
   std::string dir_;
   DeviceModel* device_;
+  // Guards fds_ only. Block data moves via pread/pwrite on stable fds, so
+  // concurrent transfers need no lock; ordering of writes to one file is
+  // the caller's job (the buffer pool serializes its writebacks).
+  std::mutex mu_;
   std::unordered_map<Oid, int> fds_;
 };
 

@@ -5,6 +5,7 @@
 namespace pglo {
 
 Status MainMemorySmgr::CreateFile(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.count(relfile)) {
     return Status::AlreadyExists("relation file already exists");
   }
@@ -13,6 +14,7 @@ Status MainMemorySmgr::CreateFile(Oid relfile) {
 }
 
 Status MainMemorySmgr::DropFile(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.erase(relfile) == 0) {
     return Status::NotFound("relation file does not exist");
   }
@@ -20,10 +22,12 @@ Status MainMemorySmgr::DropFile(Oid relfile) {
 }
 
 bool MainMemorySmgr::FileExists(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(relfile) != 0;
 }
 
 Result<BlockNumber> MainMemorySmgr::NumBlocks(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -34,6 +38,7 @@ Result<BlockNumber> MainMemorySmgr::NumBlocks(Oid relfile) {
 Status MainMemorySmgr::ReadBlock(Oid relfile, BlockNumber block,
                                  uint8_t* buf) {
   TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -50,6 +55,7 @@ Status MainMemorySmgr::ReadBlock(Oid relfile, BlockNumber block,
 Status MainMemorySmgr::WriteBlock(Oid relfile, BlockNumber block,
                                   const uint8_t* buf) {
   TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -73,6 +79,7 @@ Status MainMemorySmgr::ReadBlocks(Oid relfile, BlockNumber start,
   if (nblocks == 1) return ReadBlock(relfile, start, buf);
   TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
   span.AddDetail(nblocks);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -98,6 +105,7 @@ Status MainMemorySmgr::WriteBlocks(Oid relfile, BlockNumber start,
   if (nblocks == 1) return WriteBlock(relfile, start, buf);
   TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
   span.AddDetail(nblocks);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");

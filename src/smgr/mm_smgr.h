@@ -2,6 +2,7 @@
 #define PGLO_SMGR_MM_SMGR_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +37,9 @@ class MainMemorySmgr : public StorageManager {
  private:
   using Block = std::unique_ptr<uint8_t[]>;
   DeviceModel* device_;
+  // Blocks live in process memory, so unlike the fd-based smgrs every
+  // access touches shared structures; one lock covers them all.
+  std::mutex mu_;
   std::unordered_map<Oid, std::vector<Block>> files_;
 };
 

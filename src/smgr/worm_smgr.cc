@@ -33,6 +33,7 @@ WormSmgr::~WormSmgr() {
 }
 
 Status WormSmgr::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string optical_path = dir_ + "/worm.optical";
   std::string map_path = dir_ + "/worm.map";
   optical_fd_ = ::open(optical_path.c_str(), O_RDWR | O_CREAT, 0644);
@@ -263,11 +264,13 @@ void WormSmgr::CacheErase(Oid relfile, BlockNumber block) {
 }
 
 void WormSmgr::DropCache() {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
   cache_lru_.clear();
 }
 
 Status WormSmgr::CreateFile(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (files_.count(relfile)) {
     return Status::AlreadyExists("relation file already exists");
   }
@@ -278,6 +281,7 @@ Status WormSmgr::CreateFile(Oid relfile) {
 }
 
 Status WormSmgr::DropFile(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -291,9 +295,13 @@ Status WormSmgr::DropFile(Oid relfile) {
   return Status::OK();
 }
 
-bool WormSmgr::FileExists(Oid relfile) { return files_.count(relfile) != 0; }
+bool WormSmgr::FileExists(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(relfile) != 0;
+}
 
 Result<BlockNumber> WormSmgr::NumBlocks(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -303,6 +311,7 @@ Result<BlockNumber> WormSmgr::NumBlocks(Oid relfile) {
 
 Status WormSmgr::ReadBlock(Oid relfile, BlockNumber block, uint8_t* buf) {
   TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -330,6 +339,7 @@ Status WormSmgr::ReadBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
   if (nblocks == 1) return ReadBlock(relfile, start, buf);
   TraceSpan span(stat_registry_, stat_read_ns_, span_read_name_);
   span.AddDetail(nblocks);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -382,6 +392,7 @@ Status WormSmgr::WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
   if (nblocks == 1) return WriteBlock(relfile, start, buf);
   TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
   span.AddDetail(nblocks);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -416,6 +427,7 @@ Status WormSmgr::WriteBlocks(Oid relfile, BlockNumber start, uint32_t nblocks,
 Status WormSmgr::WriteBlock(Oid relfile, BlockNumber block,
                             const uint8_t* buf) {
   TraceSpan span(stat_registry_, stat_write_ns_, span_write_name_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");
@@ -442,6 +454,7 @@ Status WormSmgr::WriteBlock(Oid relfile, BlockNumber block,
 
 Status WormSmgr::Sync(Oid relfile) {
   (void)relfile;
+  std::lock_guard<std::mutex> lock(mu_);
   if (::fdatasync(optical_fd_) != 0 || ::fdatasync(map_fd_) != 0) {
     return Status::IOError("worm sync failed");
   }
@@ -449,6 +462,7 @@ Status WormSmgr::Sync(Oid relfile) {
 }
 
 Result<uint64_t> WormSmgr::StorageBytes(Oid relfile) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(relfile);
   if (it == files_.end()) {
     return Status::NotFound("relation file does not exist");

@@ -2,6 +2,7 @@
 #define PGLO_SMGR_WORM_SMGR_H_
 
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -72,8 +73,15 @@ class WormSmgr : public StorageManager {
   Result<uint64_t> StorageBytes(Oid relfile) override;
   std::string name() const override { return "worm"; }
 
-  const WormSmgrStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = WormSmgrStats(); }
+  /// Copy, not reference: concurrent backends mutate the counters.
+  WormSmgrStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = WormSmgrStats();
+  }
 
   /// Base block I/O counters plus the §9.3 cache/jukebox breakdown.
   void BindStats(StatsRegistry* registry) override {
@@ -105,6 +113,7 @@ class WormSmgr : public StorageManager {
   /// space, not corruption: no logical block points at them. Reported by
   /// fsck as an informational count.
   uint64_t OrphanedBlocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return next_optical_ - mapped_burn_records_;
   }
 
@@ -148,6 +157,14 @@ class WormSmgr : public StorageManager {
   DeviceModel* optical_device_;
   DeviceModel* cache_device_;
   size_t cache_capacity_;
+
+  // One lock over the relocation map, the optical append frontier, the
+  // magnetic cache, and the stats — every operation touches several of
+  // them (a read probes the cache then fills it; a write burns, appends a
+  // map record, and updates the file map), so finer locks would have to be
+  // held together anyway. Public entry points take it; private helpers
+  // assume it.
+  mutable std::mutex mu_;
 
   int optical_fd_ = -1;
   int map_fd_ = -1;

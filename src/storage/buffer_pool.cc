@@ -1,8 +1,12 @@
 #include "storage/buffer_pool.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstring>
 #include <tuple>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -12,6 +16,8 @@ namespace pglo {
 
 uint8_t* PageHandle::data() {
   PGLO_CHECK(valid());
+  // Lock-free: frame data pointers are stable for the pool's lifetime and
+  // the pin prevents eviction from recycling the frame.
   return pool_->frames_[frame_].data.get();
 }
 
@@ -22,7 +28,7 @@ const uint8_t* PageHandle::data() const {
 
 void PageHandle::MarkDirty() {
   PGLO_CHECK(valid());
-  pool_->frames_[frame_].dirty = true;
+  pool_->frames_[frame_].dirty.store(true, std::memory_order_release);
 }
 
 void PageHandle::Release() {
@@ -49,7 +55,7 @@ BufferPool::~BufferPool() {
   }
 }
 
-void BufferPool::Touch(size_t frame) {
+void BufferPool::TouchLocked(size_t frame) {
   Frame& f = frames_[frame];
   if (f.on_lru) {
     lru_.erase(f.lru_pos);
@@ -57,17 +63,43 @@ void BufferPool::Touch(size_t frame) {
   }
 }
 
+void BufferPool::PinLocked(size_t frame) {
+  Frame& f = frames_[frame];
+  TouchLocked(frame);
+  if (f.pin_count == 0) {
+    f.pin_owner = std::this_thread::get_id();
+    f.pin_shared = false;
+  } else if (f.pin_owner != std::this_thread::get_id()) {
+    f.pin_shared = true;
+  }
+  ++f.pin_count;
+}
+
 void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& f = frames_[frame];
   PGLO_CHECK(f.pin_count > 0);
   if (--f.pin_count == 0) {
+    f.pin_shared = false;
     lru_.push_back(frame);
     f.lru_pos = std::prev(lru_.end());
     f.on_lru = true;
+    // A flush may be waiting for this pin before it can write the page.
+    cv_.notify_all();
   }
 }
 
-Status BufferPool::WriteRaw(Frame& frame) {
+bool BufferPool::FileWritableLocked(RelFileId file) const {
+  for (const Frame& f : frames_) {
+    if (f.in_use && f.id.file == file &&
+        f.dirty.load(std::memory_order_acquire) && !SafeToWriteLocked(f)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status BufferPool::WriteRawLocked(Frame& frame) {
   TraceSpan span(registry_, h_writeback_ns_, "bufpool.writeback");
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(frame.id.file));
   // Stamp a checksum into slotted pages on their way to stable storage so
@@ -81,13 +113,15 @@ Status BufferPool::WriteRaw(Frame& frame) {
     return smgr->WriteBlock(frame.id.file.relfile, frame.id.block,
                             frame.data.get());
   }));
-  frame.dirty = false;
+  ++file_writes_[frame.id.file];
+  write_epoch_.fetch_add(1, std::memory_order_release);
+  frame.dirty.store(false, std::memory_order_release);
   ++stats_.writebacks;
   StatInc(c_writebacks_);
   return Status::OK();
 }
 
-Status BufferPool::EnsureMaterialized(RelFileId file, BlockNumber upto) {
+Status BufferPool::EnsureMaterializedLocked(RelFileId file, BlockNumber upto) {
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(file));
   PGLO_ASSIGN_OR_RETURN(BlockNumber cur, smgr->NumBlocks(file.relfile));
   for (BlockNumber b = cur; b < upto; ++b) {
@@ -97,58 +131,78 @@ Status BufferPool::EnsureMaterialized(RelFileId file, BlockNumber upto) {
           "appended block evicted out of order: relfile " +
           std::to_string(file.relfile) + " block " + std::to_string(b));
     }
-    PGLO_RETURN_IF_ERROR(WriteRaw(frames_[it->second]));
+    PGLO_RETURN_IF_ERROR(WriteRawLocked(frames_[it->second]));
   }
   return Status::OK();
 }
 
-Status BufferPool::WriteBack(Frame& frame) {
+Status BufferPool::WriteBackLocked(Frame& frame) {
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(frame.id.file));
   PGLO_ASSIGN_OR_RETURN(BlockNumber cur,
                         smgr->NumBlocks(frame.id.file.relfile));
   if (frame.id.block > cur) {
     // Lazily-appended file tail: flush the intervening appended blocks
     // first so the storage manager never sees a hole.
-    PGLO_RETURN_IF_ERROR(EnsureMaterialized(frame.id.file, frame.id.block));
+    PGLO_RETURN_IF_ERROR(
+        EnsureMaterializedLocked(frame.id.file, frame.id.block));
   }
-  if (!frame.dirty) return Status::OK();  // materialization covered it
-  return WriteRaw(frame);
+  if (!frame.dirty.load(std::memory_order_acquire)) {
+    return Status::OK();  // materialization covered it
+  }
+  return WriteRawLocked(frame);
 }
 
-Result<size_t> BufferPool::FindVictim() {
+Result<size_t> BufferPool::FindVictimLocked() {
   if (!free_frames_.empty()) {
     size_t frame = free_frames_.back();
     free_frames_.pop_back();
     return frame;
   }
-  if (lru_.empty()) {
-    return Status::ResourceExhausted("all buffer pool frames are pinned");
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    Frame& f = frames_[*it];
+    // A dirty victim drags the rest of its file's appended tail into the
+    // write-back (gap materialization), so it is only eligible when no
+    // other backend pins a dirty page of that file. Clean victims are
+    // always eligible. Single-stream, every pin is our own, so the first
+    // candidate is lru_.front() — the pre-concurrency choice exactly.
+    if (f.dirty.load(std::memory_order_acquire) &&
+        !FileWritableLocked(f.id.file)) {
+      continue;
+    }
+    size_t frame = *it;
+    lru_.erase(it);
+    f.on_lru = false;
+    ++stats_.evictions;
+    StatInc(c_evictions_);
+    if (f.dirty.load(std::memory_order_acquire)) {
+      // Background-writer behaviour: when eviction hits a dirty page,
+      // clean a batch of cold dirty pages in sorted block order, so that a
+      // mixed read/append workload pays a few clustered write passes
+      // instead of a head seek per evicted page.
+      PGLO_RETURN_IF_ERROR(WriteBackBatchLocked(frame));
+    }
+    page_table_.erase(f.id);
+    f.in_use = false;
+    return frame;
   }
-  size_t frame = lru_.front();
-  lru_.pop_front();
-  Frame& f = frames_[frame];
-  f.on_lru = false;
-  ++stats_.evictions;
-  StatInc(c_evictions_);
-  if (f.dirty) {
-    // Background-writer behaviour: when eviction hits a dirty page, clean
-    // a batch of cold dirty pages in sorted block order, so that a mixed
-    // read/append workload pays a few clustered write passes instead of a
-    // head seek per evicted page.
-    PGLO_RETURN_IF_ERROR(WriteBackBatch(frame));
-  }
-  page_table_.erase(f.id);
-  f.in_use = false;
-  return frame;
+  // Nothing evictable right now. Fail rather than wait: waiting here with
+  // the pool lock's caller stack (possibly holding pins) risks deadlock,
+  // and the single-stream engine returned this same error when every frame
+  // was pinned.
+  return Status::ResourceExhausted("all buffer pool frames are pinned");
 }
 
-Status BufferPool::WriteBackBatch(size_t victim_frame) {
+Status BufferPool::WriteBackBatchLocked(size_t victim_frame) {
   constexpr size_t kBatch = 64;
   std::vector<size_t> batch;
   batch.push_back(victim_frame);
   for (auto it = lru_.begin(); it != lru_.end() && batch.size() < kBatch;
        ++it) {
-    if (frames_[*it].dirty) batch.push_back(*it);
+    Frame& f = frames_[*it];
+    if (f.dirty.load(std::memory_order_acquire) &&
+        FileWritableLocked(f.id.file)) {
+      batch.push_back(*it);
+    }
   }
   std::sort(batch.begin(), batch.end(), [this](size_t a, size_t b) {
     const PageId& x = frames_[a].id;
@@ -156,10 +210,10 @@ Status BufferPool::WriteBackBatch(size_t victim_frame) {
     return std::tie(x.file.smgr_id, x.file.relfile, x.block) <
            std::tie(y.file.smgr_id, y.file.relfile, y.block);
   });
-  return WriteBackSorted(batch);
+  return WriteBackSortedLocked(batch);
 }
 
-Status BufferPool::WriteRawRun(const std::vector<size_t>& run) {
+Status BufferPool::WriteRawRunLocked(const std::vector<size_t>& run) {
   TraceSpan span(registry_, h_writeback_ns_, "bufpool.writeback");
   span.AddDetail(run.size());
   Frame& first = frames_[run.front()];
@@ -179,19 +233,21 @@ Status BufferPool::WriteRawRun(const std::vector<size_t>& run) {
                              static_cast<uint32_t>(run.size()),
                              write_scratch_.data());
   }));
+  ++file_writes_[first.id.file];
+  write_epoch_.fetch_add(1, std::memory_order_release);
   for (size_t idx : run) {
-    frames_[idx].dirty = false;
+    frames_[idx].dirty.store(false, std::memory_order_release);
   }
   stats_.writebacks += run.size();
   StatAdd(c_writebacks_, run.size());
   return Status::OK();
 }
 
-Status BufferPool::WriteBackSorted(const std::vector<size_t>& sorted) {
+Status BufferPool::WriteBackSortedLocked(const std::vector<size_t>& sorted) {
   if (readahead_pages_ == 0) {
     // Legacy per-page path, kept bit-identical for the window-0 ablation.
     for (size_t i : sorted) {
-      PGLO_RETURN_IF_ERROR(WriteBack(frames_[i]));
+      PGLO_RETURN_IF_ERROR(WriteBackLocked(frames_[i]));
     }
     return Status::OK();
   }
@@ -199,7 +255,7 @@ Status BufferPool::WriteBackSorted(const std::vector<size_t>& sorted) {
   constexpr size_t kMaxWriteRun = 64;
   size_t i = 0;
   while (i < sorted.size()) {
-    if (!frames_[sorted[i]].dirty) {
+    if (!frames_[sorted[i]].dirty.load(std::memory_order_acquire)) {
       ++i;
       continue;
     }
@@ -208,13 +264,14 @@ Status BufferPool::WriteBackSorted(const std::vector<size_t>& sorted) {
       const Frame& prev = frames_[sorted[j - 1]];
       const Frame& cur = frames_[sorted[j]];
       if (!(cur.id.file == prev.id.file) ||
-          cur.id.block != prev.id.block + 1 || !cur.dirty) {
+          cur.id.block != prev.id.block + 1 ||
+          !cur.dirty.load(std::memory_order_acquire)) {
         break;
       }
       ++j;
     }
     if (j - i == 1) {
-      PGLO_RETURN_IF_ERROR(WriteBack(frames_[sorted[i]]));
+      PGLO_RETURN_IF_ERROR(WriteBackLocked(frames_[sorted[i]]));
       i = j;
       continue;
     }
@@ -226,9 +283,9 @@ Status BufferPool::WriteBackSorted(const std::vector<size_t>& sorted) {
       // Lazily-appended tail: fill the gap below the run first so the
       // vectored write extends the file contiguously.
       PGLO_RETURN_IF_ERROR(
-          EnsureMaterialized(first.id.file, first.id.block));
+          EnsureMaterializedLocked(first.id.file, first.id.block));
     }
-    PGLO_RETURN_IF_ERROR(WriteRawRun(
+    PGLO_RETURN_IF_ERROR(WriteRawRunLocked(
         std::vector<size_t>(sorted.begin() + i, sorted.begin() + j)));
     i = j;
   }
@@ -238,10 +295,13 @@ Status BufferPool::WriteBackSorted(const std::vector<size_t>& sorted) {
 Result<PageHandle> BufferPool::GetPage(PageId id) {
   // Spans even the hit path: the page-access CPU charge advances the clock
   // here, and the profiler should bill it to the pool, not the caller.
+  // Both run before the pool lock — the clock and CPU model are their own
+  // synchronization domains and must not serialize behind pool misses.
   TraceSpan span(registry_, h_get_ns_, "bufpool.get");
   if (cpu_ != nullptr && access_instructions_ > 0) {
     cpu_->ChargeInstructions(access_instructions_);
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -253,8 +313,7 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
       ++stats_.readahead_hits;
       StatInc(c_readahead_hits_);
     }
-    Touch(frame);
-    ++f.pin_count;
+    PinLocked(frame);
     return PageHandle(this, frame, id);
   }
   ++stats_.misses;
@@ -295,10 +354,10 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
       }
     }
   }
-  PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictim());
+  PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictimLocked());
   std::vector<size_t> extras;
   for (uint32_t k = 1; k < want; ++k) {
-    Result<size_t> v = FindVictim();
+    Result<size_t> v = FindVictimLocked();
     if (!v.ok()) break;  // pool too hot to prefetch: fault what fits
     extras.push_back(v.value());
   }
@@ -309,6 +368,10 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
   if (run > 1 && events_ != nullptr) {
     events_->Append(EventType::kReadAheadRamp, "bufpool", run, id.block);
   }
+  // The miss read happens under the pool lock: concurrent misses
+  // serialize. Device charges are simulated-time, so this costs wall
+  // clock, not modeled time; hits (the common case once warm) only probe
+  // the hash table.
   Frame& f = frames_[frame];
   Status s;
   if (run == 1) {
@@ -346,7 +409,9 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
   }
   f.id = id;
   f.pin_count = 1;
-  f.dirty = false;
+  f.pin_owner = std::this_thread::get_id();
+  f.pin_shared = false;
+  f.dirty.store(false, std::memory_order_release);
   f.in_use = true;
   f.on_lru = false;
   f.prefetched = false;
@@ -362,7 +427,8 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
     PageId pid{id.file, id.block + k};
     e.id = pid;
     e.pin_count = 0;
-    e.dirty = false;
+    e.pin_shared = false;
+    e.dirty.store(false, std::memory_order_release);
     e.in_use = true;
     e.prefetched = true;
     page_table_[pid] = ef;
@@ -376,6 +442,7 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
 }
 
 Result<BlockNumber> BufferPool::NumBlocks(RelFileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(file));
   PGLO_ASSIGN_OR_RETURN(BlockNumber n, smgr->NumBlocks(file.relfile));
   auto it = pending_size_.find(file);
@@ -386,8 +453,14 @@ Result<BlockNumber> BufferPool::NumBlocks(RelFileId file) {
 Result<PageHandle> BufferPool::NewPage(RelFileId file,
                                        BlockNumber* block_out) {
   TraceSpan span(registry_, h_new_page_ns_, "bufpool.new_page");
-  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks(file));
-  PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictim());
+  std::lock_guard<std::mutex> lock(mu_);
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(file));
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, smgr->NumBlocks(file.relfile));
+  auto pit = pending_size_.find(file);
+  if (pit != pending_size_.end() && pit->second > nblocks) {
+    nblocks = pit->second;
+  }
+  PGLO_ASSIGN_OR_RETURN(size_t frame, FindVictimLocked());
   Frame& f = frames_[frame];
   std::memset(f.data.get(), 0, kPageSize);
   // The block is materialized in the storage manager lazily at write-back
@@ -396,7 +469,9 @@ Result<PageHandle> BufferPool::NewPage(RelFileId file,
   PageId id{file, nblocks};
   f.id = id;
   f.pin_count = 1;
-  f.dirty = true;
+  f.pin_owner = std::this_thread::get_id();
+  f.pin_shared = false;
+  f.dirty.store(true, std::memory_order_release);
   f.in_use = true;
   f.on_lru = false;
   f.prefetched = false;
@@ -406,42 +481,148 @@ Result<PageHandle> BufferPool::NewPage(RelFileId file,
   return PageHandle(this, frame, id);
 }
 
-Status BufferPool::FlushAll() {
-  // Sorted write-back: real systems cluster checkpoint writes; issuing in
-  // page-table order would charge the disk model a seek per page.
-  std::vector<size_t> dirty;
+Status BufferPool::FlushSnapshotLocked(std::unique_lock<std::mutex>& lk,
+                                       const RelFileId* only) {
+  // Capture the dirty set on entry; pages dirtied afterwards belong to
+  // whatever operation dirtied them. Entries are revalidated by page id
+  // each round because writing (or waiting) below may let other backends
+  // run: a captured frame that another backend's eviction cleaned or
+  // recycled is simply done.
+  std::vector<std::pair<size_t, PageId>> snap;
   for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].in_use && frames_[i].dirty) dirty.push_back(i);
+    const Frame& f = frames_[i];
+    if (!f.in_use || !f.dirty.load(std::memory_order_acquire)) continue;
+    if (only != nullptr && !(f.id.file == *only)) continue;
+    snap.emplace_back(i, f.id);
   }
-  std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
-    const PageId& x = frames_[a].id;
-    const PageId& y = frames_[b].id;
-    return std::tie(x.file.smgr_id, x.file.relfile, x.block) <
-           std::tie(y.file.smgr_id, y.file.relfile, y.block);
-  });
-  return WriteBackSorted(dirty);
+  // Frames this flush has written back once are done even if another
+  // backend re-dirties them afterwards (their bytes as of our snapshot are
+  // on disk; the re-dirty belongs to that backend's own commit). Without
+  // this, a flush behind K active writers chases their tail pages forever.
+  std::unordered_set<size_t> written;
+  while (true) {
+    std::vector<size_t> valid;
+    for (const auto& [idx, pid] : snap) {
+      const Frame& f = frames_[idx];
+      if (written.count(idx) != 0) continue;
+      if (f.in_use && f.id == pid &&
+          f.dirty.load(std::memory_order_acquire)) {
+        valid.push_back(idx);
+      }
+    }
+    if (valid.empty()) return Status::OK();
+    // A file is ready when every dirty frame of it is writable right now
+    // (write-back may touch more of the file than the captured frame: gap
+    // materialization, run coalescing). Never skip a file outright — a
+    // commit's force-to-disk must not silently drop a page another backend
+    // happens to be pinning, or a crash would lose committed data.
+    std::vector<size_t> ready;
+    for (size_t idx : valid) {
+      if (FileWritableLocked(frames_[idx].id.file)) ready.push_back(idx);
+    }
+    if (!ready.empty()) {
+      // Sorted write-back: real systems cluster checkpoint writes; issuing
+      // in page-table order would charge the disk model a seek per page.
+      std::sort(ready.begin(), ready.end(), [this](size_t a, size_t b) {
+        const PageId& x = frames_[a].id;
+        const PageId& y = frames_[b].id;
+        return std::tie(x.file.smgr_id, x.file.relfile, x.block) <
+               std::tie(y.file.smgr_id, y.file.relfile, y.block);
+      });
+      PGLO_RETURN_IF_ERROR(WriteBackSortedLocked(ready));
+      written.insert(ready.begin(), ready.end());
+      continue;  // single-stream: everything was ready, next round is empty
+    }
+    // Every remaining frame belongs to a file with a dirty page pinned by
+    // another backend. Wait for a pin to drop, then re-evaluate. This
+    // cannot self-deadlock: the flush holds no pins of its own by the time
+    // it waits (LO operations release handles before commit flushes).
+    ++stats_.flush_pin_waits;
+    cv_.wait(lk);
+  }
+}
+
+Status BufferPool::FlushAll() {
+  // Every file with writes not yet covered by a sync, captured together
+  // with its write count AFTER the flush loop — so the targets include the
+  // pages this flush just wrote back.
+  std::vector<std::pair<RelFileId, uint64_t>> targets;
+  uint64_t epoch_target = 0;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    PGLO_RETURN_IF_ERROR(FlushSnapshotLocked(lk, nullptr));
+    if (sync_fd_ >= 0) {
+      epoch_target = write_epoch_.load(std::memory_order_acquire);
+    } else {
+      for (const auto& [file, written] : file_writes_) {
+        auto it = file_synced_.find(file);
+        if (it == file_synced_.end() || it->second < written) {
+          targets.emplace_back(file, written);
+        }
+      }
+    }
+  }
+  if (sync_fd_ >= 0) {
+    // One syncfs covers every database file on the filesystem — heap
+    // files, indexes, catalogs, however many backends dirtied them — in a
+    // single journal commit. Outside mu_, with epoch piggybacking, exactly
+    // like the commit log's fdatasync protocol.
+    if (epoch_target == 0) return Status::OK();
+    std::lock_guard<std::mutex> sync_lock(data_sync_mu_);
+    if (synced_epoch_ >= epoch_target) return Status::OK();
+    uint64_t upto = write_epoch_.load(std::memory_order_acquire);
+    if (::syncfs(sync_fd_) != 0) {
+      return Status::IOError("syncfs failed");
+    }
+    synced_epoch_ = upto;
+    return Status::OK();
+  }
+  // Durability pass, deliberately outside mu_: fdatasync is the longest
+  // blocking syscall in a commit, and other backends must keep faulting
+  // and dirtying pages while it runs. Per-file piggyback: if a concurrent
+  // flush already synced past our recorded write count, skip the syscall.
+  for (const auto& [file, written] : targets) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = file_synced_.find(file);
+      if (it != file_synced_.end() && it->second >= written) continue;
+    }
+    PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(file));
+    Status s = smgr->Sync(file.relfile);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!s.ok()) {
+      // A file dropped while we flushed has nothing left to force; its
+      // bookkeeping is gone from file_writes_. Anything still tracked
+      // failed a real sync and must fail the commit.
+      if (file_writes_.count(file) != 0) return s;
+      continue;
+    }
+    uint64_t& synced = file_synced_[file];
+    if (synced < written) synced = written;
+  }
+  return Status::OK();
 }
 
 Status BufferPool::FlushFile(RelFileId file) {
-  std::vector<size_t> dirty;
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].in_use && frames_[i].dirty && frames_[i].id.file == file) {
-      dirty.push_back(i);
-    }
-  }
-  std::sort(dirty.begin(), dirty.end(), [this](size_t a, size_t b) {
-    return frames_[a].id.block < frames_[b].id.block;
-  });
-  return WriteBackSorted(dirty);
+  std::unique_lock<std::mutex> lk(mu_);
+  return FlushSnapshotLocked(lk, &file);
 }
 
 void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (discard_dirty) pending_size_.erase(file);
   readahead_.erase(file);
+  if (discard_dirty) {
+    // Dropping the file retires its durability debt: a later FlushAll must
+    // not try to fdatasync a possibly-unlinked file. (With discard_dirty
+    // false the file stays live and keeps any pending sync debt.)
+    file_writes_.erase(file);
+    file_synced_.erase(file);
+  }
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (!f.in_use || !(f.id.file == file)) continue;
-    if (f.dirty && !discard_dirty) continue;
+    if (f.dirty.load(std::memory_order_acquire) && !discard_dirty) continue;
     PGLO_CHECK(f.pin_count == 0);
     if (f.on_lru) {
       lru_.erase(f.lru_pos);
@@ -449,15 +630,18 @@ void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
     }
     page_table_.erase(f.id);
     f.in_use = false;
-    f.dirty = false;
+    f.dirty.store(false, std::memory_order_release);
     f.prefetched = false;
     free_frames_.push_back(i);
   }
 }
 
 void BufferPool::CrashDiscardAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   pending_size_.clear();
   readahead_.clear();
+  file_writes_.clear();
+  file_synced_.clear();
   for (size_t i = 0; i < frames_.size(); ++i) {
     Frame& f = frames_[i];
     if (!f.in_use) continue;
@@ -468,7 +652,7 @@ void BufferPool::CrashDiscardAll() {
     }
     page_table_.erase(f.id);
     f.in_use = false;
-    f.dirty = false;
+    f.dirty.store(false, std::memory_order_release);
     f.prefetched = false;
     free_frames_.push_back(i);
   }

@@ -1,9 +1,13 @@
 #ifndef PGLO_STORAGE_BUFFER_POOL_H_
 #define PGLO_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +17,7 @@
 #include "obs/stats.h"
 #include "smgr/smgr_registry.h"
 #include "storage/page.h"
+#include "storage/rel_latch.h"
 
 namespace pglo {
 
@@ -20,6 +25,10 @@ class BufferPool;
 
 /// RAII pin on a buffered page. While a PageHandle is live the frame cannot
 /// be evicted. Call MarkDirty() after mutating the page image.
+///
+/// A pin also licenses the holder to read and write the page bytes; two
+/// backends must not hold handles on the same page without higher-level
+/// serialization (the relation latch — see DESIGN.md §13).
 class PageHandle {
  public:
   PageHandle() = default;
@@ -70,12 +79,17 @@ struct BufferPoolStats {
   uint64_t writebacks = 0;
   uint64_t readahead_pages = 0;  ///< pages prefetched ahead of a faulting scan
   uint64_t readahead_hits = 0;   ///< hits served from a prefetched frame
+  uint64_t flush_pin_waits = 0;  ///< flushes that had to wait out a pin
 };
 
 /// Fixed-size page cache over the storage manager switch.
 ///
-/// LRU replacement with pin counts. Not thread-safe: pglo, like POSTGRES of
-/// the era, runs one execution stream per database instance.
+/// LRU replacement with pin counts. Safe for concurrent backends: one pool
+/// mutex serializes all metadata transitions and miss/writeback I/O, page
+/// bytes are touched only under a pin, and flushes wait out pins held by
+/// *other* threads (a flush may always write pages pinned by the calling
+/// thread, which preserves the single-stream behavior exactly — see
+/// DESIGN.md §13 for the full protocol).
 class BufferPool {
  public:
   BufferPool(SmgrRegistry* smgrs, size_t num_frames);
@@ -83,6 +97,7 @@ class BufferPool {
 
   /// Charges `instructions` of simulated CPU per page access (pin, hash
   /// probe, latch, search) to `cpu`. Zero/null disables charging.
+  /// Configuration-time only (not thread-safe against live traffic).
   void SetAccessCost(CpuCostModel* cpu, uint64_t instructions) {
     cpu_ = cpu;
     access_instructions_ = instructions;
@@ -95,6 +110,7 @@ class BufferPool {
   /// turns on run-coalesced write-back (adjacent dirty pages leave in one
   /// WriteBlocks). 0 disables both, restoring the exact per-block command
   /// sequence the pool issued before vectored I/O existed.
+  /// Configuration-time only.
   void SetReadAhead(uint32_t pages) { readahead_pages_ = pages; }
   uint32_t readahead_pages() const { return readahead_pages_; }
 
@@ -102,7 +118,7 @@ class BufferPool {
   /// counters under `bufpool.*`, plus `bufpool.{get,new_page,writeback}`
   /// trace spans with matching `*_ns` histograms, so the profiler can
   /// attribute page-access CPU and fault I/O to the pool rather than its
-  /// caller. Null registry = unbound (no overhead).
+  /// caller. Null registry = unbound (no overhead). Configuration-time only.
   void BindStats(StatsRegistry* registry) {
     if (registry == nullptr) return;
     registry_ = registry;
@@ -119,6 +135,7 @@ class BufferPool {
 
   /// Structured-event sink: a kReadAheadRamp event records each vectored
   /// prefetch the sequential detector issues. Null = silent.
+  /// Configuration-time only.
   void SetEventLog(EventLog* events) { events_ = events; }
 
   BufferPool(const BufferPool&) = delete;
@@ -139,8 +156,20 @@ class BufferPool {
   /// have not reached the storage manager yet.
   Result<BlockNumber> NumBlocks(RelFileId file);
 
-  /// Writes back all dirty frames (optionally only those of `file`).
+  /// Writes back all dirty frames, then forces every file written since its
+  /// last force to stable storage (smgr Sync) — the durability half of a
+  /// commit's force policy: a pwrite alone does not survive power loss.
+  /// Snapshot semantics under concurrency: the dirty set is captured on
+  /// entry; pages another backend dirties afterwards are its own commit's
+  /// problem. Waits for pins held by other threads on captured frames.
+  /// The syncs run OUTSIDE the pool latch (they are the longest blocking
+  /// syscalls in a commit; other backends keep using the pool meanwhile)
+  /// and piggyback per file: a concurrent flush that already covered this
+  /// caller's writes makes the fdatasync a no-op. Under group commit one
+  /// FlushAll covers the whole batch.
   Status FlushAll();
+  /// Writes back only `file`'s dirty frames, without the durability sync
+  /// (used on paths that are not commit points).
   Status FlushFile(RelFileId file);
 
   /// Drops every frame of `file` without writing back (used by drop-class
@@ -148,12 +177,34 @@ class BufferPool {
   void DiscardFile(RelFileId file, bool discard_dirty = false);
 
   /// Simulates losing all volatile state: drops clean *and* dirty frames.
+  /// Callers must quiesce other backends first.
   void CrashDiscardAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  /// Copy, not reference: coherent point-in-time view under concurrency.
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = BufferPoolStats();
+  }
   size_t num_frames() const { return frames_.size(); }
   SmgrRegistry* smgrs() const { return smgrs_; }
+
+  /// Relation-latch registry shared by every access method built on this
+  /// pool (heap, B-tree) — the pool is the one object they all already
+  /// hold, so it hosts the registry. See rel_latch.h.
+  RelLatchRegistry* rel_latches() { return &rel_latches_; }
+
+  /// Installs a file descriptor on the filesystem holding the database
+  /// files (typically the database directory). When set, FlushAll's
+  /// durability pass issues ONE syncfs(2) covering every file instead of a
+  /// per-file fdatasync — with K backends each owning a heap + index file,
+  /// a commit batch would otherwise pay 2K serial fdatasyncs and group
+  /// commit could never amortize the force. The pool does not own the fd.
+  /// Configuration-time only.
+  void SetSyncFile(int fd) { sync_fd_ = fd; }
 
  private:
   friend class PageHandle;
@@ -161,8 +212,16 @@ class BufferPool {
   struct Frame {
     PageId id;
     std::unique_ptr<uint8_t[]> data;
+    // Pin bookkeeping is mutated only under mu_. The owner is the first
+    // pinning thread; `pin_shared` records that a second thread pinned
+    // while the count was already non-zero (then no thread may assume
+    // exclusive ownership until the count returns to zero).
     uint32_t pin_count = 0;
-    bool dirty = false;
+    std::thread::id pin_owner;
+    bool pin_shared = false;
+    // Atomic because PageHandle::MarkDirty sets it without mu_ while
+    // flush/eviction scans read it under mu_.
+    std::atomic<bool> dirty{false};
     bool in_use = false;
     std::list<size_t>::iterator lru_pos;  // valid when unpinned & in_use
     bool on_lru = false;
@@ -181,26 +240,44 @@ class BufferPool {
     uint32_t streak = 0;  ///< consecutive misses that landed on next_expected
   };
 
+  // All private helpers assume mu_ is held.
   void Unpin(size_t frame);
-  void Touch(size_t frame);
-  Result<size_t> FindVictim();
-  Status WriteBack(Frame& frame);
+  void PinLocked(size_t frame);
+  void TouchLocked(size_t frame);
+  /// True when writing the frame's bytes cannot race a mutator: unpinned,
+  /// or pinned exclusively by the calling thread (which is in the pool,
+  /// not mutating). The self-pin case is what keeps eviction and flush
+  /// behavior identical to the single-stream engine.
+  bool SafeToWriteLocked(const Frame& f) const {
+    return f.pin_count == 0 ||
+           (!f.pin_shared && f.pin_owner == std::this_thread::get_id());
+  }
+  /// True when every dirty frame of `file` is safe to write — the gate for
+  /// eviction-path write-back, which may have to materialize appended
+  /// blocks of the file other than the one it is evicting.
+  bool FileWritableLocked(RelFileId file) const;
+  Result<size_t> FindVictimLocked();
+  Status WriteBackLocked(Frame& frame);
   /// Cleans a sorted batch of cold dirty pages, starting with
   /// `victim_frame` (background-writer style clustering).
-  Status WriteBackBatch(size_t victim_frame);
+  Status WriteBackBatchLocked(size_t victim_frame);
   /// Writes back an already-sorted list of dirty frames, coalescing
   /// adjacent (file, block) runs into single WriteBlocks commands when
   /// read-ahead is enabled; falls back to per-frame WriteBack at window 0.
-  Status WriteBackSorted(const std::vector<size_t>& sorted);
+  Status WriteBackSortedLocked(const std::vector<size_t>& sorted);
   /// Stamps checksums and emits one contiguous dirty run (>= 2 frames of
   /// one file, consecutive blocks) as a single vectored write.
-  Status WriteRawRun(const std::vector<size_t>& run);
+  Status WriteRawRunLocked(const std::vector<size_t>& run);
   /// Writes out any resident dirty blocks of `file` below `upto` that the
   /// storage manager does not have yet, so WriteBack never leaves a hole.
-  Status EnsureMaterialized(RelFileId file, BlockNumber upto);
+  Status EnsureMaterializedLocked(RelFileId file, BlockNumber upto);
   /// Stamps the checksum (when the image is a slotted page) and writes the
   /// raw frame image to its storage manager.
-  Status WriteRaw(Frame& frame);
+  Status WriteRawLocked(Frame& frame);
+  /// Snapshot-flush loop shared by FlushAll/FlushFile; releases the lock
+  /// while waiting out other threads' pins.
+  Status FlushSnapshotLocked(std::unique_lock<std::mutex>& lk,
+                             const RelFileId* only);
   Result<StorageManager*> SmgrFor(RelFileId file) {
     return smgrs_->Get(file.smgr_id);
   }
@@ -219,6 +296,16 @@ class BufferPool {
   Histogram* h_get_ns_ = nullptr;
   Histogram* h_new_page_ns_ = nullptr;
   Histogram* h_writeback_ns_ = nullptr;
+
+  /// The one pool latch. Guards every field below it, including miss and
+  /// write-back I/O (misses serialize — acceptable while working sets fit
+  /// the pool; hits hold it only for a hash probe and an LRU splice). The
+  /// only operations that release it mid-flight are the flush loops, which
+  /// cv-wait for other backends' pins; everything else holds it start to
+  /// finish, so no other re-validation points exist.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signaled when a frame's last pin drops
+
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t, PageIdHash> page_table_;
   /// Logical file sizes including not-yet-materialized appended blocks.
@@ -227,11 +314,29 @@ class BufferPool {
   std::vector<size_t> free_frames_;
   uint32_t readahead_pages_ = 0;
   std::unordered_map<RelFileId, ReadAheadState, RelFileIdHash> readahead_;
+  /// Durability bookkeeping for FlushAll's sync pass: writes ever issued
+  /// per file vs. writes known covered by an fdatasync. A file is due for a
+  /// sync when written > synced; after syncing through write count n a
+  /// flusher records synced = n. Entries are erased when the file's frames
+  /// are discarded (drop), so a commit never tries to sync a dropped file.
+  /// Used only when no sync_fd_ is installed; the syncfs path replaces the
+  /// per-file maps with one global write epoch.
+  std::unordered_map<RelFileId, uint64_t, RelFileIdHash> file_writes_;
+  std::unordered_map<RelFileId, uint64_t, RelFileIdHash> file_synced_;
+  /// syncfs-path durability epoch: bumped (under mu_) on every smgr write;
+  /// synced_epoch_ (under data_sync_mu_) records the highest epoch known
+  /// covered by a syncfs. A flusher whose captured epoch is already covered
+  /// piggybacks and skips the syscall.
+  int sync_fd_ = -1;
+  std::atomic<uint64_t> write_epoch_{0};
+  std::mutex data_sync_mu_;  ///< serializes syncfs; never nests inside mu_
+  uint64_t synced_epoch_ = 0;
   /// Staging buffers for vectored faults and coalesced write-back; sized
-  /// lazily to the largest run seen.
+  /// lazily to the largest run seen. Only touched under mu_.
   std::vector<uint8_t> read_scratch_;
   std::vector<uint8_t> write_scratch_;
   BufferPoolStats stats_;
+  RelLatchRegistry rel_latches_;  ///< self-synchronized, not under mu_
 };
 
 }  // namespace pglo

@@ -1,0 +1,110 @@
+#ifndef PGLO_STORAGE_REL_LATCH_H_
+#define PGLO_STORAGE_REL_LATCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace pglo {
+
+/// Per-relation exclusive latches for multi-backend access (DESIGN.md §13).
+///
+/// The access methods (heap, B-tree) were written single-stream: an
+/// operation holds several page pins at once and assumes nobody else
+/// mutates the relation under it. Rather than rewrite them with page-level
+/// latch crabbing, each public access-method operation takes the relation's
+/// exclusive latch for its (short) duration — coarse, but exactly the
+/// granularity the 1993 backend got from its lock table, and invisible to
+/// single-stream runs (uncontended acquisition is a couple of atomic ops
+/// and never advances the simulated clock).
+///
+/// Latches are re-entrant for their owning thread because operations
+/// compose (Update = Delete + Insert; InsertIfAbsent wraps Insert; LO
+/// writes walk index and heap through nested calls). They are NOT ordered:
+/// a thread may hold several relation latches (heap + its index), always
+/// acquired in the same access-method-imposed order (index after heap,
+/// catalog outermost), so cycles cannot form between two LO operations on
+/// the same object kind. See DESIGN.md §13 for the ordering argument.
+class RelLatchRegistry {
+ public:
+  RelLatchRegistry() = default;
+  RelLatchRegistry(const RelLatchRegistry&) = delete;
+  RelLatchRegistry& operator=(const RelLatchRegistry&) = delete;
+
+  void Lock(RelFileId file) {
+    std::unique_lock<std::mutex> lk(mu_);
+    LatchState& st = *StateFor(file);
+    std::thread::id self = std::this_thread::get_id();
+    if (st.depth > 0 && st.owner == self) {
+      ++st.depth;
+      return;
+    }
+    while (st.depth > 0) {
+      cv_.wait(lk);
+    }
+    st.owner = self;
+    st.depth = 1;
+  }
+
+  void Unlock(RelFileId file) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = latches_.find(file);
+    if (it == latches_.end()) return;  // tolerate unlock of never-locked
+    LatchState& st = *it->second;
+    if (st.depth == 0) return;
+    if (--st.depth == 0) {
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  struct LatchState {
+    std::thread::id owner;
+    uint32_t depth = 0;
+  };
+
+  LatchState* StateFor(RelFileId file) {
+    auto it = latches_.find(file);
+    if (it != latches_.end()) return it->second.get();
+    auto st = std::make_unique<LatchState>();
+    LatchState* raw = st.get();
+    latches_.emplace(file, std::move(st));
+    return raw;
+  }
+
+  std::mutex mu_;
+  // One condition variable for the whole registry: wakeups are rare (only
+  // contended relations) and backend counts are small, so the thundering
+  // herd costs less than a cv per latch.
+  std::condition_variable cv_;
+  std::unordered_map<RelFileId, std::unique_ptr<LatchState>, RelFileIdHash>
+      latches_;
+};
+
+/// RAII scope for one relation latch. Null registry = no-op, so access
+/// methods built on a bare BufferPool in unit tests run unchanged.
+class RelLatchGuard {
+ public:
+  RelLatchGuard(RelLatchRegistry* registry, RelFileId file)
+      : registry_(registry), file_(file) {
+    if (registry_ != nullptr) registry_->Lock(file_);
+  }
+  ~RelLatchGuard() {
+    if (registry_ != nullptr) registry_->Unlock(file_);
+  }
+  RelLatchGuard(const RelLatchGuard&) = delete;
+  RelLatchGuard& operator=(const RelLatchGuard&) = delete;
+
+ private:
+  RelLatchRegistry* registry_;
+  RelFileId file_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_STORAGE_REL_LATCH_H_

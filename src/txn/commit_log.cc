@@ -90,7 +90,8 @@ Status CommitLog::Open(const std::string& path) {
     pos += kRecordSize;
   }
   // Everything that survived replay is durable by definition.
-  synced_size_ = static_cast<uint64_t>(pos);
+  appended_size_.store(static_cast<uint64_t>(pos), std::memory_order_relaxed);
+  synced_size_.store(static_cast<uint64_t>(pos), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -102,69 +103,139 @@ Status CommitLog::Close() {
   return Status::OK();
 }
 
-Status CommitLog::AppendRecord(Xid xid, TxnState state, CommitTime time) {
+Status CommitLog::AppendEncodedLocked(const uint8_t* buf, size_t nbytes,
+                                      uint64_t* end_out) {
   if (fd_ < 0) return Status::Internal("commit log not open");
-  uint8_t rec[kRecordSize];
-  EncodeRecord(rec, xid, state, time);
   off_t end = ::lseek(fd_, 0, SEEK_END);
   if (end < 0) return Status::IOError("commit log seek failed");
   if (injector_ != nullptr) {
-    auto outcome = injector_->OnAppend("clog", kRecordSize);
+    auto outcome = injector_->OnAppend("clog", nbytes);
     if (!outcome.status.ok()) {
-      // A crash mid-append leaves a byte prefix of the record — possibly
+      // A crash mid-append leaves a byte prefix of the append — possibly
       // none (clean edge), possibly all of it (durable commit the caller
       // never learned about; the harness resolves these from the replayed
-      // log after reopen).
+      // log after reopen). For a batch, a prefix of whole records means a
+      // prefix of the group survived — exactly what a real torn group
+      // commit leaves.
       if (outcome.applied > 0 &&
-          ::pwrite(fd_, rec, outcome.applied, end) !=
+          ::pwrite(fd_, buf, outcome.applied, end) !=
               static_cast<ssize_t>(outcome.applied)) {
         return Status::IOError("commit log torn append failed");
       }
       return outcome.status;
     }
   }
-  if (::pwrite(fd_, rec, kRecordSize, end) !=
-      static_cast<ssize_t>(kRecordSize)) {
+  if (::pwrite(fd_, buf, nbytes, end) != static_cast<ssize_t>(nbytes)) {
     return Status::IOError("commit log append failed");
   }
-  if (synchronous_) {
-    if (::fdatasync(fd_) != 0) {
-      return Status::IOError("commit log sync failed");
-    }
-    synced_size_ = static_cast<uint64_t>(end) + kRecordSize;
-    if (injector_ != nullptr) injector_->ClearUnsynced(path_);
-  } else if (injector_ != nullptr) {
+  *end_out = static_cast<uint64_t>(end) + nbytes;
+  appended_size_.store(*end_out, std::memory_order_release);
+  if (!synchronous_ && injector_ != nullptr) {
     // Unsynced tail: a power failure would truncate the log back to the
     // last synced size, silently aborting these "committed" transactions.
-    injector_->NoteUnsynced(path_, synced_size_);
+    injector_->NoteUnsynced(path_, synced_size_.load(std::memory_order_acquire));
   }
+  return Status::OK();
+}
+
+Status CommitLog::AppendRecordLocked(Xid xid, TxnState state, CommitTime time,
+                                     uint64_t* end_out) {
+  uint8_t rec[kRecordSize];
+  EncodeRecord(rec, xid, state, time);
+  return AppendEncodedLocked(rec, kRecordSize, end_out);
+}
+
+Status CommitLog::SyncTo(uint64_t target) {
+  if (!synchronous_) return Status::OK();
+  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  if (synced_size_.load(std::memory_order_acquire) >= target) {
+    // A concurrent caller synced past our append — piggyback on its
+    // fdatasync (the syscall covers the whole file).
+    return Status::OK();
+  }
+  // Snapshot the append frontier BEFORE the syscall: everything appended up
+  // to here is covered, anything appended during the sync may not be.
+  uint64_t upto = appended_size_.load(std::memory_order_acquire);
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("commit log sync failed");
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  synced_size_.store(upto, std::memory_order_release);
+  if (injector_ != nullptr) injector_->ClearUnsynced(path_);
   return Status::OK();
 }
 
 Result<CommitTime> CommitLog::RecordCommit(Xid xid) {
-  CommitTime time = next_commit_time_;
-  PGLO_RETURN_IF_ERROR(AppendRecord(xid, TxnState::kCommitted, time));
-  entries_[xid] = Entry{TxnState::kCommitted, time};
-  next_commit_time_ = time + 1;
-  if (xid > max_xid_) max_xid_ = xid;
+  CommitTime time;
+  uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    time = next_commit_time_;
+    PGLO_RETURN_IF_ERROR(
+        AppendRecordLocked(xid, TxnState::kCommitted, time, &end));
+    entries_[xid] = Entry{TxnState::kCommitted, time};
+    next_commit_time_ = time + 1;
+    if (xid > max_xid_) max_xid_ = xid;
+  }
+  // Durability outside mu_: other backends keep resolving visibility while
+  // this commit's fdatasync is in flight.
+  PGLO_RETURN_IF_ERROR(SyncTo(end));
   return time;
 }
 
+Result<CommitTime> CommitLog::RecordCommitBatch(
+    const std::vector<Xid>& xids, std::vector<CommitTime>* times_out) {
+  if (xids.empty()) return Status::InvalidArgument("empty commit batch");
+  CommitTime first;
+  uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    first = next_commit_time_;
+    std::vector<uint8_t> buf(xids.size() * kRecordSize);
+    for (size_t i = 0; i < xids.size(); ++i) {
+      EncodeRecord(buf.data() + i * kRecordSize, xids[i],
+                   TxnState::kCommitted, first + i);
+    }
+    PGLO_RETURN_IF_ERROR(AppendEncodedLocked(buf.data(), buf.size(), &end));
+    times_out->clear();
+    times_out->reserve(xids.size());
+    for (size_t i = 0; i < xids.size(); ++i) {
+      CommitTime time = first + i;
+      entries_[xids[i]] = Entry{TxnState::kCommitted, time};
+      if (xids[i] > max_xid_) max_xid_ = xids[i];
+      times_out->push_back(time);
+    }
+    next_commit_time_ = first + xids.size();
+  }
+  PGLO_RETURN_IF_ERROR(SyncTo(end));
+  return first;
+}
+
 Status CommitLog::RecordAbort(Xid xid) {
-  PGLO_RETURN_IF_ERROR(
-      AppendRecord(xid, TxnState::kAborted, kInvalidCommitTime));
-  entries_[xid] = Entry{TxnState::kAborted, kInvalidCommitTime};
-  if (xid > max_xid_) max_xid_ = xid;
+  uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PGLO_RETURN_IF_ERROR(
+        AppendRecordLocked(xid, TxnState::kAborted, kInvalidCommitTime, &end));
+    entries_[xid] = Entry{TxnState::kAborted, kInvalidCommitTime};
+    if (xid > max_xid_) max_xid_ = xid;
+  }
+  // An abort lost to a crash is still an abort (no record == aborted), but
+  // syncing keeps the injector's durable/volatile bookkeeping exact; under
+  // concurrency it piggybacks on commit syncs instead of paying its own.
+  PGLO_RETURN_IF_ERROR(SyncTo(end));
   return Status::OK();
 }
 
 TxnState CommitLog::GetState(Xid xid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(xid);
   if (it == entries_.end()) return TxnState::kAborted;
   return it->second.state;
 }
 
 CommitTime CommitLog::GetCommitTime(Xid xid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(xid);
   if (it == entries_.end() || it->second.state != TxnState::kCommitted) {
     return kInvalidCommitTime;

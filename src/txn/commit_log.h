@@ -1,8 +1,11 @@
 #ifndef PGLO_TXN_COMMIT_LOG_H_
 #define PGLO_TXN_COMMIT_LOG_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -22,6 +25,22 @@ class FaultInjector;
 /// The log is an append-only host file of fixed-size records, each CRC
 /// protected; it is replayed into memory at open. A transaction with no
 /// record (e.g. one cut off by a crash) is treated as aborted.
+///
+/// Thread-safe, with the durability syscall kept OFF the hot mutex: `mu_`
+/// serializes appends and protects the in-memory map (visibility checks hit
+/// GetState/GetCommitTime on every tuple), while the fdatasync that makes a
+/// record durable runs afterwards under a separate `sync_mu_`. Because
+/// fdatasync covers the whole file, a committer first checks whether a later
+/// caller's sync already reached its append ("piggybacking") and skips the
+/// syscall if so. Consequences, documented in DESIGN.md §13:
+///   - other backends never block on a ~100µs+ fsync just to check txn
+///     status — the syscall overlaps their work;
+///   - a commit becomes VISIBLE (in-memory state) slightly before it is
+///     durable, but RecordCommit does not RETURN until it is durable, and
+///     any reader that goes on to commit appends after it — so the reader's
+///     own sync covers it and no durable state can depend on a lost commit;
+///   - single-stream behaviour is unchanged: with no concurrent syncs the
+///     piggyback check never fires and every record syncs itself, 1:1.
 class CommitLog {
  public:
   CommitLog() = default;
@@ -37,12 +56,20 @@ class CommitLog {
   /// is returned. The caller must have forced the transaction's pages first.
   Result<CommitTime> RecordCommit(Xid xid);
 
+  /// Group commit (DESIGN.md §13): durably records every xid in one append
+  /// — N records, one pwrite, one fdatasync — at consecutive commit-time
+  /// ticks. Fills `times_out` (parallel to `xids`) and returns the first
+  /// tick. The caller must have forced every member's pages first.
+  Result<CommitTime> RecordCommitBatch(const std::vector<Xid>& xids,
+                                       std::vector<CommitTime>* times_out);
+
   /// Durably records `xid` as aborted.
   Status RecordAbort(Xid xid);
 
   /// Notes `xid` as in progress (memory only — a crash forgets it, which
   /// correctly demotes it to aborted).
   void RecordBegin(Xid xid) {
+    std::lock_guard<std::mutex> lock(mu_);
     entries_[xid] = Entry{TxnState::kInProgress, kInvalidCommitTime};
   }
 
@@ -55,10 +82,22 @@ class CommitLog {
 
   /// Current value of the commit-time counter (the tick of the most recent
   /// commit). Snapshots taken at this value see all committed data.
-  CommitTime Now() const { return next_commit_time_ - 1; }
+  CommitTime Now() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_commit_time_ - 1;
+  }
 
   /// Highest XID that has any record; used to restart the XID allocator.
-  Xid MaxRecordedXid() const { return max_xid_; }
+  Xid MaxRecordedXid() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_xid_;
+  }
+
+  /// Number of fdatasync calls issued on the log — the figure of merit
+  /// group commit improves (N concurrent commits, one sync).
+  uint64_t fsync_count() const {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
 
   /// Record size on disk, exposed so crash tests can place truncation
   /// points exactly on and inside record edges.
@@ -79,8 +118,21 @@ class CommitLog {
     CommitTime commit_time;
   };
 
-  Status AppendRecord(Xid xid, TxnState state, CommitTime time);
+  /// Appends `nbytes` of already-encoded records (no sync — see SyncTo).
+  /// Assumes mu_ is held. `*end_out` receives the file size after the
+  /// append, the durability target to pass to SyncTo.
+  Status AppendEncodedLocked(const uint8_t* buf, size_t nbytes,
+                             uint64_t* end_out);
+  Status AppendRecordLocked(Xid xid, TxnState state, CommitTime time,
+                            uint64_t* end_out);
 
+  /// Makes the log durable through byte `target`, without holding mu_.
+  /// Skips the fdatasync when a concurrent caller's sync already covered
+  /// `target`; no-op when the log is configured non-synchronous.
+  Status SyncTo(uint64_t target);
+
+  mutable std::mutex mu_;  ///< entries_, counters, and file appends
+  std::mutex sync_mu_;     ///< serializes fdatasync; never nests inside mu_
   int fd_ = -1;
   std::string path_;
   std::unordered_map<Xid, Entry> entries_;
@@ -88,7 +140,11 @@ class CommitLog {
   Xid max_xid_ = kInvalidXid;
   FaultInjector* injector_ = nullptr;
   bool synchronous_ = true;
-  uint64_t synced_size_ = 0;  ///< bytes known durable (fsynced) on disk
+  std::atomic<uint64_t> fsyncs_{0};
+  /// File size after the latest append (advances under mu_).
+  std::atomic<uint64_t> appended_size_{0};
+  /// Bytes known durable (fsynced) on disk (advances under sync_mu_).
+  std::atomic<uint64_t> synced_size_{0};
 };
 
 }  // namespace pglo

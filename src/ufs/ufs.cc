@@ -31,6 +31,7 @@ Status UnixFileSystem::ReadSuperblock() {
 }
 
 Status UnixFileSystem::Format(const std::string& backing_path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_RETURN_IF_ERROR(cache_.Open(backing_path));
   PGLO_RETURN_IF_ERROR(WriteSuperblock());
   uint8_t zero[kPageSize] = {};
@@ -58,6 +59,7 @@ Status UnixFileSystem::Format(const std::string& backing_path) {
 }
 
 Status UnixFileSystem::Mount(const std::string& backing_path) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_RETURN_IF_ERROR(cache_.Open(backing_path));
   PGLO_RETURN_IF_ERROR(ReadSuperblock());
   mounted_ = true;
@@ -209,6 +211,7 @@ Result<uint32_t> UnixFileSystem::MapBlock(UfsInode* inode, bool* inode_dirty,
 
 Result<size_t> UnixFileSystem::ReadAt(uint32_t ino, uint64_t off, size_t n,
                                       uint8_t* buf) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TraceSpan span(registry_, h_read_ns_, "ufs.read");
   PGLO_ASSIGN_OR_RETURN(UfsInode inode, LoadInode(ino));
   if (!inode.in_use()) return Status::NotFound("inode not in use");
@@ -235,6 +238,7 @@ Result<size_t> UnixFileSystem::ReadAt(uint32_t ino, uint64_t off, size_t n,
 }
 
 Status UnixFileSystem::WriteAt(uint32_t ino, uint64_t off, Slice data) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TraceSpan span(registry_, h_write_ns_, "ufs.write");
   PGLO_ASSIGN_OR_RETURN(UfsInode inode, LoadInode(ino));
   if (!inode.in_use()) return Status::NotFound("inode not in use");
@@ -350,6 +354,7 @@ Status UnixFileSystem::FreeFileBlocks(UfsInode* inode) {
 }
 
 Status UnixFileSystem::Truncate(uint32_t ino, uint64_t size) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_ASSIGN_OR_RETURN(UfsInode inode, LoadInode(ino));
   if (!inode.in_use()) return Status::NotFound("inode not in use");
   if (size == 0) {
@@ -419,6 +424,7 @@ Status UnixFileSystem::StoreDirectory(const std::vector<DirEntry>& entries) {
 }
 
 Result<uint32_t> UnixFileSystem::Create(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (name.empty()) return Status::InvalidArgument("empty file name");
   PGLO_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDirectory());
   for (const DirEntry& e : entries) {
@@ -434,6 +440,7 @@ Result<uint32_t> UnixFileSystem::Create(const std::string& name) {
 }
 
 Result<uint32_t> UnixFileSystem::Lookup(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDirectory());
   for (const DirEntry& e : entries) {
     if (e.name == name) return e.ino;
@@ -442,6 +449,7 @@ Result<uint32_t> UnixFileSystem::Lookup(const std::string& name) {
 }
 
 Status UnixFileSystem::Remove(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDirectory());
   for (size_t i = 0; i < entries.size(); ++i) {
     if (entries[i].name == name) {
@@ -457,6 +465,7 @@ Status UnixFileSystem::Remove(const std::string& name) {
 }
 
 Result<std::vector<std::string>> UnixFileSystem::List() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, LoadDirectory());
   std::vector<std::string> names;
   names.reserve(entries.size());
@@ -465,12 +474,14 @@ Result<std::vector<std::string>> UnixFileSystem::List() {
 }
 
 Result<uint64_t> UnixFileSystem::FileSize(uint32_t ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_ASSIGN_OR_RETURN(UfsInode inode, LoadInode(ino));
   if (!inode.in_use()) return Status::NotFound("inode not in use");
   return inode.size;
 }
 
 Result<uint64_t> UnixFileSystem::AllocatedBytes(uint32_t ino) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   PGLO_ASSIGN_OR_RETURN(UfsInode inode, LoadInode(ino));
   if (!inode.in_use()) return Status::NotFound("inode not in use");
   uint64_t blocks = 0;
@@ -506,6 +517,7 @@ Result<uint64_t> UnixFileSystem::AllocatedBytes(uint32_t ino) {
 }
 
 Result<uint32_t> UnixFileSystem::FreeBlocks() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   uint32_t bits_per_block = kPageSize * 8;
   uint32_t free = 0;
   for (uint32_t bb = 0; bb < BitmapBlocks(); ++bb) {
@@ -521,6 +533,9 @@ Result<uint32_t> UnixFileSystem::FreeBlocks() {
   return free;
 }
 
-Status UnixFileSystem::Sync() { return cache_.Flush(); }
+Status UnixFileSystem::Sync() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return cache_.Flush();
+}
 
 }  // namespace pglo

@@ -1,6 +1,7 @@
 #ifndef PGLO_UFS_UFS_H_
 #define PGLO_UFS_UFS_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,7 +71,10 @@ class UnixFileSystem {
   Status Sync();
 
   /// Drops all cached state without writing back (crash simulation).
-  void CrashDiscard() { cache_.CrashDiscard(); }
+  void CrashDiscard() {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    cache_.CrashDiscard();
+  }
 
   /// Logical size of the file (what Figure 1 reports for u-file/p-file —
   /// inodes and indirect blocks are "owned by the directory", per §9.1).
@@ -162,6 +166,10 @@ class UnixFileSystem {
 
   DeviceModel* device_;
   Params params_;
+  // Serializes whole file-system operations. Recursive because directory
+  // maintenance reuses the public ReadAt/WriteAt/Truncate paths (e.g.
+  // Create → StoreDirectory → WriteAt).
+  mutable std::recursive_mutex mu_;
   UfsBlockCache cache_;
   StatsRegistry* registry_ = nullptr;
   Histogram* h_read_ns_ = nullptr;

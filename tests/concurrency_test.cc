@@ -1,0 +1,305 @@
+// Multi-backend concurrency: K sessions driving interleaved transactions
+// against one Database (the ISSUE 7 tentpole). These tests are the TSan /
+// ASan workload for the whole engine — buffer pool, relation latches,
+// transaction manager, commit log, LO manager — and the functional check
+// that group commit batches concurrent committers without losing a commit.
+//
+// The supported concurrency model (DESIGN.md §13): one session per thread;
+// any number of concurrent readers of an object; writers of the SAME
+// object are serialized by the application (the reproduction has no tuple
+// lock table, exactly like the visibility-only prototype the paper
+// measured). Tests therefore give each writer thread its own object and
+// let readers roam.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "tests/test_util.h"
+
+namespace pglo {
+namespace {
+
+using pglo::testing::TempDir;
+
+constexpr int kBackends = 4;
+constexpr int kRounds = 16;
+constexpr size_t kObjectBytes = 32 * 1024;  // 4 pages of chunks
+
+/// The committed image of object `t` after its round `r` commit: a solid
+/// byte identifying (backend, round). A reader must always observe a
+/// solid image — any mix of two patterns is a torn (non-atomic) commit.
+uint8_t PatternByte(int t, int r) {
+  return static_cast<uint8_t>(0x10 * (t + 1) + (r % 8) + 1);
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.dir = dir_.Sub("db");
+    options.charge_devices = false;
+    options.buffer_pool_frames = 128;
+    return options;
+  }
+
+  /// Creates one f-chunk object per backend, filled with its round-"0"
+  /// pattern, and returns the oids.
+  std::vector<Oid> CreateObjects(Database* db, int n) {
+    std::vector<Oid> oids;
+    auto session = db->Connect();
+    for (int t = 0; t < n; ++t) {
+      session->Begin();
+      auto created = session->CreateLo(LoSpec{});
+      EXPECT_OK(created.status());
+      auto fd = session->OpenLo(created.value(), /*writable=*/true);
+      EXPECT_OK(fd.status());
+      Bytes image(kObjectBytes, PatternByte(t, 0));
+      EXPECT_OK(fd.value()->Write(Slice(image)));
+      EXPECT_OK(session->Commit().status());
+      oids.push_back(created.value());
+    }
+    return oids;
+  }
+
+  TempDir dir_;
+};
+
+/// Reads `oid` under `session`'s open transaction and requires a solid
+/// image; returns its byte.
+uint8_t ReadSolidImage(Session* session, Oid oid) {
+  auto fd = session->OpenLo(oid, /*writable=*/false);
+  EXPECT_OK(fd.status());
+  auto data = fd.value()->Read(kObjectBytes);
+  EXPECT_OK(data.status());
+  EXPECT_EQ(data.value().size(), kObjectBytes);
+  uint8_t first = data.value().empty() ? 0 : data.value()[0];
+  for (size_t i = 0; i < data.value().size(); ++i) {
+    if (data.value()[i] != first) {
+      ADD_FAILURE() << "torn image: byte " << i << " is "
+                    << int(data.value()[i]) << ", expected " << int(first);
+      return first;
+    }
+  }
+  return first;
+}
+
+TEST_F(ConcurrencyTest, InterleavedSessionsSeeOnlyCommittedImages) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  std::vector<Oid> oids = CreateObjects(&db, kBackends);
+
+  // last_committed[t] = the round whose pattern is object t's durable
+  // image. Written only by thread t; read by everyone after the join.
+  std::vector<int> last_committed(kBackends, 0);
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](int t) {
+    auto session = db.Connect();
+    for (int r = 1; r <= kRounds && !failed.load(); ++r) {
+      // Write this round's pattern; commit two rounds of three, abort the
+      // third — aborted patterns must never become visible.
+      bool abort_round = (r % 3 == 0);
+      session->Begin();
+      auto fd = session->OpenLo(oids[t], /*writable=*/true);
+      if (!fd.ok()) { failed = true; return; }
+      Bytes image(kObjectBytes,
+                  abort_round ? uint8_t(0xEE) : PatternByte(t, r));
+      if (!fd.value()->Write(Slice(image)).ok()) { failed = true; return; }
+      if (abort_round) {
+        if (!session->Abort().ok()) { failed = true; return; }
+      } else {
+        if (!session->Commit().ok()) { failed = true; return; }
+        last_committed[t] = r;
+      }
+
+      // Read my own object back: must be exactly my last committed image.
+      session->Begin();
+      uint8_t mine = ReadSolidImage(session.get(), oids[t]);
+      EXPECT_EQ(mine, PatternByte(t, last_committed[t]));
+      // And a neighbour's: some committed image of that backend — solid,
+      // carrying its owner id, never the 0xEE abort garbage.
+      int other = (t + 1) % kBackends;
+      uint8_t theirs = ReadSolidImage(session.get(), oids[other]);
+      EXPECT_EQ(theirs & 0xF0, 0x10 * (other + 1))
+          << "object " << other << " shows a foreign or aborted pattern";
+      if (!session->Abort().ok()) { failed = true; return; }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kBackends);
+  for (int t = 0; t < kBackends; ++t) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+  ASSERT_FALSE(failed.load());
+
+  // Final oracle check from a fresh backend.
+  auto session = db.Connect();
+  session->Begin();
+  for (int t = 0; t < kBackends; ++t) {
+    EXPECT_EQ(ReadSolidImage(session.get(), oids[t]),
+              PatternByte(t, last_committed[t]));
+  }
+  ASSERT_OK(session->Abort());
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(ConcurrencyTest, GroupCommitBatchesFsyncsWithoutLosingCommits) {
+  DatabaseOptions options = Options();
+  options.group_commit = true;
+  Database db;
+  ASSERT_OK(db.Open(options));
+  constexpr int kCommitters = 8;
+  std::vector<Oid> oids = CreateObjects(&db, kCommitters);
+
+  uint64_t fsyncs_before = db.txns().commit_log().fsync_count();
+  // Single commits (setup above, bootstrap) also flow through the grouped
+  // path as 1-member batches; diff against this point.
+  size_t batches_before = db.txns().group_sizes().size();
+  std::vector<int> last_committed(kCommitters, 0);
+  uint64_t total_commits = 0;
+
+  // Rounds of simultaneous commits (a spin barrier lines the threads up)
+  // until the leader demonstrably absorbed followers: some recorded batch
+  // has 2+ members. With 8 threads per round this converges immediately in
+  // practice; the loop bound only guards pathological scheduling.
+  int round = 0;
+  bool batched = false;
+  while (!batched && round < 50) {
+    ++round;
+    std::atomic<int> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kCommitters);
+    for (int t = 0; t < kCommitters; ++t) {
+      threads.emplace_back([&, t] {
+        auto session = db.Connect();
+        session->Begin();
+        auto fd = session->OpenLo(oids[t], /*writable=*/true);
+        ASSERT_OK(fd.status());
+        Bytes image(kObjectBytes, PatternByte(t, round));
+        ASSERT_OK(fd.value()->Write(Slice(image)));
+        ready.fetch_add(1);
+        while (ready.load() < kCommitters) std::this_thread::yield();
+        ASSERT_OK(session->Commit().status());
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kCommitters; ++t) last_committed[t] = round;
+    total_commits += kCommitters;
+    const auto& sizes = db.txns().group_sizes();
+    for (size_t i = batches_before; i < sizes.size(); ++i) {
+      if (sizes[i] >= 2) batched = true;
+    }
+  }
+  ASSERT_TRUE(batched) << "no commit batch formed in " << round << " rounds";
+
+  // Batching must have saved log forces: strictly fewer fsyncs than
+  // commits (each CreateObjects commit above the baseline was 1:1).
+  uint64_t fsyncs = db.txns().commit_log().fsync_count() - fsyncs_before;
+  EXPECT_LT(fsyncs, total_commits);
+  // Bookkeeping agrees: every round commit is in exactly one batch.
+  uint64_t grouped = 0;
+  const auto& sizes = db.txns().group_sizes();
+  for (size_t i = batches_before; i < sizes.size(); ++i) grouped += sizes[i];
+  EXPECT_EQ(grouped, total_commits);
+
+  // Zero lost commits: pull the plug and re-read every object.
+  ASSERT_OK(db.SimulateCrashAndReopen());
+  auto session = db.Connect();
+  session->Begin();
+  for (int t = 0; t < kCommitters; ++t) {
+    EXPECT_EQ(ReadSolidImage(session.get(), oids[t]),
+              PatternByte(t, last_committed[t]))
+        << "backend " << t << "'s group-committed image did not survive";
+  }
+  ASSERT_OK(session->Abort());
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(ConcurrencyTest, CommitConsumesTheTransaction) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  auto session = db.Connect();
+
+  Transaction* txn = session->Begin();
+  ASSERT_TRUE(session->in_txn());
+  ASSERT_OK(session->Commit().status());
+  EXPECT_FALSE(session->in_txn());
+  EXPECT_EQ(session->txn(), nullptr);
+
+  // The session rejects a second Commit/Abort instead of touching the
+  // consumed transaction.
+  EXPECT_FALSE(session->Commit().ok());
+  EXPECT_FALSE(session->Abort().ok());
+
+  // Even the deprecated Database-level shim refuses the stale pointer
+  // (membership check, no dereference of freed state).
+  Status stale = db.Commit(txn).status();
+  EXPECT_TRUE(stale.IsInvalidArgument()) << stale.ToString();
+
+  // A fresh Begin works; stats counted both outcomes.
+  session->Begin();
+  ASSERT_OK(session->Abort());
+  EXPECT_EQ(session->stats().begun, 2u);
+  EXPECT_EQ(session->stats().committed, 1u);
+  EXPECT_EQ(session->stats().aborted, 1u);
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(ConcurrencyTest, SessionDestructorAbortsInProgressTransaction) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  Oid oid;
+  {
+    auto session = db.Connect();
+    session->Begin();
+    ASSERT_OK_AND_ASSIGN(oid, session->CreateLo(LoSpec{}));
+    ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, true));
+    ASSERT_OK(fd->Write(Slice("never committed")));
+    // Session dropped with the transaction open: it must abort.
+  }
+  auto session = db.Connect();
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(bool exists, session->ExistsLo(oid));
+  EXPECT_FALSE(exists);
+  ASSERT_OK(session->Abort());
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(ConcurrencyTest, BackendIdsAreDense) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  auto a = db.Connect();
+  auto b = db.Connect();
+  auto c = db.Connect();
+  EXPECT_EQ(a->backend_id(), 1u);
+  EXPECT_EQ(b->backend_id(), 2u);
+  EXPECT_EQ(c->backend_id(), 3u);
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(ConcurrencyTest, GroupCommitOffKeepsOneFsyncPerCommit) {
+  // With the flag off (the default), the historical 1:1 commit/fsync
+  // sequence is preserved — this is what keeps single-stream benchmark
+  // times bit-identical to the pre-concurrency engine.
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  auto session = db.Connect();
+  uint64_t before = db.txns().commit_log().fsync_count();
+  for (int i = 0; i < 5; ++i) {
+    session->Begin();
+    ASSERT_OK(session->CreateLo(LoSpec{}).status());
+    ASSERT_OK(session->Commit().status());
+  }
+  EXPECT_EQ(db.txns().commit_log().fsync_count() - before, 5u);
+  EXPECT_TRUE(db.txns().group_sizes().empty());
+  ASSERT_OK(db.Close());
+}
+
+}  // namespace
+}  // namespace pglo

@@ -1,7 +1,11 @@
 #!/bin/sh
-# tools/check.sh [default|asan|all] — configure, build, and run the test
-# suite under the named CMake preset (see CMakePresets.json). "all" runs the
-# plain preset first, then the address+UB sanitizer preset.
+# tools/check.sh [default|asan|tsan|all|ci] — configure, build, and run the
+# test suite under the named CMake preset (see CMakePresets.json). "all"
+# runs the plain preset first, then the address+UB sanitizer preset.
+# "tsan" builds the multi-backend smoke test under ThreadSanitizer and runs
+# it: the engine's latching (buffer pool, commit log, group commit,
+# relation latches — DESIGN.md §13) is exercised by K concurrent Sessions
+# with every data race a hard failure.
 #
 # After the default-preset tests pass, a benchmark gate runs one small
 # (--quick, 1/10th-scale) Figure 1 config, validates the emitted
@@ -86,24 +90,61 @@ obs_gate() {
   trap - EXIT
 }
 
+concurrency_gate() {
+  builddir="$1"
+  echo "== concurrency gate: bench_concurrency --quick (schema-validated) =="
+  workdir="$(mktemp -d /tmp/pglo_conc_gate_XXXXXX)"
+  trap 'rm -rf "$workdir"' EXIT
+  out="$workdir/BENCH_concurrency_quick.json"
+  # The bench enforces its own wall-clock scaling floor (exit non-zero when
+  # 8 backends fail to beat 1 backend by the documented margin). Simulated
+  # times under K>1 backends depend on thread interleaving, so the JSON is
+  # schema-validated but not compared against a baseline — wall scaling is
+  # the gated property here.
+  "$builddir/bench/bench_concurrency" --quick --json="$out" \
+      "$workdir/db" > "$workdir/bench.log"
+  "$builddir/tools/bench_compare" --validate "$out"
+  rm -rf "$workdir"
+  trap - EXIT
+}
+
+tsan_smoke_gate() {
+  # Build only the concurrency smoke test under ThreadSanitizer and run it
+  # directly: a full TSan suite run is 10-20x slower than native, and the
+  # multi-backend test is the one that exercises every cross-thread path
+  # (pool latches, group-commit queue, commit-log sync split, relation
+  # latches, session lifecycle).
+  echo "== tsan smoke: concurrency_test under ThreadSanitizer =="
+  cmake --preset tsan
+  cmake --build --preset tsan --target concurrency_test -j "$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      build-tsan/tests/concurrency_test
+}
+
 case "${1:-default}" in
   default)
     run_preset default
     bench_gate build
     obs_gate build
     crashtest_gate build
+    concurrency_gate build
     ;;
   asan)
     run_preset asan
     crashtest_gate build-asan
+    ;;
+  tsan)
+    tsan_smoke_gate
     ;;
   all)
     run_preset default
     bench_gate build
     obs_gate build
     crashtest_gate build
+    concurrency_gate build
     run_preset asan
     crashtest_gate build-asan
+    tsan_smoke_gate
     ;;
   ci)
     # Unattended mode: same coverage as "all", plus per-test timeouts so a
@@ -113,11 +154,13 @@ case "${1:-default}" in
     bench_gate build
     obs_gate build
     crashtest_gate build
+    concurrency_gate build
     run_preset asan "$timeout"
     crashtest_gate build-asan
+    tsan_smoke_gate
     ;;
   *)
-    echo "usage: $0 [default|asan|all|ci]" >&2
+    echo "usage: $0 [default|asan|tsan|all|ci]" >&2
     exit 2
     ;;
 esac

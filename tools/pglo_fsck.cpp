@@ -80,8 +80,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  auto session = db.Connect();
   if (do_list) {
-    pglo::Transaction* txn = db.Begin();
+    pglo::Transaction* txn = session->Begin();
     auto objects = db.large_objects().List(txn);
     if (!objects.ok()) {
       std::fprintf(stderr, "list failed: %s\n",
@@ -101,7 +102,7 @@ int main(int argc, char** argv) {
                           : 0ull,
                   fp.ok() ? "" : " (footprint unavailable)");
     }
-    s = db.Abort(txn);
+    s = session->Abort();
     if (!s.ok()) {
       std::fprintf(stderr, "abort failed: %s\n", s.ToString().c_str());
       return 1;
