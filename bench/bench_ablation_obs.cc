@@ -1,22 +1,26 @@
-// Ablation F: flight-recorder overhead. Runs the identical f-chunk
-// workload (create, then repeated sequential-read / random-read /
-// sequential-write passes) under three configurations — recorder off;
-// recorder on with the default always-on settings; and recorder on with
-// aggressive settings (10x-finer snapshot sampling plus a slow-op budget
-// low enough to capture every single operation's span tree) — and checks
-// the recorder's two contracts:
+// Ablation F: observability overhead (flight recorder + wait
+// instrumentation). Runs the identical f-chunk workload (create, then
+// repeated sequential-read / random-read / sequential-write passes) under
+// three configurations — everything off (no recorder, no wait
+// instrumentation); the default always-on settings; and aggressive
+// settings (10x-finer snapshot sampling, a slow-op budget low enough to
+// capture every single operation's span tree, and a zero wait-event
+// threshold so every contended wait hits the event ring) — and checks the
+// observability layer's two contracts:
 //
 //   1. Simulated time is BIT-IDENTICAL across all three. The recorder
-//      observes completed spans and never advances the SimClock, so every
-//      reported simulated duration, and the final clock reading itself,
-//      must match to the nanosecond. Any difference is a bug and fails the
-//      bench (non-zero exit) — this is the property the check.sh obs gate
+//      observes completed spans, and wait instrumentation records WALL
+//      time; neither ever advances the SimClock, so every reported
+//      simulated duration, and the final clock reading itself, must match
+//      to the nanosecond. Any difference is a bug and fails the bench
+//      (non-zero exit) — this is the property the check.sh obs gate
 //      enforces.
 //   2. Wall-clock overhead of the default always-on configuration is small
 //      (the ≤5% budget that justifies shipping it enabled). Reported
 //      (wall_overhead_pct on the "total" row, with the aggressive config's
-//      worst case alongside) but not gated: wall time on shared CI is
-//      noise, and contract 1 is the one that can rot silently.
+//      worst case alongside); gated only when --gate-overhead-pct=N is
+//      passed (check.sh does, with N=5): wall time on shared CI is noisy,
+//      so the gate uses the best-of-passes estimator.
 //
 // Wall methodology: all three databases are opened and their objects
 // created up front (creation doubles as warmup — allocator, caches, and
@@ -26,7 +30,8 @@
 // time per config is its fastest pass, the estimator least perturbed by
 // the scheduler.
 //
-// Run: bench_ablation_obs [--no-stats] [--quick] [--json=FILE] [workdir]
+// Run: bench_ablation_obs [--no-stats] [--quick] [--json=FILE]
+//                         [--gate-overhead-pct=N] [workdir]
 // Results are written to BENCH_ablation_obs[_quick].json (pglo-bench-v1
 // schema). The committed baseline in bench/baselines/ guards the absolute
 // simulated times against behavioural drift.
@@ -38,6 +43,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -84,13 +90,16 @@ int OpenAndCreate(const BenchArgs& args, const WorkloadScale& scale,
   DatabaseOptions options = PaperOptions(args.workdir + "/" + spec.subdir);
   options.enable_stats = args.stats;
   options.enable_flight_recorder = spec.mode != Mode::kOff;
+  options.enable_wait_instrumentation = spec.mode != Mode::kOff;
   if (spec.mode == Mode::kMax) {
-    // Worst case: sample every 100 simulated ms, and capture every
-    // operation as "slow" (1 simulated µs budget), so the measured
-    // overhead includes tree building and delta sampling on every op, not
-    // just ring appends.
+    // Worst case: sample every 100 simulated ms, capture every operation
+    // as "slow" (1 simulated µs budget), and append an event for EVERY
+    // contended wait, so the measured overhead includes tree building,
+    // delta sampling, and wait-event appends on every op, not just ring
+    // appends.
     options.recorder_options.snapshot_interval_ns = 100'000'000;
     options.recorder_options.slow_op_budget_ns = 1'000;
+    options.wait_event_threshold_ns = 0;
   }
   state->db = std::make_unique<Database>();
   Status s = state->db->Open(options);
@@ -149,6 +158,18 @@ int MeasurePass(ConfigState* state, uint64_t pass) {
 }
 
 int Main(int argc, char** argv) {
+  // Extract the gate flag before handing argv to the shared harness
+  // parser (which would warn about flags it does not know).
+  double gate_overhead_pct = -1.0;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--gate-overhead-pct=", 20) == 0) {
+      gate_overhead_pct = std::atof(argv[i] + 20);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   BenchArgs args = ParseBenchArgs(argc, argv, "ablation_obs",
                                   "/tmp/pglo_bench_ablF");
   const std::string& workdir = args.workdir;
@@ -179,6 +200,10 @@ int Main(int argc, char** argv) {
     BenchConfig config{kModes[m].label, StorageKind::kFChunk, "", kSmgrDisk};
     auto info = ConfigInfo(config);
     info["flight_recorder"] = kModes[m].mode == Mode::kOff ? "off" : "on";
+    info["wait_instrumentation"] =
+        kModes[m].mode == Mode::kOff
+            ? "off"
+            : (kModes[m].mode == Mode::kMax ? "max" : "default");
     run.StartConfig(kModes[m].label, st.db.get(), info);
     for (size_t i = 0; i < st.op_seconds.size(); ++i) {
       run.RecordResult(kOpLabels[i], st.op_seconds[i]);
@@ -256,10 +281,18 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "\nSimulated time bit-identical with the recorder on: the black box "
-      "is free in\nsimulated time. The always-on default costs %.1f%% wall "
-      "clock (budget: 5%%);\ncapturing every op's span tree costs %.1f%%.\n",
+      "\nSimulated time bit-identical with recorder and wait "
+      "instrumentation on: the\nblack box is free in simulated time. The "
+      "always-on default costs %.1f%% wall\nclock (budget: 5%%); capturing "
+      "every op's span tree costs %.1f%%.\n",
       default_pct, max_pct);
+  if (gate_overhead_pct >= 0.0 && default_pct > gate_overhead_pct) {
+    std::fprintf(stderr,
+                 "FAIL: default observability wall overhead %.1f%% exceeds "
+                 "the %.1f%% gate\n",
+                 default_pct, gate_overhead_pct);
+    return 1;
+  }
   return 0;
 }
 

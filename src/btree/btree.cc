@@ -42,7 +42,7 @@ Status Btree::SetRoot(BlockNumber root, uint32_t height) {
 }
 
 Result<uint32_t> Btree::Height() {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, 0}));
   BtreeMeta meta(handle.data());
   if (!meta.IsValid()) return Status::Corruption("bad btree meta page");
@@ -133,7 +133,7 @@ Status Btree::InsertIntoParent(std::vector<PathEntry>* path, uint64_t sep_key,
 }
 
 Status Btree::Insert(uint64_t key, uint64_t value) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   std::vector<PathEntry> path;
   PGLO_ASSIGN_OR_RETURN(BlockNumber leaf_block,
                         DescendToLeaf(key, value, &path));
@@ -172,7 +172,7 @@ Status Btree::Insert(uint64_t key, uint64_t value) {
 }
 
 Status Btree::Delete(uint64_t key, uint64_t value) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   PGLO_ASSIGN_OR_RETURN(BlockNumber leaf_block,
                         DescendToLeaf(key, value, nullptr));
   // The entry may sit in a right sibling when equal keys straddle nodes.
@@ -195,7 +195,7 @@ Status Btree::Delete(uint64_t key, uint64_t value) {
 }
 
 Result<std::vector<uint64_t>> Btree::Lookup(uint64_t key) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   std::vector<uint64_t> out;
   PGLO_ASSIGN_OR_RETURN(Iterator it, Seek(key));
   while (it.valid() && it.key() == key) {
@@ -206,7 +206,7 @@ Result<std::vector<uint64_t>> Btree::Lookup(uint64_t key) {
 }
 
 Result<Btree::Iterator> Btree::Seek(uint64_t key) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   PGLO_ASSIGN_OR_RETURN(BlockNumber leaf_block, DescendToLeaf(key, 0, nullptr));
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, leaf_block}));
   BtreeNode leaf(handle.data());
@@ -219,7 +219,7 @@ Result<Btree::Iterator> Btree::Seek(uint64_t key) {
 Result<Btree::Iterator> Btree::SeekFirst() { return Seek(0); }
 
 Status Btree::Iterator::LoadCurrent() {
-  RelLatchGuard latch(tree_->pool_->rel_latches(), tree_->file_);
+  RelLatchGuard latch(tree_->pool_->rel_latches(), tree_->file_, WaitEvent::kLatchRelBtree);
   for (;;) {
     if (block_ == kInvalidBlock) {
       valid_ = false;
@@ -246,7 +246,7 @@ Status Btree::Iterator::Next() {
 }
 
 Result<uint64_t> Btree::CountEntries() {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   PGLO_ASSIGN_OR_RETURN(Iterator it, SeekFirst());
   uint64_t count = 0;
   while (it.valid()) {
@@ -257,7 +257,7 @@ Result<uint64_t> Btree::CountEntries() {
 }
 
 Result<uint64_t> Btree::CheckStructure() {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   PGLO_ASSIGN_OR_RETURN(BlockNumber root, RootBlock());
   PGLO_ASSIGN_OR_RETURN(uint32_t height, Height());
   // Recursive subtree check: every node's entries sorted; every child's

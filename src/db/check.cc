@@ -30,7 +30,8 @@ Result<IntegrityReport> CheckIntegrity(Database* db) {
   if (db->worm() != nullptr) {
     report.worm_orphaned_blocks = db->worm()->OrphanedBlocks();
   }
-  Transaction* txn = db->Begin();
+  std::unique_ptr<Session> session = db->Connect();
+  Transaction* txn = session->Begin();
   PGLO_ASSIGN_OR_RETURN(std::vector<LoManager::ObjectInfo> objects,
                         db->large_objects().List(txn));
 
@@ -102,7 +103,7 @@ Result<IntegrityReport> CheckIntegrity(Database* db) {
       }
     }
   }
-  PGLO_RETURN_IF_ERROR(db->Abort(txn));
+  PGLO_RETURN_IF_ERROR(session->Abort());
   return report;
 }
 

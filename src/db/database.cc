@@ -100,6 +100,14 @@ Status Database::OpenBody(bool after_crash) {
                      "wiped half-created database");
     }
   }
+  if (recorder_ != nullptr) recorder_->SetActivity(&activity_);
+  if (stats_ != nullptr && options_.enable_wait_instrumentation) {
+    waits_ = std::make_unique<WaitStatsTable>();
+    waits_->Bind(stats_.get(), events, options_.wait_event_threshold_ns);
+  }
+  if (stats_ != nullptr) {
+    c_deprecated_txn_api_ = stats_->counter("db.deprecated_txn_api");
+  }
 
   DeviceModel* disk_dev = nullptr;
   DeviceModel* ufs_dev = nullptr;
@@ -157,6 +165,9 @@ Status Database::OpenBody(bool after_crash) {
       policy.retries = stats_->counter("fault.io_retries");
     }
     policy.events = events;
+    if (waits_ != nullptr) {
+      policy.wait = waits_->point(WaitEvent::kIoRetryBackoff);
+    }
     smgrs_->SetRetryPolicy(policy);
   }
   PGLO_RETURN_IF_ERROR(smgrs_->Register(
@@ -182,6 +193,7 @@ Status Database::OpenBody(bool after_crash) {
   pool_ = std::make_unique<BufferPool>(smgrs_.get(),
                                        options_.buffer_pool_frames);
   if (stats_ != nullptr) pool_->BindStats(stats_.get());
+  pool_->BindWaits(waits_.get());
   pool_->SetEventLog(events);
   pool_->SetReadAhead(options_.readahead_pages);
   // Commit-time force-to-disk syncs the whole filesystem in one syscall
@@ -201,10 +213,12 @@ Status Database::OpenBody(bool after_crash) {
   clog_ = std::make_unique<CommitLog>();
   clog_->SetFaultInjector(injector);
   clog_->SetSynchronous(options_.synchronous_commit);
+  clog_->BindWaits(waits_.get());
   PGLO_RETURN_IF_ERROR(clog_->Open(options_.dir + "/clog"));
   txns_ = std::make_unique<TxnManager>(clog_.get(), pool_.get());
   txns_->SetGroupCommit(options_.group_commit);
   txns_->BindEventLog(events);
+  txns_->BindWaits(waits_.get());
   txns_->RestoreNextXid();
   PGLO_RETURN_IF_ERROR(txns_->OpenXidFile(options_.dir + "/xid"));
 
@@ -222,6 +236,9 @@ Status Database::OpenBody(bool after_crash) {
       ufs_policy.retries = stats_->counter("fault.io_retries");
     }
     ufs_policy.events = events;
+    if (waits_ != nullptr) {
+      ufs_policy.wait = waits_->point(WaitEvent::kIoRetryBackoff);
+    }
     ufs_->SetRetryPolicy(ufs_policy);
   }
   // Force-at-commit covers the simulated UNIX file system too: u-file and
@@ -290,6 +307,8 @@ void Database::TearDown(bool crash) {
   disk_device_.reset();
   if (stats_ != nullptr) stats_->SetRecorder(nullptr);
   recorder_.reset();
+  waits_.reset();
+  c_deprecated_txn_api_ = nullptr;
   stats_.reset();
   cpu_.reset();
   clock_.reset();
@@ -332,6 +351,16 @@ Status Database::SimulateCrashAndReopen() {
     PGLO_RETURN_IF_ERROR(options_.fault_injector->ApplyVolatileLoss());
   }
   return OpenInternal(/*after_crash=*/true);
+}
+
+Transaction* Database::Begin() {
+  StatInc(c_deprecated_txn_api_);
+  return txns_->Begin();
+}
+
+Transaction* Database::BeginAsOf(CommitTime as_of) {
+  StatInc(c_deprecated_txn_api_);
+  return txns_->BeginAsOf(as_of);
 }
 
 Result<CommitTime> Database::Commit(Transaction* txn) {

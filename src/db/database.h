@@ -10,6 +10,7 @@
 #include "fault/fault_injector.h"
 #include "lo/lo_manager.h"
 #include "obs/flight_recorder.h"
+#include "obs/wait_event.h"
 #include "smgr/disk_smgr.h"
 #include "smgr/mm_smgr.h"
 #include "smgr/worm_smgr.h"
@@ -61,6 +62,21 @@ struct DatabaseOptions {
   /// dumps to `blackbox_path`. Like stats, never advances the clock.
   bool enable_flight_recorder = true;
   FlightRecorderOptions recorder_options;
+
+  /// When true (and stats are enabled), every blocking point — pool latch,
+  /// pin waits, relation latches, commit-log mutexes and fdatasync, the
+  /// group-commit queue, retry backoff — reports per-class acquire and
+  /// contention counters plus wall-time wait histograms (`wait.*`), and
+  /// each Session publishes a live WaitSlot into the per-backend activity
+  /// view (DESIGN.md §14). Wall time only: wait instrumentation never
+  /// advances the simulated clock.
+  bool enable_wait_instrumentation = true;
+
+  /// Contended waits at/above this wall duration also append a
+  /// kWaitContended event to the flight recorder's ring (when it is on),
+  /// so black-box dumps name the stalls that mattered. 0 records every
+  /// contended wait — diagnostic mode, noisy under real contention.
+  uint64_t wait_event_threshold_ns = 1000000;
 
   /// Black-box dump file name, relative to `dir`. Empty disables the
   /// automatic crash/failed-open dump (DumpBlackbox still works).
@@ -131,9 +147,12 @@ class Database {
   // --- transactions ---------------------------------------------------
   // Deprecated direct transaction control — prefer Connect() + Session,
   // which rejects use-after-commit and attributes work per backend. Kept
-  // as shims because single-stream callers predate the Session API.
-  Transaction* Begin() { return txns_->Begin(); }
-  Transaction* BeginAsOf(CommitTime as_of) { return txns_->BeginAsOf(as_of); }
+  // as shims because single-stream callers predate the Session API; each
+  // Begin bumps the `db.deprecated_txn_api` counter so stragglers show up
+  // in any stats snapshot. (Commit/Abort stay uncounted: Session routes
+  // through them for the LO garbage-collection step.)
+  Transaction* Begin();
+  Transaction* BeginAsOf(CommitTime as_of);
   /// Commits and then runs large-object garbage collection (§5).
   Result<CommitTime> Commit(Transaction* txn);
   Status Abort(Transaction* txn);
@@ -165,6 +184,13 @@ class Database {
   }
   /// Null when options.enable_stats is false.
   StatsRegistry* stats_registry() { return stats_.get(); }
+  /// The wait-event table; null when wait instrumentation (or stats) is
+  /// off. Components are already bound — this accessor serves tests and
+  /// tools that want direct WaitPoint access.
+  const WaitStatsTable* waits() const { return waits_.get(); }
+  /// The live per-backend activity table (always present; rows exist only
+  /// while Sessions are connected).
+  BackendActivity& activity() { return activity_; }
   /// The always-on flight recorder; null when disabled (or stats off).
   FlightRecorder* recorder() { return recorder_.get(); }
   /// Appends a structured event to the recorder's log; no-op when the
@@ -214,6 +240,11 @@ class Database {
   std::unique_ptr<CpuCostModel> cpu_;
   std::unique_ptr<StatsRegistry> stats_;
   std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<WaitStatsTable> waits_;
+  /// Lives across reopens (sessions are quiesced around control-plane
+  /// operations, but the table itself is cheap to keep).
+  BackendActivity activity_;
+  Counter* c_deprecated_txn_api_ = nullptr;
   std::unique_ptr<MagneticDiskModel> disk_device_;
   std::unique_ptr<MagneticDiskModel> ufs_device_;
   std::unique_ptr<MagneticDiskModel> worm_cache_device_;

@@ -5,6 +5,12 @@
 
 namespace pglo {
 
+Session::Session(Database* db, uint32_t backend_id)
+    : db_(db), backend_id_(backend_id) {
+  slot_ = db_->activity().Acquire(backend_id_);
+  PublishThread();
+}
+
 Session::~Session() {
   if (txn_ != nullptr) {
     // Connection dropped mid-transaction: roll back, like a backend exit.
@@ -15,19 +21,47 @@ Session::~Session() {
     }
     txn_ = nullptr;
   }
+  if (slot_ != nullptr) {
+    if (CurrentWaitSlot() == &slot_->wait) SetCurrentWaitSlot(nullptr);
+    db_->activity().Release(slot_);
+    slot_ = nullptr;
+  }
+}
+
+void Session::PublishThread() {
+  if (slot_ != nullptr) SetCurrentWaitSlot(&slot_->wait);
+}
+
+void Session::MirrorStats() {
+  if (slot_ == nullptr) return;
+  slot_->begun.store(stats_.begun, std::memory_order_relaxed);
+  slot_->committed.store(stats_.committed, std::memory_order_relaxed);
+  slot_->aborted.store(stats_.aborted, std::memory_order_relaxed);
 }
 
 Transaction* Session::Begin() {
   PGLO_CHECK(txn_ == nullptr);  // one transaction per session at a time
+  PublishThread();
   txn_ = db_->txns().Begin();
   ++stats_.begun;
+  if (slot_ != nullptr) {
+    slot_->xid.store(txn_->xid(), std::memory_order_relaxed);
+    slot_->in_txn.store(1, std::memory_order_release);
+    MirrorStats();
+  }
   return txn_;
 }
 
 Transaction* Session::BeginAsOf(CommitTime as_of) {
   PGLO_CHECK(txn_ == nullptr);
+  PublishThread();
   txn_ = db_->txns().BeginAsOf(as_of);
   ++stats_.begun;
+  if (slot_ != nullptr) {
+    slot_->xid.store(txn_->xid(), std::memory_order_relaxed);
+    slot_->in_txn.store(1, std::memory_order_release);
+    MirrorStats();
+  }
   return txn_;
 }
 
@@ -45,6 +79,11 @@ Result<CommitTime> Session::Commit() {
   PGLO_ASSIGN_OR_RETURN(CommitTime time, db_->Commit(txn_));
   txn_ = nullptr;  // consumed only on success; on error the caller aborts
   ++stats_.committed;
+  if (slot_ != nullptr) {
+    slot_->in_txn.store(0, std::memory_order_release);
+    slot_->xid.store(0, std::memory_order_relaxed);
+    MirrorStats();
+  }
   return time;
 }
 
@@ -54,6 +93,11 @@ Status Session::Abort() {
   // Even a failed abort record leaves the transaction unusable.
   txn_ = nullptr;
   ++stats_.aborted;
+  if (slot_ != nullptr) {
+    slot_->in_txn.store(0, std::memory_order_release);
+    slot_->xid.store(0, std::memory_order_relaxed);
+    MirrorStats();
+  }
   return s;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "lo/lo_manager.h"
+#include "obs/wait_event.h"
 #include "txn/transaction.h"
 #include "txn/xid.h"
 
@@ -77,18 +78,31 @@ class Session {
   uint32_t backend_id() const { return backend_id_; }
   const SessionStats& stats() const { return stats_; }
 
+  /// The session's row in the Database's activity table — current wait
+  /// class, cumulative waits, txn state — readable by a monitor thread
+  /// while the session works (every field is atomic).
+  const BackendSlot* activity_slot() const { return slot_; }
+
  private:
   friend class Database;
-  Session(Database* db, uint32_t backend_id)
-      : db_(db), backend_id_(backend_id) {}
+  Session(Database* db, uint32_t backend_id);
 
   /// The session's transaction must be in-progress; shared error otherwise.
   Status RequireTxn() const;
+
+  /// Installs the session's WaitSlot as the calling thread's current slot.
+  /// Called at construction and on every Begin, so a session constructed on
+  /// one thread and driven from another (Connect on main, work on a worker)
+  /// publishes its waits from the thread that actually blocks.
+  void PublishThread();
+  /// Mirrors the non-atomic SessionStats into the activity slot's atomics.
+  void MirrorStats();
 
   Database* db_;
   uint32_t backend_id_;
   Transaction* txn_ = nullptr;
   SessionStats stats_;
+  BackendSlot* slot_ = nullptr;  ///< owned by the Database's activity table
 };
 
 }  // namespace pglo

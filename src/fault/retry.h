@@ -8,6 +8,7 @@
 #include "device/sim_clock.h"
 #include "obs/event_log.h"
 #include "obs/stats.h"
+#include "obs/wait_event.h"
 
 namespace pglo {
 
@@ -21,6 +22,11 @@ struct RetryPolicy {
   SimClock* clock = nullptr;          ///< advanced by each backoff wait
   Counter* retries = nullptr;         ///< optional "fault.io_retries" counter
   EventLog* events = nullptr;         ///< optional kIoRetry event sink
+  /// Optional `io.retry.backoff` wait point. Unlike every other wait class
+  /// this one records SIMULATED ns — the backoff is a clock advance, not a
+  /// blocked thread — so its histogram is comparable to the device charges
+  /// it punishes.
+  const WaitPoint* wait = nullptr;
 };
 
 /// Runs `op` (a callable returning Status) up to policy.max_attempts times,
@@ -41,6 +47,7 @@ Status RetryTransient(const RetryPolicy& policy, Op&& op) {
                             attempt);
     }
     if (policy.clock != nullptr) policy.clock->Advance(backoff);
+    RecordSimWait(policy.wait, backoff);
     backoff *= policy.backoff_multiplier;
   }
 }

@@ -18,7 +18,7 @@ Result<BlockNumber> HeapClass::NumBlocks() const {
 }
 
 Result<Tid> HeapClass::Insert(Transaction* txn, Slice payload) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
   if (!txn->active()) return Status::Aborted("transaction not active");
   if (txn->read_only()) {
     return Status::PermissionDenied("time-travel transactions are read-only");
@@ -61,7 +61,7 @@ Result<Tid> HeapClass::Insert(Transaction* txn, Slice payload) {
 }
 
 Status HeapClass::Delete(Transaction* txn, Tid tid) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
   if (!txn->active()) return Status::Aborted("transaction not active");
   if (txn->read_only()) {
     return Status::PermissionDenied("time-travel transactions are read-only");
@@ -96,7 +96,7 @@ Status HeapClass::Delete(Transaction* txn, Tid tid) {
 }
 
 Result<Tid> HeapClass::Update(Transaction* txn, Tid tid, Slice payload) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
   // Updating a version this same transaction created (and nobody deleted)
   // replaces it physically: intermediate states within one transaction are
   // not part of history, so keeping them would only bloat storage. This is
@@ -136,7 +136,7 @@ Result<Tid> HeapClass::Update(Transaction* txn, Tid tid, Slice payload) {
 }
 
 Result<Bytes> HeapClass::Get(Transaction* txn, Tid tid) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, tid.block}));
   SlottedPage page(handle.data());
   PGLO_ASSIGN_OR_RETURN(Slice item, page.GetItem(tid.slot));
@@ -152,7 +152,7 @@ Result<Bytes> HeapClass::Get(Transaction* txn, Tid tid) {
 }
 
 Result<std::pair<TupleHeader, Bytes>> HeapClass::GetAnyVersion(Tid tid) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, tid.block}));
   SlottedPage page(handle.data());
   PGLO_ASSIGN_OR_RETURN(Slice item, page.GetItem(tid.slot));
@@ -166,7 +166,7 @@ Result<std::pair<TupleHeader, Bytes>> HeapClass::GetAnyVersion(Tid tid) {
 
 Result<uint64_t> HeapClass::Vacuum(const CommitLog& clog,
                                    CommitTime horizon) {
-  RelLatchGuard latch(pool_->rel_latches(), file_);
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
   PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks());
   uint64_t removed = 0;
   for (BlockNumber b = 0; b < nblocks; ++b) {
@@ -202,7 +202,7 @@ Result<uint64_t> HeapClass::Vacuum(const CommitLog& clog,
 }
 
 Result<bool> HeapScan::Next(Tid* tid, Bytes* payload) {
-  RelLatchGuard latch(heap_->pool_->rel_latches(), heap_->file_);
+  RelLatchGuard latch(heap_->pool_->rel_latches(), heap_->file_, WaitEvent::kLatchRelHeap);
   if (exhausted_) return false;
   PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, heap_->NumBlocks());
   while (block_ < nblocks) {

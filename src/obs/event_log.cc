@@ -30,6 +30,8 @@ const char* EventTypeName(EventType type) {
       return "slow_op.captured";
     case EventType::kCrashDump:
       return "recorder.dump";
+    case EventType::kWaitContended:
+      return "wait.contended";
   }
   return "unknown";
 }

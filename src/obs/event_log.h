@@ -28,6 +28,7 @@ enum class EventType : uint8_t {
   kReadAheadRamp,      ///< detail=layer, a=window reached, b=start block
   kSlowOp,             ///< detail=root span, a=duration ns, b=budget ns
   kCrashDump,          ///< the recorder serialized itself; a=event total
+  kWaitContended,      ///< detail=wait class, a=wall wait ns, b=backend id
 };
 
 /// Stable lowercase dotted name for an event type ("txn.begin", ...).

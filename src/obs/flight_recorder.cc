@@ -253,6 +253,38 @@ std::string FlightRecorder::ToJson(const std::string& reason) {
   w.Key("events");
   events_.ToJson(&w);
 
+  if (activity_ != nullptr) {
+    // pg_stat_activity at the instant of the dump: one row per connected
+    // backend, including the wait class it was blocked on (if any).
+    w.Key("backends");
+    w.BeginArray();
+    for (const BackendActivityRow& row : activity_->Snapshot()) {
+      w.BeginObject();
+      w.Key("backend_id");
+      w.Uint(row.backend_id);
+      w.Key("in_txn");
+      w.Bool(row.in_txn);
+      w.Key("xid");
+      w.Uint(row.xid);
+      w.Key("begun");
+      w.Uint(row.begun);
+      w.Key("committed");
+      w.Uint(row.committed);
+      w.Key("aborted");
+      w.Uint(row.aborted);
+      w.Key("wait");
+      w.String(WaitEventName(row.wait_event));
+      w.Key("waiting_ns");
+      w.Uint(row.waiting_ns);
+      w.Key("waits");
+      w.Uint(row.waits);
+      w.Key("waited_ns");
+      w.Uint(row.waited_ns);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+
   w.Key("snapshot_deltas");
   w.BeginObject();
   w.Key("total");

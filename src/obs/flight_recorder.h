@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "obs/event_log.h"
 #include "obs/stats.h"
+#include "obs/wait_event.h"
 
 namespace pglo {
 
@@ -111,6 +112,13 @@ class FlightRecorder : public TraceSink {
   EventLog& events() { return events_; }
   const EventLog& events() const { return events_; }
 
+  /// Lends the recorder the live per-backend activity table, so every
+  /// black-box dump carries a pg_stat_activity-style `backends` section:
+  /// who was connected, in what txn state, and what each backend was
+  /// waiting on at the instant of the dump. Borrowed; must outlive the
+  /// recorder (the Database owns both).
+  void SetActivity(const BackendActivity* activity) { activity_ = activity; }
+
   const FlightRecorderOptions& options() const { return options_; }
 
   /// Retained spans, oldest first.
@@ -161,6 +169,7 @@ class FlightRecorder : public TraceSink {
 
   FlightRecorderOptions options_;
   StatsRegistry* registry_;
+  const BackendActivity* activity_ = nullptr;
   EventLog events_;
 
   // Guards every ring and the slow-op pending stack. Concurrent backends

@@ -188,13 +188,15 @@ void AppendUint(std::string* out, uint64_t v) {
 }  // namespace
 
 std::string StatsSnapshot::ToPrometheus() const {
-  std::vector<size_t> cidx =
-      SortedIndex(counters, [](const auto& c) -> const std::string& {
-        return c.first;
-      });
+  // Sort by the SANITIZED name, not the raw one: '-' < '.' < '_' in ASCII,
+  // so raw order diverges from emitted order once names mixing separators
+  // exist (e.g. "worm-cache.*" vs "worm.hits" vs "wait.*"). The exposition
+  // must be byte-stable AND sorted as the scraper sees it.
+  std::vector<size_t> cidx = SortedIndex(
+      counters, [](const auto& c) -> std::string { return PromName(c.first); });
   std::vector<size_t> hidx = SortedIndex(
       histograms,
-      [](const HistogramEntry& h) -> const std::string& { return h.name; });
+      [](const HistogramEntry& h) -> std::string { return PromName(h.name); });
   std::string out;
   for (size_t i : cidx) {
     const auto& [name, value] = counters[i];

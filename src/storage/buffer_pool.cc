@@ -76,7 +76,7 @@ void BufferPool::PinLocked(size_t frame) {
 }
 
 void BufferPool::Unpin(size_t frame) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_latch_);
   Frame& f = frames_[frame];
   PGLO_CHECK(f.pin_count > 0);
   if (--f.pin_count == 0) {
@@ -301,7 +301,7 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
   if (cpu_ != nullptr && access_instructions_ > 0) {
     cpu_->ChargeInstructions(access_instructions_);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_latch_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -442,7 +442,7 @@ Result<PageHandle> BufferPool::GetPage(PageId id) {
 }
 
 Result<BlockNumber> BufferPool::NumBlocks(RelFileId file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_latch_);
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(file));
   PGLO_ASSIGN_OR_RETURN(BlockNumber n, smgr->NumBlocks(file.relfile));
   auto it = pending_size_.find(file);
@@ -453,7 +453,7 @@ Result<BlockNumber> BufferPool::NumBlocks(RelFileId file) {
 Result<PageHandle> BufferPool::NewPage(RelFileId file,
                                        BlockNumber* block_out) {
   TraceSpan span(registry_, h_new_page_ns_, "bufpool.new_page");
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_latch_);
   PGLO_ASSIGN_OR_RETURN(StorageManager * smgr, SmgrFor(file));
   PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, smgr->NumBlocks(file.relfile));
   auto pit = pending_size_.find(file);
@@ -538,7 +538,10 @@ Status BufferPool::FlushSnapshotLocked(std::unique_lock<std::mutex>& lk,
     // cannot self-deadlock: the flush holds no pins of its own by the time
     // it waits (LO operations release handles before commit flushes).
     ++stats_.flush_pin_waits;
-    cv_.wait(lk);
+    {
+      WaitGuard wait(wp_pin_wait_);
+      cv_.wait(lk);
+    }
   }
 }
 
@@ -549,7 +552,8 @@ Status BufferPool::FlushAll() {
   std::vector<std::pair<RelFileId, uint64_t>> targets;
   uint64_t epoch_target = 0;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    WaitLock(mu_, wp_latch_);
+    std::unique_lock<std::mutex> lk(mu_, std::adopt_lock);
     PGLO_RETURN_IF_ERROR(FlushSnapshotLocked(lk, nullptr));
     if (sync_fd_ >= 0) {
       epoch_target = write_epoch_.load(std::memory_order_acquire);
@@ -568,10 +572,17 @@ Status BufferPool::FlushAll() {
     // single journal commit. Outside mu_, with epoch piggybacking, exactly
     // like the commit log's fdatasync protocol.
     if (epoch_target == 0) return Status::OK();
-    std::lock_guard<std::mutex> sync_lock(data_sync_mu_);
+    WaitLockGuard sync_lock(data_sync_mu_, wp_data_sync_);
     if (synced_epoch_ >= epoch_target) return Status::OK();
     uint64_t upto = write_epoch_.load(std::memory_order_acquire);
-    if (::syncfs(sync_fd_) != 0) {
+    int rc;
+    {
+      // The syscall itself is a blocking episode worth attributing: the
+      // leader of a commit batch spends its force stall here.
+      WaitGuard sync_wait(wp_data_sync_, /*count_acquire=*/false);
+      rc = ::syncfs(sync_fd_);
+    }
+    if (rc != 0) {
       return Status::IOError("syncfs failed");
     }
     synced_epoch_ = upto;
@@ -604,12 +615,13 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::FlushFile(RelFileId file) {
-  std::unique_lock<std::mutex> lk(mu_);
+  WaitLock(mu_, wp_latch_);
+  std::unique_lock<std::mutex> lk(mu_, std::adopt_lock);
   return FlushSnapshotLocked(lk, &file);
 }
 
 void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_latch_);
   if (discard_dirty) pending_size_.erase(file);
   readahead_.erase(file);
   if (discard_dirty) {
@@ -637,7 +649,7 @@ void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
 }
 
 void BufferPool::CrashDiscardAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_latch_);
   pending_size_.clear();
   readahead_.clear();
   file_writes_.clear();

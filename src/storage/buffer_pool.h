@@ -15,6 +15,7 @@
 #include "device/cpu_cost.h"
 #include "obs/event_log.h"
 #include "obs/stats.h"
+#include "obs/wait_event.h"
 #include "smgr/smgr_registry.h"
 #include "storage/page.h"
 #include "storage/rel_latch.h"
@@ -137,6 +138,19 @@ class BufferPool {
   /// prefetch the sequential detector issues. Null = silent.
   /// Configuration-time only.
   void SetEventLog(EventLog* events) { events_ = events; }
+
+  /// Wait instrumentation (DESIGN.md §14): every acquisition of the pool
+  /// latch reports under `latch.bufpool`, the flush loop's pin wait under
+  /// `bufpool.pin_wait`, and the commit-time syncfs (mutex + syscall) under
+  /// `bufpool.data_sync`. Also binds the hosted relation-latch registry.
+  /// Null/unbound = raw paths. Configuration-time only.
+  void BindWaits(const WaitStatsTable* waits) {
+    if (waits == nullptr) return;
+    wp_latch_ = waits->point(WaitEvent::kLatchBufPool);
+    wp_pin_wait_ = waits->point(WaitEvent::kBufPoolPinWait);
+    wp_data_sync_ = waits->point(WaitEvent::kBufPoolDataSync);
+    rel_latches_.BindWaits(waits);
+  }
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -296,6 +310,9 @@ class BufferPool {
   Histogram* h_get_ns_ = nullptr;
   Histogram* h_new_page_ns_ = nullptr;
   Histogram* h_writeback_ns_ = nullptr;
+  const WaitPoint* wp_latch_ = nullptr;
+  const WaitPoint* wp_pin_wait_ = nullptr;
+  const WaitPoint* wp_data_sync_ = nullptr;
 
   /// The one pool latch. Guards every field below it, including miss and
   /// write-back I/O (misses serialize — acceptable while working sets fit

@@ -8,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/wait_event.h"
 #include "storage/page.h"
 
 namespace pglo {
@@ -36,16 +37,26 @@ class RelLatchRegistry {
   RelLatchRegistry(const RelLatchRegistry&) = delete;
   RelLatchRegistry& operator=(const RelLatchRegistry&) = delete;
 
-  void Lock(RelFileId file) {
+  /// Wait instrumentation for contended latch acquisitions, keyed by the
+  /// caller-supplied access-method kind (latch.rel.heap / .btree / .other).
+  /// Null or unbound = uninstrumented. Configuration-time only.
+  void BindWaits(const WaitStatsTable* waits) { waits_ = waits; }
+
+  void Lock(RelFileId file, WaitEvent kind = WaitEvent::kLatchRelOther) {
     std::unique_lock<std::mutex> lk(mu_);
     LatchState& st = *StateFor(file);
     std::thread::id self = std::this_thread::get_id();
     if (st.depth > 0 && st.owner == self) {
-      ++st.depth;
+      ++st.depth;  // re-entrant: not a new acquisition for the stats
       return;
     }
-    while (st.depth > 0) {
-      cv_.wait(lk);
+    const WaitPoint* wp = waits_ != nullptr ? waits_->point(kind) : nullptr;
+    if (wp != nullptr) StatInc(wp->acquires);
+    if (st.depth > 0) {
+      WaitGuard guard(wp, /*count_acquire=*/false);
+      while (st.depth > 0) {
+        cv_.wait(lk);
+      }
     }
     st.owner = self;
     st.depth = 1;
@@ -84,15 +95,17 @@ class RelLatchRegistry {
   std::condition_variable cv_;
   std::unordered_map<RelFileId, std::unique_ptr<LatchState>, RelFileIdHash>
       latches_;
+  const WaitStatsTable* waits_ = nullptr;
 };
 
 /// RAII scope for one relation latch. Null registry = no-op, so access
 /// methods built on a bare BufferPool in unit tests run unchanged.
 class RelLatchGuard {
  public:
-  RelLatchGuard(RelLatchRegistry* registry, RelFileId file)
+  RelLatchGuard(RelLatchRegistry* registry, RelFileId file,
+                WaitEvent kind = WaitEvent::kLatchRelOther)
       : registry_(registry), file_(file) {
-    if (registry_ != nullptr) registry_->Lock(file_);
+    if (registry_ != nullptr) registry_->Lock(file_, kind);
   }
   ~RelLatchGuard() {
     if (registry_ != nullptr) registry_->Unlock(file_);

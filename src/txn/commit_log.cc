@@ -147,7 +147,7 @@ Status CommitLog::AppendRecordLocked(Xid xid, TxnState state, CommitTime time,
 
 Status CommitLog::SyncTo(uint64_t target) {
   if (!synchronous_) return Status::OK();
-  std::lock_guard<std::mutex> sync_lock(sync_mu_);
+  WaitLockGuard sync_lock(sync_mu_, wp_fsync_);
   if (synced_size_.load(std::memory_order_acquire) >= target) {
     // A concurrent caller synced past our append — piggyback on its
     // fdatasync (the syscall covers the whole file).
@@ -156,7 +156,14 @@ Status CommitLog::SyncTo(uint64_t target) {
   // Snapshot the append frontier BEFORE the syscall: everything appended up
   // to here is covered, anything appended during the sync may not be.
   uint64_t upto = appended_size_.load(std::memory_order_acquire);
-  if (::fdatasync(fd_) != 0) {
+  int rc;
+  {
+    // The syscall is the blocking episode that matters: the committer that
+    // pays the fdatasync (instead of piggybacking) stalls right here.
+    WaitGuard sync_wait(wp_fsync_, /*count_acquire=*/false);
+    rc = ::fdatasync(fd_);
+  }
+  if (rc != 0) {
     return Status::IOError("commit log sync failed");
   }
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
@@ -169,7 +176,7 @@ Result<CommitTime> CommitLog::RecordCommit(Xid xid) {
   CommitTime time;
   uint64_t end = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    WaitLockGuard lock(mu_, wp_mutex_);
     time = next_commit_time_;
     PGLO_RETURN_IF_ERROR(
         AppendRecordLocked(xid, TxnState::kCommitted, time, &end));
@@ -189,7 +196,7 @@ Result<CommitTime> CommitLog::RecordCommitBatch(
   CommitTime first;
   uint64_t end = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    WaitLockGuard lock(mu_, wp_mutex_);
     first = next_commit_time_;
     std::vector<uint8_t> buf(xids.size() * kRecordSize);
     for (size_t i = 0; i < xids.size(); ++i) {
@@ -214,7 +221,7 @@ Result<CommitTime> CommitLog::RecordCommitBatch(
 Status CommitLog::RecordAbort(Xid xid) {
   uint64_t end = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    WaitLockGuard lock(mu_, wp_mutex_);
     PGLO_RETURN_IF_ERROR(
         AppendRecordLocked(xid, TxnState::kAborted, kInvalidCommitTime, &end));
     entries_[xid] = Entry{TxnState::kAborted, kInvalidCommitTime};
@@ -228,14 +235,14 @@ Status CommitLog::RecordAbort(Xid xid) {
 }
 
 TxnState CommitLog::GetState(Xid xid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_mutex_);
   auto it = entries_.find(xid);
   if (it == entries_.end()) return TxnState::kAborted;
   return it->second.state;
 }
 
 CommitTime CommitLog::GetCommitTime(Xid xid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  WaitLockGuard lock(mu_, wp_mutex_);
   auto it = entries_.find(xid);
   if (it == entries_.end() || it->second.state != TxnState::kCommitted) {
     return kInvalidCommitTime;

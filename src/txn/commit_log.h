@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/wait_event.h"
 #include "txn/xid.h"
 
 namespace pglo {
@@ -69,7 +70,7 @@ class CommitLog {
   /// Notes `xid` as in progress (memory only — a crash forgets it, which
   /// correctly demotes it to aborted).
   void RecordBegin(Xid xid) {
-    std::lock_guard<std::mutex> lock(mu_);
+    WaitLockGuard lock(mu_, wp_mutex_);
     entries_[xid] = Entry{TxnState::kInProgress, kInvalidCommitTime};
   }
 
@@ -83,13 +84,13 @@ class CommitLog {
   /// Current value of the commit-time counter (the tick of the most recent
   /// commit). Snapshots taken at this value see all committed data.
   CommitTime Now() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    WaitLockGuard lock(mu_, wp_mutex_);
     return next_commit_time_ - 1;
   }
 
   /// Highest XID that has any record; used to restart the XID allocator.
   Xid MaxRecordedXid() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    WaitLockGuard lock(mu_, wp_mutex_);
     return max_xid_;
   }
 
@@ -112,6 +113,16 @@ class CommitLog {
   /// as volatile and vanish at the next simulated power failure.
   void SetSynchronous(bool synchronous) { synchronous_ = synchronous; }
 
+  /// Wait instrumentation (DESIGN.md §14): acquisitions of `mu_` report
+  /// under `clog.mutex` (the visibility hot path), and the sync side —
+  /// `sync_mu_` plus the fdatasync syscall itself — under `clog.fsync`.
+  /// Configuration-time only.
+  void BindWaits(const WaitStatsTable* waits) {
+    if (waits == nullptr) return;
+    wp_mutex_ = waits->point(WaitEvent::kClogMutex);
+    wp_fsync_ = waits->point(WaitEvent::kClogFsync);
+  }
+
  private:
   struct Entry {
     TxnState state;
@@ -133,6 +144,8 @@ class CommitLog {
 
   mutable std::mutex mu_;  ///< entries_, counters, and file appends
   std::mutex sync_mu_;     ///< serializes fdatasync; never nests inside mu_
+  const WaitPoint* wp_mutex_ = nullptr;
+  const WaitPoint* wp_fsync_ = nullptr;
   int fd_ = -1;
   std::string path_;
   std::unordered_map<Xid, Entry> entries_;

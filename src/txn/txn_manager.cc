@@ -121,7 +121,7 @@ Result<CommitTime> TxnManager::Commit(Transaction* txn) {
 }
 
 Result<CommitTime> TxnManager::CommitSingle(Transaction* txn) {
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  WaitLockGuard commit_lock(commit_mu_, wp_commit_serialize_);
   PGLO_RETURN_IF_ERROR(ForceAll());
   PGLO_ASSIGN_OR_RETURN(CommitTime time, clog_->RecordCommit(txn->xid()));
   if (events_ != nullptr) {
@@ -140,8 +140,11 @@ Result<CommitTime> TxnManager::CommitGrouped(Transaction* txn) {
   // Followers wait while a leader round is in flight; the leader may
   // commit us (done) or finish a round that predates our enqueue (then we
   // take over leadership for the queue we are part of).
-  while (gc_leader_active_ && !req.done) {
-    gc_cv_.wait(lk);
+  if (gc_leader_active_ && !req.done) {
+    WaitGuard wait(wp_gc_follower_);
+    while (gc_leader_active_ && !req.done) {
+      gc_cv_.wait(lk);
+    }
   }
   if (req.done) return req.result;
   gc_leader_active_ = true;
@@ -153,7 +156,8 @@ Result<CommitTime> TxnManager::CommitGrouped(Transaction* txn) {
   // stream has gc_last_batch_ <= 1 and never waits, so single-session
   // commit latency is unchanged; when the population shrinks, one capped
   // wait re-learns the smaller batch.
-  if (gc_last_batch_ > 1) {
+  if (gc_last_batch_ > 1 && gc_queue_.size() < gc_last_batch_) {
+    WaitGuard wait(wp_gc_gather_);
     auto deadline = std::chrono::steady_clock::now() + kGroupCommitGatherCap;
     while (gc_queue_.size() < gc_last_batch_) {
       if (gc_cv_.wait_until(lk, deadline) == std::cv_status::timeout) break;

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "obs/event_log.h"
+#include "obs/wait_event.h"
 #include "storage/buffer_pool.h"
 #include "txn/commit_log.h"
 #include "txn/transaction.h"
@@ -93,6 +94,18 @@ class TxnManager {
   /// abort). Null = silent. Configuration-time only.
   void BindEventLog(EventLog* events) { events_ = events; }
 
+  /// Wait instrumentation (DESIGN.md §14): the single-commit serializer
+  /// reports under `txn.commit_serialize`, the group-commit queue under
+  /// `clog.group_commit.follower` (waiting out a leader's round) and
+  /// `clog.group_commit.gather` (the leader's bounded refill wait).
+  /// Configuration-time only.
+  void BindWaits(const WaitStatsTable* waits) {
+    if (waits == nullptr) return;
+    wp_commit_serialize_ = waits->point(WaitEvent::kTxnCommitSerialize);
+    wp_gc_follower_ = waits->point(WaitEvent::kGroupCommitFollower);
+    wp_gc_gather_ = waits->point(WaitEvent::kGroupCommitGather);
+  }
+
   const CommitLog& commit_log() const { return *clog_; }
   size_t active_count() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -131,6 +144,9 @@ class TxnManager {
   std::unordered_map<Transaction*, std::unique_ptr<Transaction>> active_;
   std::vector<std::function<Status()>> force_hooks_;
   EventLog* events_ = nullptr;
+  const WaitPoint* wp_commit_serialize_ = nullptr;
+  const WaitPoint* wp_gc_follower_ = nullptr;
+  const WaitPoint* wp_gc_gather_ = nullptr;
 
   bool group_commit_ = false;
   std::mutex commit_mu_;  ///< serializes the non-grouped commit sequence

@@ -32,7 +32,8 @@ void RunDifferential(const char* label, LoSpec spec, uint64_t seed) {
   opts.charge_devices = false;
   Database db;
   ASSERT_OK(db.Open(opts));
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+  Transaction* txn = session->Begin();
   ASSERT_OK_AND_ASSIGN(Oid oid, db.large_objects().Create(txn, spec));
   ASSERT_OK_AND_ASSIGN(std::unique_ptr<LargeObject> lo,
                        db.large_objects().Instantiate(txn, oid));
@@ -172,10 +173,10 @@ void RunDifferential(const char* label, LoSpec spec, uint64_t seed) {
   };
   compare_all(txn);
   lo.reset();
-  ASSERT_OK(db.Commit(txn).status());
-  Transaction* probe = db.Begin();
+  ASSERT_OK(session->Commit().status());
+  Transaction* probe = session->Begin();
   compare_all(probe);
-  ASSERT_OK(db.Abort(probe));
+  ASSERT_OK(session->Abort());
   ASSERT_OK(db.Close());
 }
 

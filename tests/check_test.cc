@@ -128,6 +128,9 @@ TEST_P(CrashIntegrityFuzz, IntegrityHoldsThroughCrashes) {
   Random rng(GetParam());
   std::vector<Oid> committed_objects;
 
+  // Deliberately on the deprecated Database-level Begin(): case 2 below
+  // crashes mid-transaction, and a Session would abort the (by then
+  // dangling) transaction at scope exit.
   for (int round = 0; round < 12; ++round) {
     Transaction* txn = db.Begin();
     // Mutate: maybe create an object, write to a random committed one.

@@ -26,22 +26,23 @@ TEST_F(DatabaseTest, OpenCloseReopen) {
   {
     Database db;
     ASSERT_OK(db.Open(Options()));
-    Transaction* txn = db.Begin();
-    ASSERT_OK_AND_ASSIGN(oid, db.large_objects().Create(txn, LoSpec{}));
-    ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                         db.large_objects().Open(txn, oid, true));
+    auto session = db.Connect();
+    session->Begin();
+    ASSERT_OK_AND_ASSIGN(oid, session->CreateLo(LoSpec{}));
+    ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, true));
     ASSERT_OK(fd->Write(Slice("survives restart")));
-    ASSERT_OK(db.Commit(txn).status());
+    ASSERT_OK(session->Commit().status());
+    session.reset();
     ASSERT_OK(db.Close());
   }
   Database db;
   ASSERT_OK(db.Open(Options()));
-  Transaction* txn = db.Begin();
-  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                       db.large_objects().Open(txn, oid, false));
+  auto session = db.Connect();
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, false));
   ASSERT_OK_AND_ASSIGN(Bytes data, fd->Read(64));
   EXPECT_EQ(Slice(data).ToString(), "survives restart");
-  ASSERT_OK(db.Abort(txn));
+  ASSERT_OK(session->Abort());
 }
 
 TEST_F(DatabaseTest, DoubleOpenRejected) {
@@ -61,21 +62,27 @@ TEST_F(DatabaseTest, CommittedDataSurvivesCrash) {
   ASSERT_OK(db.Open(Options()));
   Oid oid;
   {
-    Transaction* txn = db.Begin();
-    ASSERT_OK_AND_ASSIGN(oid, db.large_objects().Create(txn, LoSpec{}));
-    ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                         db.large_objects().Open(txn, oid, true));
+    auto session = db.Connect();
+    session->Begin();
+    ASSERT_OK_AND_ASSIGN(oid, session->CreateLo(LoSpec{}));
+    ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, true));
     ASSERT_OK(fd->Write(Slice("committed before crash")));
-    ASSERT_OK(db.Commit(txn).status());
+    ASSERT_OK(session->Commit().status());
   }
   ASSERT_OK(db.SimulateCrashAndReopen());
-  Transaction* txn = db.Begin();
-  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                       db.large_objects().Open(txn, oid, false));
+  auto session = db.Connect();
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, false));
   ASSERT_OK_AND_ASSIGN(Bytes data, fd->Read(64));
   EXPECT_EQ(Slice(data).ToString(), "committed before crash");
-  ASSERT_OK(db.Abort(txn));
+  ASSERT_OK(session->Abort());
 }
+
+// The crash-mid-transaction tests below stay on the deprecated
+// Database-level Begin(): they deliberately abandon a transaction at the
+// crash point, which a Session would dutifully abort at destruction —
+// defeating the test. The `db.deprecated_txn_api` counter keeps such
+// callers visible (see DeprecatedTxnApiCounted).
 
 TEST_F(DatabaseTest, UncommittedDataVanishesOnCrash) {
   // The no-overwrite commit protocol: a crash before the commit record
@@ -148,77 +155,79 @@ TEST_F(DatabaseTest, TimeTravelSurvivesRestart) {
   {
     Database db;
     ASSERT_OK(db.Open(Options()));
-    Transaction* txn = db.Begin();
-    ASSERT_OK_AND_ASSIGN(oid, db.large_objects().Create(txn, LoSpec{}));
-    ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                         db.large_objects().Open(txn, oid, true));
+    auto session = db.Connect();
+    session->Begin();
+    ASSERT_OK_AND_ASSIGN(oid, session->CreateLo(LoSpec{}));
+    ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, true));
     ASSERT_OK(fd->Write(Slice("v1")));
-    ASSERT_OK_AND_ASSIGN(v1_time, db.Commit(txn));
-    txn = db.Begin();
-    ASSERT_OK_AND_ASSIGN(fd, db.large_objects().Open(txn, oid, true));
+    ASSERT_OK_AND_ASSIGN(v1_time, session->Commit());
+    session->Begin();
+    ASSERT_OK_AND_ASSIGN(fd, session->OpenLo(oid, true));
     ASSERT_OK(fd->Seek(0, Whence::kSet).status());
     ASSERT_OK(fd->Write(Slice("v2")));
-    ASSERT_OK(db.Commit(txn).status());
+    ASSERT_OK(session->Commit().status());
+    session.reset();
     ASSERT_OK(db.Close());
   }
   Database db;
   ASSERT_OK(db.Open(Options()));
-  Transaction* historical = db.BeginAsOf(v1_time);
-  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                       db.large_objects().Open(historical, oid, false));
+  auto session = db.Connect();
+  session->BeginAsOf(v1_time);
+  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, false));
   ASSERT_OK_AND_ASSIGN(Bytes data, fd->Read(16));
   EXPECT_EQ(Slice(data).ToString(), "v1");
-  ASSERT_OK(db.Abort(historical));
+  ASSERT_OK(session->Abort());
 }
 
 TEST_F(DatabaseTest, OidsNeverReusedAfterCrash) {
   Database db;
   ASSERT_OK(db.Open(Options()));
-  Transaction* txn = db.Begin();
-  ASSERT_OK_AND_ASSIGN(Oid before, db.large_objects().Create(txn, LoSpec{}));
-  ASSERT_OK(db.Commit(txn).status());
+  auto session = db.Connect();
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(Oid before, session->CreateLo(LoSpec{}));
+  ASSERT_OK(session->Commit().status());
   ASSERT_OK(db.SimulateCrashAndReopen());
-  txn = db.Begin();
-  ASSERT_OK_AND_ASSIGN(Oid after, db.large_objects().Create(txn, LoSpec{}));
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(Oid after, session->CreateLo(LoSpec{}));
   EXPECT_GT(after, before);
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
 }
 
 TEST_F(DatabaseTest, WormStorageManagerUsableForLargeObjects) {
   Database db;
   ASSERT_OK(db.Open(Options()));
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+  session->Begin();
   LoSpec spec;
   spec.smgr = kSmgrWorm;
-  ASSERT_OK_AND_ASSIGN(Oid oid, db.large_objects().Create(txn, spec));
-  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                       db.large_objects().Open(txn, oid, true));
+  ASSERT_OK_AND_ASSIGN(Oid oid, session->CreateLo(spec));
+  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, true));
   ASSERT_OK(fd->Write(Slice("on the jukebox")));
-  ASSERT_OK(db.Commit(txn).status());
-  txn = db.Begin();
-  ASSERT_OK_AND_ASSIGN(fd, db.large_objects().Open(txn, oid, false));
+  ASSERT_OK(session->Commit().status());
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(fd, session->OpenLo(oid, false));
   ASSERT_OK_AND_ASSIGN(Bytes data, fd->Read(64));
   EXPECT_EQ(Slice(data).ToString(), "on the jukebox");
   EXPECT_GT(db.worm()->stats().optical_writes, 0u);
-  ASSERT_OK(db.Abort(txn));
+  ASSERT_OK(session->Abort());
 }
 
 TEST_F(DatabaseTest, MainMemoryStorageManagerUsable) {
   Database db;
   ASSERT_OK(db.Open(Options()));
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+  session->Begin();
   LoSpec spec;
   spec.smgr = kSmgrMemory;
-  ASSERT_OK_AND_ASSIGN(Oid oid, db.large_objects().Create(txn, spec));
-  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                       db.large_objects().Open(txn, oid, true));
+  ASSERT_OK_AND_ASSIGN(Oid oid, session->CreateLo(spec));
+  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, true));
   ASSERT_OK(fd->Write(Slice("in nvram")));
-  ASSERT_OK(db.Commit(txn).status());
-  txn = db.Begin();
-  ASSERT_OK_AND_ASSIGN(fd, db.large_objects().Open(txn, oid, false));
+  ASSERT_OK(session->Commit().status());
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(fd, session->OpenLo(oid, false));
   ASSERT_OK_AND_ASSIGN(Bytes data, fd->Read(64));
   EXPECT_EQ(Slice(data).ToString(), "in nvram");
-  ASSERT_OK(db.Abort(txn));
+  ASSERT_OK(session->Abort());
 }
 
 // Crash-consistency property test: random transactions, random crash
@@ -294,18 +303,45 @@ TEST_P(CrashFuzz, AlwaysRecoversToCommittedState) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CrashFuzz,
                          ::testing::Values(21, 42, 84, 168, 336));
 
+TEST_F(DatabaseTest, DeprecatedTxnApiCounted) {
+  // Database-level Begin() still works but announces itself: every call
+  // bumps db.deprecated_txn_api, so stragglers show up in any snapshot.
+  // Session-routed transactions must NOT count.
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  auto counted = [&]() {
+    for (const auto& [name, value] : db.Stats().counters) {
+      if (name == "db.deprecated_txn_api") return value;
+    }
+    return uint64_t{0};
+  };
+  uint64_t base = counted();  // Open() bootstraps internally, uncounted
+  {
+    auto session = db.Connect();
+    session->Begin();
+    ASSERT_OK(session->Abort());
+  }
+  EXPECT_EQ(counted(), base);
+  Transaction* txn = db.Begin();
+  ASSERT_OK(db.Abort(txn));
+  EXPECT_EQ(counted(), base + 1);
+  txn = db.BeginAsOf(db.Now());
+  ASSERT_OK(db.Abort(txn));
+  EXPECT_EQ(counted(), base + 2);
+}
+
 TEST_F(DatabaseTest, SimulatedTimeAdvancesWithCharging) {
   DatabaseOptions options = Options();
   options.charge_devices = true;
   Database db;
   ASSERT_OK(db.Open(options));
-  Transaction* txn = db.Begin();
-  ASSERT_OK_AND_ASSIGN(Oid oid, db.large_objects().Create(txn, LoSpec{}));
-  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd,
-                       db.large_objects().Open(txn, oid, true));
+  auto session = db.Connect();
+  session->Begin();
+  ASSERT_OK_AND_ASSIGN(Oid oid, session->CreateLo(LoSpec{}));
+  ASSERT_OK_AND_ASSIGN(LoDescriptor * fd, session->OpenLo(oid, true));
   Bytes data(100'000, 1);
   ASSERT_OK(fd->Write(Slice(data)));
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
   EXPECT_GT(db.clock().NowNanos(), 0u);
   EXPECT_GT(db.disk_device()->stats().writes, 0u);
 }

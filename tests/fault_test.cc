@@ -244,7 +244,8 @@ TEST(FaultySmgrTest, CorruptionIsCaughtByChecksumPath) {
   opts.fault_injector = &inj;
   Database db;
   ASSERT_OK(db.Open(opts));
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+  Transaction* txn = session->Begin();
   LoSpec spec;
   spec.kind = StorageKind::kFChunk;
   spec.smgr = kSmgrDisk;
@@ -260,7 +261,7 @@ TEST(FaultySmgrTest, CorruptionIsCaughtByChecksumPath) {
   plan.corrupt_block_rate = 10000;
   plan.seed = 3;
   inj.Arm(plan);
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
   inj.Disarm();
   // Reopen so reads actually hit the (corrupted) platter, not the pool.
   ASSERT_OK(db.SimulateCrashAndReopen());
@@ -293,7 +294,8 @@ TEST(FaultTest, TransientErrorsAreAbsorbedByRetries) {
   plan.transient_error_rate = 2500;  // 25% of draws
   plan.transient_max_burst = 2;
   inj.Arm(plan);
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+  Transaction* txn = session->Begin();
   LoSpec spec;
   spec.kind = StorageKind::kUserFile;
   spec.ufile_path = "flaky.dat";
@@ -309,7 +311,7 @@ TEST(FaultTest, TransientErrorsAreAbsorbedByRetries) {
   EXPECT_EQ(n, back.size());
   EXPECT_EQ(back, data);
   lo.reset();
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
   inj.Disarm();
   StatsSnapshot snap = db.Stats();
   EXPECT_GT(snap.Value("fault.transient_errors"), 0u);

@@ -381,7 +381,8 @@ TEST(DatabaseStatsTest, CounterNamesFollowTheDottedConvention) {
   DatabaseOptions options;
   options.dir = dir.Sub("db");
   ASSERT_OK(db.Open(options));
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+  Transaction* txn = session->Begin();
   for (uint8_t smgr : {kSmgrDisk, kSmgrWorm}) {
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;
@@ -395,7 +396,7 @@ TEST(DatabaseStatsTest, CounterNamesFollowTheDottedConvention) {
                        reinterpret_cast<uint8_t*>(buf.data()))
                   .status());
   }
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
 
   StatsSnapshot snap = db.Stats();
   ASSERT_FALSE(snap.counters.empty());
@@ -415,6 +416,53 @@ TEST(DatabaseStatsTest, CounterNamesFollowTheDottedConvention) {
   ASSERT_OK(db.Close());
 }
 
+TEST(StatsSnapshotTest, PrometheusExpositionSortsByEmittedName) {
+  // PromName maps '-' and '.' both to '_', and ASCII orders '-' < '.' <
+  // '_' — so sorting by RAW name can emit sanitized families out of
+  // order. The exposition must sort by what it actually emits, keeping
+  // the byte layout stable for scrape-side diffing.
+  SimClock clock;
+  StatsRegistry reg;
+  reg.SetClock(&clock);
+  // Raw order: "x-z" < "x.a"; emitted order must be pglo_x_a < pglo_x_z.
+  reg.counter("x-z")->Inc();
+  reg.counter("x.a")->Inc();
+  reg.histogram("y-z_ns")->Record(5);
+  reg.histogram("y.a_ns")->Record(5);
+  std::string text = reg.Snapshot().ToPrometheus();
+  size_t xa = text.find("pglo_x_a");
+  size_t xz = text.find("pglo_x_z");
+  ASSERT_NE(xa, std::string::npos);
+  ASSERT_NE(xz, std::string::npos);
+  EXPECT_LT(xa, xz);
+  size_t ya = text.find("pglo_y_a_ns");
+  size_t yz = text.find("pglo_y_z_ns");
+  ASSERT_NE(ya, std::string::npos);
+  ASSERT_NE(yz, std::string::npos);
+  EXPECT_LT(ya, yz);
+  // Byte-stability: the same registry serializes identically every time.
+  EXPECT_EQ(text, reg.Snapshot().ToPrometheus());
+}
+
+TEST(DatabaseStatsTest, WaitFamiliesReachPrometheusExposition) {
+  // A real workload's wait counters surface as pglo_wait_* families, the
+  // names pglo_top --prometheus and any scraper will see.
+  TempDir dir;
+  Database db;
+  DatabaseOptions options;
+  options.dir = dir.Sub("db");
+  ASSERT_OK(db.Open(options));
+  auto session = db.Connect();
+  session->Begin();
+  ASSERT_OK(session->CreateLo(LoSpec{}).status());
+  ASSERT_OK(session->Commit().status());
+  std::string text = db.Stats().ToPrometheus();
+  EXPECT_NE(text.find("pglo_wait_clog_mutex_acquires"), std::string::npos);
+  EXPECT_NE(text.find("pglo_wait_latch_bufpool_acquires"),
+            std::string::npos);
+  ASSERT_OK(db.Close());
+}
+
 TEST(DatabaseStatsTest, DisabledStatsReportsEmptyAndStillWorks) {
   TempDir dir;
   Database db;
@@ -425,7 +473,8 @@ TEST(DatabaseStatsTest, DisabledStatsReportsEmptyAndStillWorks) {
   EXPECT_EQ(db.stats_registry(), nullptr);
 
   // Work proceeds normally with every layer's stats pointers unbound.
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+  Transaction* txn = session->Begin();
   LoSpec spec;
   spec.kind = StorageKind::kFChunk;
   auto oid = db.large_objects().Create(txn, spec);
@@ -434,7 +483,7 @@ TEST(DatabaseStatsTest, DisabledStatsReportsEmptyAndStillWorks) {
   ASSERT_OK(lo.status());
   std::string payload(9000, 'x');
   ASSERT_OK((*lo)->Write(txn, 0, Slice(payload)));
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
 
   StatsSnapshot snap = db.Stats();
   EXPECT_TRUE(snap.counters.empty());
@@ -450,7 +499,9 @@ TEST(DatabaseStatsTest, EnabledStatsSeeCrossLayerWork) {
   ASSERT_OK(db.Open(options));  // enable_stats defaults to true
   ASSERT_NE(db.stats_registry(), nullptr);
 
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+
+  Transaction* txn = session->Begin();
   LoSpec spec;
   spec.kind = StorageKind::kFChunk;
   auto oid = db.large_objects().Create(txn, spec);
@@ -464,7 +515,7 @@ TEST(DatabaseStatsTest, EnabledStatsSeeCrossLayerWork) {
                          reinterpret_cast<uint8_t*>(buf.data()));
   ASSERT_OK(got.status());
   EXPECT_EQ(*got, buf.size());
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
 
   StatsSnapshot snap = db.Stats();
   EXPECT_EQ(snap.Value("lo.fchunk.writes"), 1u);
@@ -493,7 +544,8 @@ TEST(DatabaseStatsTest, StatsCollectionNeverChangesSimulatedTime) {
     options.charge_devices = true;
     options.buffer_pool_frames = 16;  // force faults, evictions, prefetch
     EXPECT_OK(db.Open(options));
-    Transaction* txn = db.Begin();
+    auto session = db.Connect();
+    Transaction* txn = session->Begin();
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;
     Oid oid = db.large_objects().Create(txn, spec).value();
@@ -508,7 +560,7 @@ TEST(DatabaseStatsTest, StatsCollectionNeverChangesSimulatedTime) {
                          reinterpret_cast<uint8_t*>(buf.data()))
                     .status());
     }
-    EXPECT_OK(db.Commit(txn).status());
+    EXPECT_OK(session->Commit().status());
     uint64_t elapsed = db.clock().NowNanos();
     EXPECT_OK(db.Close());
     return elapsed;

@@ -176,7 +176,8 @@ TEST(ProfilerTest, ColdFChunkSequentialReadAttributionAddsUp) {
     DatabaseOptions options;
     options.dir = db_dir;
     ASSERT_OK(db.Open(options));
-    Transaction* txn = db.Begin();
+    auto session = db.Connect();
+    Transaction* txn = session->Begin();
     LoSpec spec;
     spec.kind = StorageKind::kFChunk;
     ASSERT_OK_AND_ASSIGN(Oid oid, db.large_objects().Create(txn, spec));
@@ -185,7 +186,7 @@ TEST(ProfilerTest, ColdFChunkSequentialReadAttributionAddsUp) {
     for (size_t i = 0; i < kFrames; ++i) {
       ASSERT_OK(lo->Write(txn, i * kFrame, Slice(frame)));
     }
-    ASSERT_OK(db.Commit(txn).status());
+    ASSERT_OK(session->Commit().status());
     ASSERT_OK(db.Close());
   }
 
@@ -199,7 +200,9 @@ TEST(ProfilerTest, ColdFChunkSequentialReadAttributionAddsUp) {
   Profiler profiler;
   db.stats_registry()->SetTraceSink(&profiler);
 
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+
+  Transaction* txn = session->Begin();
   ASSERT_OK_AND_ASSIGN(auto objects, db.large_objects().List(txn));
   ASSERT_EQ(objects.size(), 1u);
   ASSERT_OK_AND_ASSIGN(auto lo,
@@ -210,7 +213,7 @@ TEST(ProfilerTest, ColdFChunkSequentialReadAttributionAddsUp) {
                          lo->Read(txn, i * kFrame, kFrame, buf.data()));
     ASSERT_EQ(n, kFrame);
   }
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
   db.stats_registry()->SetTraceSink(nullptr);
 
   const Profiler::OpProfile* op = profiler.Find("lo.fchunk.read");

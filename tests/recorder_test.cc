@@ -283,7 +283,9 @@ TEST(DatabaseBlackboxTest, InjectedCrashLeavesParseableDumpWithFaultAndDelta) {
   ASSERT_OK(db.Open(opts));
   ASSERT_NE(db.recorder(), nullptr);
 
-  Transaction* txn = db.Begin();
+  auto session = db.Connect();
+
+  Transaction* txn = session->Begin();
   LoSpec spec;
   spec.kind = StorageKind::kFChunk;
   spec.smgr = kSmgrWorm;
@@ -293,7 +295,7 @@ TEST(DatabaseBlackboxTest, InjectedCrashLeavesParseableDumpWithFaultAndDelta) {
   Bytes data(8 * 1024, 0x3A);
   ASSERT_OK(lo->Write(txn, 0, Slice(data)));
   lo.reset();
-  ASSERT_OK(db.Commit(txn).status());
+  ASSERT_OK(session->Commit().status());
 
   // Crash on the very next stable write.
   ASSERT_OK(db.worm()->CreateFile(99));

@@ -21,10 +21,11 @@
 # verification (see DESIGN.md §11). Set PGLO_TEST_SEED to vary the seed;
 # the default is the same fixed seed the unit tests use.
 #
-# An observability gate then proves the flight recorder is free:
-# bench_ablation_obs --quick runs the same workload with the recorder off
-# and on, fails unless both report bit-identical simulated time, and
-# compares against the committed baseline.
+# An observability gate then proves the flight recorder and the wait
+# instrumentation are free: bench_ablation_obs --quick runs the same
+# workload with observability off and on, fails unless both report
+# bit-identical simulated time (and the default config's wall overhead
+# stays within 5%), and compares against the committed baseline.
 #
 # "ci" is the mode for unattended runs (.github/workflows/ci.yml): the full
 # "all" sequence, with a per-test ctest timeout so a hung test fails the
@@ -79,11 +80,12 @@ obs_gate() {
   workdir="$(mktemp -d /tmp/pglo_obs_gate_XXXXXX)"
   trap 'rm -rf "$workdir"' EXIT
   out="$workdir/BENCH_ablation_obs_quick.json"
-  # The bench itself exits non-zero if recorder-on simulated time is not
-  # bit-identical to recorder-off; bench_compare then guards against drift
-  # in the absolute simulated times.
-  "$builddir/bench/bench_ablation_obs" --quick --json="$out" \
-      "$workdir/db" > "$workdir/bench.log"
+  # The bench itself exits non-zero if observability-on simulated time is
+  # not bit-identical to observability-off, or if the default config's
+  # wall overhead exceeds the gate; bench_compare then guards against
+  # drift in the absolute simulated times.
+  "$builddir/bench/bench_ablation_obs" --quick --gate-overhead-pct=5 \
+      --json="$out" "$workdir/db" > "$workdir/bench.log"
   "$builddir/tools/bench_compare" --validate "$out"
   "$builddir/tools/bench_compare" "$baseline" "$out"
   rm -rf "$workdir"

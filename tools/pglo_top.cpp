@@ -1,7 +1,8 @@
 // pglo_top — flight-recorder time-series viewer.
 //
-//   pglo_top [--events] [--slow-ops] [--counter=NAME] [--prometheus]
-//            [--limit=N] [--follow[=SECS]] pglo_blackbox.json
+//   pglo_top [--events] [--slow-ops] [--activity] [--counter=NAME]
+//            [--prometheus] [--limit=N] [--follow[=SECS]]
+//            pglo_blackbox.json
 //
 // Renders a pglo-blackbox-v1 dump (written by Database on a simulated
 // crash or failed Open, or on demand via Database::DumpBlackbox): a
@@ -11,8 +12,10 @@
 // counters (by total movement) are shown; --counter=NAME plots one
 // counter's series as a bar chart; --events prints the structured event
 // log; --slow-ops prints each captured slow operation's span tree;
-// --prometheus re-emits the dump's final snapshot in Prometheus text
-// exposition.
+// --activity prints the dump's per-backend activity table
+// (pg_stat_activity shape: one row per connected backend with its txn
+// state and current wait); --prometheus re-emits the dump's final
+// snapshot in Prometheus text exposition.
 //
 // --follow re-reads and re-renders the file every SECS wall seconds
 // (default 2) until interrupted — "live" viewing of a recorder that a
@@ -43,6 +46,7 @@ namespace {
 struct Options {
   bool events = false;
   bool slow_ops = false;
+  bool activity = false;
   bool prometheus = false;
   std::string counter;
   size_t limit = 12;      // counters rows in the table
@@ -201,6 +205,38 @@ void PrintSlowOps(const JsonValue& dump) {
   }
 }
 
+/// pg_stat_activity over the dump's `backends` array: one row per backend
+/// that was connected at the instant of the dump.
+void PrintActivity(const JsonValue& dump) {
+  const JsonValue* backends = dump.Get("backends");
+  if (backends == nullptr || !backends->is_array()) {
+    std::printf(
+        "(no backends section in dump — recorded before wait "
+        "instrumentation, or no sessions were connected)\n");
+    return;
+  }
+  if (backends->array.empty()) {
+    std::printf("(no backends connected at dump time)\n");
+    return;
+  }
+  std::printf("%7s %-6s %8s %-26s %12s %8s %12s %6s %6s %6s\n", "backend",
+              "state", "xid", "wait", "waiting_ms", "waits", "waited_ms",
+              "begun", "commit", "abort");
+  for (const JsonValue& b : backends->array) {
+    bool in_txn = false;
+    const JsonValue* t = b.Get("in_txn");
+    if (t != nullptr) in_txn = t->bool_value;
+    std::string wait = b.GetString("wait", "none");
+    std::printf("%7.0f %-6s %8.0f %-26s %12.3f %8.0f %12.3f %6.0f %6.0f "
+                "%6.0f\n",
+                b.GetNumber("backend_id"), in_txn ? "txn" : "idle",
+                b.GetNumber("xid"), wait.c_str(),
+                b.GetNumber("waiting_ns") * 1e-6, b.GetNumber("waits"),
+                b.GetNumber("waited_ns") * 1e-6, b.GetNumber("begun"),
+                b.GetNumber("committed"), b.GetNumber("aborted"));
+  }
+}
+
 /// Rebuilds a StatsSnapshot from the dump's final_snapshot object so the
 /// exposition goes through the one real serializer.
 void PrintPrometheus(const JsonValue& dump) {
@@ -251,6 +287,8 @@ int RenderOnce(const Options& opt) {
   PrintHeader(dump.value());
   if (opt.events) {
     PrintEvents(dump.value());
+  } else if (opt.activity) {
+    PrintActivity(dump.value());
   } else if (opt.slow_ops) {
     PrintSlowOps(dump.value());
   } else if (!opt.counter.empty()) {
@@ -271,6 +309,8 @@ int main(int argc, char** argv) {
       opt.events = true;
     } else if (std::strcmp(a, "--slow-ops") == 0) {
       opt.slow_ops = true;
+    } else if (std::strcmp(a, "--activity") == 0) {
+      opt.activity = true;
     } else if (std::strcmp(a, "--prometheus") == 0) {
       opt.prometheus = true;
     } else if (std::strncmp(a, "--counter=", 10) == 0) {
@@ -284,9 +324,9 @@ int main(int argc, char** argv) {
       if (opt.follow_secs <= 0) opt.follow_secs = 2;
     } else if (a[0] == '-') {
       std::fprintf(stderr,
-                   "usage: %s [--events] [--slow-ops] [--counter=NAME] "
-                   "[--prometheus] [--limit=N] [--follow[=SECS]] "
-                   "pglo_blackbox.json\n",
+                   "usage: %s [--events] [--slow-ops] [--activity] "
+                   "[--counter=NAME] [--prometheus] [--limit=N] "
+                   "[--follow[=SECS]] pglo_blackbox.json\n",
                    argv[0]);
       return 2;
     } else {
