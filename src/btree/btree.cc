@@ -2,6 +2,7 @@
 
 #include "btree/btree_page.h"
 #include "common/logging.h"
+#include "storage/free_space_map.h"
 
 namespace pglo {
 
@@ -28,24 +29,38 @@ Status Btree::Create(BufferPool* pool, RelFileId file) {
 Result<BlockNumber> Btree::RootBlock() {
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, 0}));
   BtreeMeta meta(handle.data());
-  if (!meta.IsValid()) return Status::Corruption("bad btree meta page");
+  if (!meta.IsValid()) return Status::Corruption("bad btree meta page (smgr=" + std::to_string(file_.smgr_id) + " relfile=" + std::to_string(file_.relfile) + ")");
   return meta.root();
 }
 
 Status Btree::SetRoot(BlockNumber root, uint32_t height) {
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, 0}));
   BtreeMeta meta(handle.data());
-  if (!meta.IsValid()) return Status::Corruption("bad btree meta page");
+  if (!meta.IsValid()) return Status::Corruption("bad btree meta page (smgr=" + std::to_string(file_.smgr_id) + " relfile=" + std::to_string(file_.relfile) + ")");
   meta.Set(root, height);
   handle.MarkDirty();
   return Status::OK();
+}
+
+Result<PageHandle> Btree::AllocateNode(BlockNumber* block_out) {
+  Result<BlockNumber> reuse = pool_->fsm()->TakeFreePage(file_);
+  if (reuse.ok()) {
+    Result<PageHandle> handle = pool_->GetPage({file_, reuse.value()});
+    if (handle.ok() && FreeSpaceMap::IsFreePage(handle.value().data())) {
+      *block_out = reuse.value();
+      return handle;
+    }
+    // Entry without the stamp (post-crash drift): already removed by
+    // TakeFreePage, so just fall through and extend the file.
+  }
+  return pool_->NewPage(file_, block_out);
 }
 
 Result<uint32_t> Btree::Height() {
   RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, 0}));
   BtreeMeta meta(handle.data());
-  if (!meta.IsValid()) return Status::Corruption("bad btree meta page");
+  if (!meta.IsValid()) return Status::Corruption("bad btree meta page (smgr=" + std::to_string(file_.smgr_id) + " relfile=" + std::to_string(file_.relfile) + ")");
   return meta.height();
 }
 
@@ -86,8 +101,7 @@ Status Btree::InsertIntoParent(std::vector<PathEntry>* path, uint64_t sep_key,
     }
     // Split this internal node.
     BlockNumber new_block;
-    PGLO_ASSIGN_OR_RETURN(PageHandle new_handle,
-                          pool_->NewPage(file_, &new_block));
+    PGLO_ASSIGN_OR_RETURN(PageHandle new_handle, AllocateNode(&new_block));
     BtreeNode new_node(new_handle.data());
     new_node.Init(node.level());
     uint16_t mid = node.nkeys() / 2;
@@ -114,8 +128,7 @@ Status Btree::InsertIntoParent(std::vector<PathEntry>* path, uint64_t sep_key,
   PGLO_ASSIGN_OR_RETURN(BlockNumber old_root, RootBlock());
   PGLO_ASSIGN_OR_RETURN(uint32_t height, Height());
   BlockNumber new_root_block;
-  PGLO_ASSIGN_OR_RETURN(PageHandle root_handle,
-                        pool_->NewPage(file_, &new_root_block));
+  PGLO_ASSIGN_OR_RETURN(PageHandle root_handle, AllocateNode(&new_root_block));
   BtreeNode new_root(root_handle.data());
   {
     PGLO_ASSIGN_OR_RETURN(PageHandle old_handle,
@@ -151,8 +164,7 @@ Status Btree::Insert(uint64_t key, uint64_t value) {
   }
   // Split the leaf.
   BlockNumber new_block;
-  PGLO_ASSIGN_OR_RETURN(PageHandle new_handle,
-                        pool_->NewPage(file_, &new_block));
+  PGLO_ASSIGN_OR_RETURN(PageHandle new_handle, AllocateNode(&new_block));
   BtreeNode new_leaf(new_handle.data());
   new_leaf.Init(/*level=*/0);
   uint16_t mid = leaf.nkeys() / 2;
@@ -337,6 +349,86 @@ Result<uint64_t> Btree::CheckStructure() {
     PGLO_RETURN_IF_ERROR(it.Next());
   }
   return count;
+}
+
+Status Btree::MergeSubtree(BlockNumber block, uint64_t* freed) {
+  PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, block}));
+  BtreeNode node(handle.data());
+  if (!node.IsValid()) return Status::Corruption("bad btree node");
+  if (node.is_leaf()) return Status::OK();
+  if (node.nkeys() == 0) return Status::Corruption("empty internal node");
+  // Post-order: merge grandchildren first so this pass sees the children's
+  // final fill levels.
+  for (uint16_t i = 0; i < node.nkeys(); ++i) {
+    PGLO_RETURN_IF_ERROR(MergeSubtree(node.ChildAt(i), freed));
+  }
+  // Pairwise pass over this node's children: absorb the right child into
+  // the left when the result leaves headroom (merging two half-full
+  // siblings into one brim-full node would just split again on the next
+  // insert). Empty children are always absorbed.
+  bool dirtied = false;
+  uint16_t i = 0;
+  while (i + 1 < node.nkeys()) {
+    BlockNumber left_block = node.ChildAt(i);
+    BlockNumber right_block = node.ChildAt(i + 1);
+    PGLO_ASSIGN_OR_RETURN(PageHandle left_handle,
+                          pool_->GetPage({file_, left_block}));
+    PGLO_ASSIGN_OR_RETURN(PageHandle right_handle,
+                          pool_->GetPage({file_, right_block}));
+    BtreeNode left(left_handle.data());
+    BtreeNode right(right_handle.data());
+    if (!left.IsValid() || !right.IsValid()) {
+      return Status::Corruption("bad btree node");
+    }
+    uint16_t cap = left.capacity();
+    uint32_t combined =
+        static_cast<uint32_t>(left.nkeys()) + right.nkeys();
+    bool either_empty = left.nkeys() == 0 || right.nkeys() == 0;
+    bool underfull = left.nkeys() < cap / 2 || right.nkeys() < cap / 2;
+    if (either_empty || (underfull && combined <= cap - cap / 4)) {
+      left.AppendFrom(&right);
+      left.set_right_sibling(right.right_sibling());
+      left_handle.MarkDirty();
+      // Stamp the emptied page and hand it to the free-space map; the
+      // next split reuses it instead of extending the file.
+      FreeSpaceMap::StampFreePage(right_handle.data());
+      right_handle.MarkDirty();
+      pool_->fsm()->RecordFreePage(file_, right_block);
+      node.RemoveEntry(i + 1);
+      dirtied = true;
+      ++*freed;
+      // Stay at i: the new neighbour may be absorbable too.
+    } else {
+      ++i;
+    }
+  }
+  if (dirtied) handle.MarkDirty();
+  return Status::OK();
+}
+
+Result<uint64_t> Btree::MergeUnderfull() {
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelBtree);
+  uint64_t freed = 0;
+  PGLO_ASSIGN_OR_RETURN(BlockNumber root, RootBlock());
+  PGLO_RETURN_IF_ERROR(MergeSubtree(root, &freed));
+  // Collapse a root chain: an internal root left with a single child just
+  // forwards every descent, so shrink the tree instead.
+  for (;;) {
+    PGLO_ASSIGN_OR_RETURN(BlockNumber r, RootBlock());
+    PGLO_ASSIGN_OR_RETURN(uint32_t height, Height());
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, r}));
+    BtreeNode node(handle.data());
+    if (!node.IsValid()) return Status::Corruption("bad btree node");
+    if (node.is_leaf() || node.nkeys() != 1) break;
+    BlockNumber child = node.ChildAt(0);
+    FreeSpaceMap::StampFreePage(handle.data());
+    handle.MarkDirty();
+    handle.Release();
+    pool_->fsm()->RecordFreePage(file_, r);
+    PGLO_RETURN_IF_ERROR(SetRoot(child, height - 1));
+    ++freed;
+  }
+  return freed;
 }
 
 Result<BlockNumber> Btree::NumBlocks() { return pool_->NumBlocks(file_); }

@@ -97,6 +97,14 @@ class Btree {
   /// chain. Returns the total entry count on success.
   Result<uint64_t> CheckStructure();
 
+  /// Vacuum-time page merging: absorbs underfull nodes into their left
+  /// siblings (bottom-up, within each parent), collapses a single-child
+  /// root chain, and returns emptied pages to the pool's free-space map
+  /// for reuse by the next node allocation. Returns the number of pages
+  /// freed. The sibling-chain skip in the read path stays as the fallback
+  /// for entries left behind by plain Delete between merge passes.
+  Result<uint64_t> MergeUnderfull();
+
   class Iterator;
   /// Positions an iterator at the first entry with key >= `key`.
   Result<Iterator> Seek(uint64_t key);
@@ -138,6 +146,12 @@ class Btree {
 
   Result<BlockNumber> RootBlock();
   Status SetRoot(BlockNumber root, uint32_t height);
+  /// New-node allocation: recycles a page from the free-space map's
+  /// free-page list when one exists (verified by its stamp), otherwise
+  /// extends the file.
+  Result<PageHandle> AllocateNode(BlockNumber* block_out);
+  /// Post-order merge pass over the subtree rooted at `block`.
+  Status MergeSubtree(BlockNumber block, uint64_t* freed);
   /// Descends to the leaf that should contain (key, value); fills `path`
   /// with the internal nodes visited (top-down) when non-null.
   Result<BlockNumber> DescendToLeaf(uint64_t key, uint64_t value,

@@ -140,6 +140,16 @@ class BtreeNode {
     set_nkeys(from);
   }
 
+  /// Appends every entry of `src` (same level; combined count must fit)
+  /// and empties `src` — the page-merge inverse of MoveUpperHalf.
+  void AppendFrom(BtreeNode* src) {
+    uint32_t es = entry_size();
+    std::memcpy(EntryPtr(nkeys()), src->EntryPtr(0),
+                static_cast<size_t>(src->nkeys()) * es);
+    set_nkeys(nkeys() + src->nkeys());
+    src->set_nkeys(0);
+  }
+
  private:
   uint8_t* EntryPtr(uint16_t i) {
     return buf_ + kHeaderSize + static_cast<size_t>(i) * entry_size();

@@ -9,8 +9,17 @@
 #include "common/logging.h"
 #include "fault/faulty_smgr.h"
 #include "fault/retry.h"
+#include "storage/free_space_map.h"
 
 namespace pglo {
+
+namespace {
+/// Reserved relfile for the free-space-map sidecar on the disk manager.
+/// Fixed relfiles in use elsewhere: 10 = LO catalog, 11 = class catalog,
+/// 12-14 = Inversion DIRECTORY/STORAGE/FILESTAT, 15 = index catalog,
+/// 16 = Inversion directory index. User relations start at Oid 1000.
+constexpr Oid kFsmRelfile = 17;
+}  // namespace
 
 Database::Database() = default;
 
@@ -206,6 +215,26 @@ Status Database::OpenBody(bool after_crash) {
     pool_->SetAccessCost(cpu_.get(), options_.page_access_instructions);
   }
 
+  // Persistent free-space map (DESIGN.md §15). The sidecar is created only
+  // once Vacuum registers entries, so fresh never-vacuumed databases never
+  // see the file and stay bit-identical. The map is advisory, so neither a
+  // failed load nor a failed post-crash validation may fail the open —
+  // both degrade to an empty map.
+  pool_->fsm()->SetBackingFile(RelFileId{kSmgrDisk, kFsmRelfile});
+  if (stats_ != nullptr) pool_->fsm()->BindStats(stats_.get());
+  if (!pool_->fsm()->Load().ok()) pool_->fsm()->ForgetAll();
+  if (after_crash) {
+    Result<FsmCheckReport> fsm_check =
+        pool_->fsm()->CheckAgainstStorage(/*fix=*/true);
+    if (!fsm_check.ok()) {
+      pool_->fsm()->ForgetAll();
+    } else if (fsm_check.value().entries_checked > 0 && events != nullptr) {
+      events->Append(EventType::kRecoveryFsmRebuild, "fsm",
+                     fsm_check.value().entries_repaired,
+                     fsm_check.value().entries_dropped);
+    }
+  }
+
   // Fresh database iff there is no commit log yet.
   struct stat st;
   bool fresh = ::stat((options_.dir + "/clog").c_str(), &st) != 0;
@@ -318,6 +347,9 @@ void Database::TearDown(bool crash) {
 
 Status Database::Close() {
   if (!open_) return Status::OK();
+  // Persist the free-space map before the final flush so its sidecar pages
+  // ride the same durability pass as everything else.
+  PGLO_RETURN_IF_ERROR(pool_->fsm()->Persist());
   PGLO_RETURN_IF_ERROR(pool_->FlushAll());
   PGLO_RETURN_IF_ERROR(ufs_->Sync());
   TearDown(/*crash=*/false);

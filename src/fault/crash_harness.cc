@@ -74,13 +74,15 @@ class Replayer {
     return Status::OK();
   }
 
-  /// The whole workload: setup transaction, then concurrent pairs.
+  /// The whole workload: setup transaction, then concurrent pairs, with a
+  /// maintenance pass (Vacuum + CompactAll + Vacuum) after each pair.
   /// Returns the injected-crash status as soon as the crash fires.
   Status Replay() {
     PGLO_RETURN_IF_ERROR(Setup());
     uint32_t pairs = std::max<uint32_t>(1, opts_.num_txns / 2);
     for (uint32_t p = 0; p < pairs; ++p) {
       PGLO_RETURN_IF_ERROR(RunPair(p));
+      PGLO_RETURN_IF_ERROR(Maintain());
     }
     return Status::OK();
   }
@@ -181,6 +183,21 @@ class Replayer {
       tr.view[s].data = std::move(init);
     }
     return FinishTxn(tr, /*force_commit=*/true, /*setup=*/true);
+  }
+
+  /// Maintenance between transaction pairs: Vacuum (whose final act
+  /// persists the free-space map sidecar) and online compaction, then a
+  /// second Vacuum to reclaim the versions compaction vacated. All three
+  /// mutate only physical placement — every committed image is unchanged —
+  /// so the model needs no update. The point of running them mid-workload
+  /// is that their stable-storage writes (FSM sidecar pages, relocated
+  /// chunk inserts, index flips, reclaim rewrites) become enumerable crash
+  /// points like any other write, probing recovery across FSM and
+  /// compaction ticks.
+  Status Maintain() {
+    PGLO_RETURN_IF_ERROR(db_->large_objects().Vacuum(db_->Now()).status());
+    PGLO_RETURN_IF_ERROR(db_->large_objects().CompactAll().status());
+    return db_->large_objects().Vacuum(db_->Now()).status();
   }
 
   Status RunPair(uint32_t pair) {

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "storage/free_space_map.h"
 
 namespace pglo {
 
@@ -29,7 +30,8 @@ Result<Tid> HeapClass::Insert(Transaction* txn, Slice payload) {
   Bytes image = MakeTupleImage(TupleHeader{txn->xid(), kInvalidXid}, payload);
 
   PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks());
-  // Candidate pages: the hint, then the last page, then a fresh page.
+  // Candidate pages: the hint, then the last page, then the free-space
+  // map, then a fresh page.
   BlockNumber candidates[2] = {kInvalidBlock, kInvalidBlock};
   int ncand = 0;
   if (insert_hint_ != kInvalidBlock && insert_hint_ < nblocks) {
@@ -38,6 +40,29 @@ Result<Tid> HeapClass::Insert(Transaction* txn, Slice payload) {
   if (nblocks > 0 && (ncand == 0 || candidates[0] != nblocks - 1)) {
     candidates[ncand++] = nblocks - 1;
   }
+  return InsertImage(image, candidates, ncand, /*use_fsm=*/true);
+}
+
+Result<Tid> HeapClass::InsertAppend(Transaction* txn, Slice payload) {
+  RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::PermissionDenied("time-travel transactions are read-only");
+  }
+  if (payload.size() > MaxPayload()) {
+    return Status::InvalidArgument("tuple payload exceeds page capacity");
+  }
+  Bytes image = MakeTupleImage(TupleHeader{txn->xid(), kInvalidXid}, payload);
+
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks());
+  BlockNumber candidates[1] = {kInvalidBlock};
+  int ncand = 0;
+  if (nblocks > 0) candidates[ncand++] = nblocks - 1;
+  return InsertImage(image, candidates, ncand, /*use_fsm=*/false);
+}
+
+Result<Tid> HeapClass::InsertImage(Slice image, const BlockNumber* candidates,
+                                   int ncand, bool use_fsm) {
   for (int i = 0; i < ncand; ++i) {
     PGLO_ASSIGN_OR_RETURN(PageHandle handle,
                           pool_->GetPage({file_, candidates[i]}));
@@ -46,9 +71,43 @@ Result<Tid> HeapClass::Insert(Transaction* txn, Slice payload) {
     Result<uint16_t> slot = page.AddItem(image);
     if (slot.ok()) {
       handle.MarkDirty();
+      pool_->fsm()->UpdateIfTracked(file_, candidates[i], page.FreeSpace());
       insert_hint_ = candidates[i];
       return Tid{candidates[i], slot.value()};
     }
+  }
+  if (use_fsm) {
+    FreeSpaceMap* fsm = pool_->fsm();
+    uint32_t needed =
+        static_cast<uint32_t>(image.size()) + SlottedPage::kSlotSize;
+    // The map is advisory: verify each suggestion by actually trying the
+    // insert and discard entries that over-promise. Bounded so a badly
+    // drifted map cannot turn one insert into a file scan.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      Result<BlockNumber> cand = fsm->FindPage(file_, needed);
+      if (!cand.ok()) break;
+      BlockNumber b = cand.value();
+      bool already_probed = false;
+      for (int i = 0; i < ncand; ++i) {
+        if (candidates[i] == b) already_probed = true;
+      }
+      if (!already_probed) {
+        PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, b}));
+        SlottedPage page(handle.data());
+        if (page.IsInitialized()) {
+          Result<uint16_t> slot = page.AddItem(image);
+          if (slot.ok()) {
+            handle.MarkDirty();
+            fsm->NoteHit();
+            fsm->UpdateIfTracked(file_, b, page.FreeSpace());
+            insert_hint_ = b;
+            return Tid{b, slot.value()};
+          }
+        }
+      }
+      fsm->RemoveEntry(file_, b);
+    }
+    fsm->NoteMiss();
   }
   BlockNumber new_block;
   PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->NewPage(file_, &new_block));
@@ -124,8 +183,11 @@ Result<Tid> HeapClass::Update(Transaction* txn, Tid tid, Slice payload) {
         handle.MarkDirty();
         Result<uint16_t> slot = page.AddItem(image);
         if (slot.ok()) {
+          pool_->fsm()->UpdateIfTracked(file_, tid.block, page.FreeSpace());
           return Tid{tid.block, slot.value()};
         }
+        pool_->fsm()->UpdateIfTracked(file_, tid.block,
+                                      page.FreeSpaceAfterCompact());
         handle.Release();
         return Insert(txn, payload);
       }
@@ -164,16 +226,18 @@ Result<std::pair<TupleHeader, Bytes>> HeapClass::GetAnyVersion(Tid tid) {
                         item.Sub(TupleHeader::kSize, item.size()).ToBytes());
 }
 
-Result<uint64_t> HeapClass::Vacuum(const CommitLog& clog,
-                                   CommitTime horizon) {
+Result<uint64_t> HeapClass::Vacuum(const CommitLog& clog, CommitTime horizon,
+                                   uint64_t* pages_emptied) {
   RelLatchGuard latch(pool_->rel_latches(), file_, WaitEvent::kLatchRelHeap);
   PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, NumBlocks());
   uint64_t removed = 0;
+  uint64_t emptied = 0;
   for (BlockNumber b = 0; b < nblocks; ++b) {
     PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file_, b}));
     SlottedPage page(handle.data());
     if (!page.IsInitialized()) continue;
     bool dirtied = false;
+    uint64_t live = 0;
     uint16_t nslots = page.NumSlots();
     for (uint16_t s = 0; s < nslots; ++s) {
       Result<Slice> item = page.GetItem(s);
@@ -191,13 +255,21 @@ Result<uint64_t> HeapClass::Vacuum(const CommitLog& clog,
         PGLO_RETURN_IF_ERROR(page.DeleteItem(s));
         dirtied = true;
         ++removed;
+      } else {
+        ++live;
       }
     }
     if (dirtied) {
       page.Compact();
       handle.MarkDirty();
+      if (live == 0) ++emptied;
     }
+    // Vacuum is where the free-space map learns about this relation:
+    // register (or refresh) every page's usable space so later inserts can
+    // fill interior holes instead of only appending.
+    pool_->fsm()->RecordFreeSpace(file_, b, page.FreeSpace());
   }
+  if (pages_emptied != nullptr) *pages_emptied = emptied;
   return removed;
 }
 

@@ -36,8 +36,16 @@ class HeapClass {
   /// Creates the backing relation file.
   static Status Create(BufferPool* pool, RelFileId file);
 
-  /// Inserts a tuple version; returns its physical address.
+  /// Inserts a tuple version; returns its physical address. Probes the
+  /// hint page and the last page, then consults the pool's free-space map
+  /// for an interior page with room, then extends the file.
   Result<Tid> Insert(Transaction* txn, Slice payload);
+
+  /// Insert that always appends at the end of the file (last page, else a
+  /// fresh page), skipping the hint and the free-space map. The compactor
+  /// uses this to lay relocated versions down in strictly increasing block
+  /// order — filling interior holes would defeat the point.
+  Result<Tid> InsertAppend(Transaction* txn, Slice payload);
 
   /// Deletes the version at `tid` (it must be visible to `txn`).
   Status Delete(Transaction* txn, Tid tid);
@@ -56,8 +64,12 @@ class HeapClass {
   /// Reclaims space held by versions that can never become visible again
   /// (inserted by an aborted transaction, or deleted before `horizon`).
   /// Passing horizon = 0 reclaims only aborted versions, preserving all
-  /// time travel. Returns the number of versions removed.
-  Result<uint64_t> Vacuum(const CommitLog& clog, CommitTime horizon);
+  /// time travel. Returns the number of versions removed. Registers every
+  /// page with usable free space in the pool's free-space map; when
+  /// `pages_emptied` is non-null it receives the number of pages the pass
+  /// left entirely empty (reclaimable for reuse).
+  Result<uint64_t> Vacuum(const CommitLog& clog, CommitTime horizon,
+                          uint64_t* pages_emptied = nullptr);
 
   RelFileId file() const { return file_; }
   BufferPool* pool() const { return pool_; }
@@ -73,6 +85,12 @@ class HeapClass {
 
  private:
   friend class HeapScan;
+
+  /// Shared tail of Insert/InsertAppend: stores `image` into a page chosen
+  /// from `candidates` (first fit), consulting the FSM when `use_fsm`,
+  /// extending the file as a last resort. Latch already held.
+  Result<Tid> InsertImage(Slice image, const BlockNumber* candidates,
+                          int ncand, bool use_fsm);
 
   BufferPool* pool_;
   RelFileId file_;

@@ -44,6 +44,10 @@ FChunkLo::FChunkLo(const DbContext& ctx, Files files, const Compressor* codec,
     c_compress_ns_ = ctx_.stats->counter(stats_prefix + ".codec_compress_ns");
     c_decompress_ns_ =
         ctx_.stats->counter(stats_prefix + ".codec_decompress_ns");
+    c_pages_relocated_ =
+        ctx_.stats->counter(stats_prefix + ".pages_relocated");
+    c_pages_reclaimed_ =
+        ctx_.stats->counter(stats_prefix + ".pages_reclaimed");
     h_read_ = ctx_.stats->histogram(stats_prefix + ".read_ns");
     h_write_ = ctx_.stats->histogram(stats_prefix + ".write_ns");
     span_read_name_ = stats_prefix + ".read";
@@ -296,6 +300,38 @@ Result<uint64_t> FChunkLo::Append(Transaction* txn, Slice data) {
   return size;
 }
 
+Status FChunkLo::TrimBefore(Transaction* txn, uint64_t offset) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  cached_valid_ = false;
+  uint32_t first_live = static_cast<uint32_t>(offset / chunk_size_);
+  if (first_live == 0) return Status::OK();
+  // Collect the visible version of every chunk below the boundary, then
+  // delete — deleting under a live iterator is safe for the heap but the
+  // two-phase shape keeps this symmetric with Compact.
+  std::vector<Tid> doomed;
+  uint64_t last_key = ~0ull;
+  PGLO_ASSIGN_OR_RETURN(Btree::Iterator it, index_.SeekFirst());
+  while (it.valid() && it.key() < first_live) {
+    uint64_t key = it.key();
+    Tid tid = it.tid();
+    PGLO_RETURN_IF_ERROR(it.Next());
+    if (key == last_key) continue;
+    Result<Bytes> image = heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;  // invisible version
+      return image.status();
+    }
+    Result<ChunkRecord> rec = DecodeChunk(Slice(image.value()));
+    if (!rec.ok() || rec.value().seqno != key) continue;  // stale entry
+    doomed.push_back(tid);
+    last_key = key;
+  }
+  for (Tid tid : doomed) {
+    PGLO_RETURN_IF_ERROR(heap_.Delete(txn, tid));
+  }
+  return Status::OK();
+}
+
 Status FChunkLo::Truncate(Transaction* txn, uint64_t size) {
   cached_valid_ = false;  // chunks past the new end disappear
   PGLO_ASSIGN_OR_RETURN(uint64_t old_size, LoadSize(txn));
@@ -329,7 +365,89 @@ Result<uint64_t> FChunkLo::Vacuum(const CommitLog& clog,
                                   CommitTime horizon) {
   cached_valid_ = false;
   size_valid_ = false;
-  return heap_.Vacuum(clog, horizon);
+  uint64_t pages_emptied = 0;
+  PGLO_ASSIGN_OR_RETURN(uint64_t removed,
+                        heap_.Vacuum(clog, horizon, &pages_emptied));
+  // Index sweep: drop entries whose heap slot no longer holds a matching
+  // chunk — the version was vacuumed away just now, or the slot was
+  // recycled by an in-place self-update. Entries pointing at versions that
+  // survived (still reachable by some snapshot) are kept. Collect first,
+  // then delete: Delete restructures pages under a live iterator.
+  std::vector<std::pair<uint64_t, uint64_t>> stale;
+  PGLO_ASSIGN_OR_RETURN(Btree::Iterator it, index_.SeekFirst());
+  while (it.valid()) {
+    Result<std::pair<TupleHeader, Bytes>> any = heap_.GetAnyVersion(it.tid());
+    bool dead;
+    if (any.ok()) {
+      Result<ChunkRecord> rec = DecodeChunk(Slice(any.value().second));
+      dead = !rec.ok() || rec.value().seqno != it.key();
+    } else if (any.status().IsNotFound()) {
+      dead = true;
+    } else {
+      return any.status();
+    }
+    if (dead) stale.push_back({it.key(), it.value()});
+    PGLO_RETURN_IF_ERROR(it.Next());
+  }
+  for (const auto& [key, value] : stale) {
+    Status s = index_.Delete(key, value);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  PGLO_ASSIGN_OR_RETURN(uint64_t merged, index_.MergeUnderfull());
+  StatAdd(c_pages_reclaimed_, pages_emptied + merged);
+  return removed;
+}
+
+Result<uint64_t> FChunkLo::Compact(Transaction* txn) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::PermissionDenied("time-travel transactions are read-only");
+  }
+  // Pass 1: resolve the visible version of every chunk, in seqno order.
+  // (Resolve before mutating — relocation inserts new index entries, which
+  // would shift B-tree pages under a live iterator.)
+  std::vector<std::pair<uint32_t, Tid>> live;
+  uint64_t last_key = ~0ull;
+  PGLO_ASSIGN_OR_RETURN(Btree::Iterator it, index_.SeekFirst());
+  while (it.valid()) {
+    uint64_t key = it.key();
+    Tid tid = it.tid();
+    PGLO_RETURN_IF_ERROR(it.Next());
+    if (key == last_key) continue;  // this chunk is already resolved
+    Result<Bytes> image = heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;  // invisible version
+      return image.status();
+    }
+    Result<ChunkRecord> rec = DecodeChunk(Slice(image.value()));
+    if (!rec.ok() || rec.value().seqno != key) continue;  // stale entry
+    live.push_back({static_cast<uint32_t>(key), tid});
+    last_key = key;
+  }
+  // Pass 2: no-overwrite relocation. Each live chunk is rewritten at the
+  // end of the heap (InsertAppend skips the free-space map on purpose:
+  // scattering relocated chunks into interior holes would defeat the
+  // point), the old copy is MVCC-deleted so snapshot readers still see it
+  // until Vacuum, and the index gains an entry for the new address.
+  uint64_t moved = 0;
+  BlockNumber prev_block = kInvalidBlock;
+  for (const auto& [seqno, tid] : live) {
+    Result<Bytes> image = heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;
+      return image.status();
+    }
+    PGLO_ASSIGN_OR_RETURN(Tid new_tid,
+                          heap_.InsertAppend(txn, Slice(image.value())));
+    PGLO_RETURN_IF_ERROR(heap_.Delete(txn, tid));
+    PGLO_RETURN_IF_ERROR(index_.InsertIfAbsent(seqno, new_tid));
+    ++moved;
+    if (new_tid.block != prev_block) {
+      StatInc(c_pages_relocated_);
+      prev_block = new_tid.block;
+    }
+  }
+  return moved;
 }
 
 Status FChunkLo::Destroy(Transaction* txn) {

@@ -50,6 +50,7 @@ class FChunkLo : public LargeObject {
   Status Truncate(Transaction* txn, uint64_t size) override;
   Status Destroy(Transaction* txn) override;
   Result<uint64_t> Vacuum(const CommitLog& clog, CommitTime horizon) override;
+  Result<uint64_t> Compact(Transaction* txn) override;
   Result<StorageFootprint> Footprint() override;
   StorageKind kind() const override { return StorageKind::kFChunk; }
 
@@ -58,6 +59,13 @@ class FChunkLo : public LargeObject {
   /// fixed-block storage scheme" (§6.4). Returns the byte offset the data
   /// landed at.
   Result<uint64_t> Append(Transaction* txn, Slice data);
+
+  /// Deletes every chunk lying entirely below byte `offset` — used by
+  /// v-segment compaction to retire byte-store regions that no live
+  /// segment references anymore. The logical size is unchanged; after
+  /// Vacuum reclaims the deleted versions, reads of the trimmed range
+  /// return zeros (nobody issues them).
+  Status TrimBefore(Transaction* txn, uint64_t offset);
 
   uint32_t chunk_size() const { return chunk_size_; }
 
@@ -116,6 +124,8 @@ class FChunkLo : public LargeObject {
   Counter* c_bytes_written_ = nullptr;
   Counter* c_compress_ns_ = nullptr;
   Counter* c_decompress_ns_ = nullptr;
+  Counter* c_pages_relocated_ = nullptr;
+  Counter* c_pages_reclaimed_ = nullptr;
   Histogram* h_read_ = nullptr;
   Histogram* h_write_ = nullptr;
   std::string span_read_name_;

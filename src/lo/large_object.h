@@ -75,6 +75,18 @@ class LargeObject {
   virtual Result<uint64_t> Vacuum(const CommitLog& clog,
                                   CommitTime horizon) = 0;
 
+  /// Online defragmentation: rewrites the live version of every
+  /// chunk/segment, in key order, into fresh pages appended at the end of
+  /// the relation. Relocation obeys the no-overwrite discipline — the old
+  /// copies are MVCC-deleted under `txn`, so concurrent snapshot readers
+  /// keep working, and Vacuum later reclaims the vacated interior pages.
+  /// Returns the number of versions relocated. File-backed kinds have no
+  /// pages to defragment and return 0.
+  virtual Result<uint64_t> Compact(Transaction* txn) {
+    (void)txn;
+    return static_cast<uint64_t>(0);
+  }
+
   /// Total bytes of underlying storage, split by component; Figure 1's
   /// rows come from here.
   struct StorageFootprint {

@@ -4,6 +4,7 @@
 #include "lo/fchunk_lo.h"
 #include "lo/ufile_lo.h"
 #include "lo/vsegment_lo.h"
+#include "storage/free_space_map.h"
 
 namespace pglo {
 
@@ -479,8 +480,61 @@ Result<uint64_t> LoManager::Vacuum(CommitTime horizon) {
   PGLO_ASSIGN_OR_RETURN(uint64_t catalog_removed,
                         catalog_.Vacuum(*ctx_.clog, horizon));
   removed += catalog_removed;
+  // Vacuum refreshed the free-space map for every relation it touched;
+  // persist it now so the flush below carries the sidecar to disk and a
+  // crash cannot lose what this pass learned.
+  PGLO_RETURN_IF_ERROR(ctx_.pool->fsm()->Persist());
   PGLO_RETURN_IF_ERROR(ctx_.pool->FlushAll());
   return removed;
+}
+
+Result<uint64_t> LoManager::Compact(Transaction* txn, Oid oid) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  PGLO_ASSIGN_OR_RETURN(std::unique_ptr<LargeObject> lo,
+                        Instantiate(txn, oid));
+  return lo->Compact(txn);
+}
+
+Result<uint64_t> LoManager::CompactAll() {
+  Transaction* txn = ctx_.txns->Begin();
+  uint64_t moved = 0;
+  Status failed = Status::OK();
+  {
+    HeapScan scan(&catalog_, txn);
+    Tid tid;
+    Bytes payload;
+    for (;;) {
+      Result<bool> more = scan.Next(&tid, &payload);
+      if (!more.ok()) {
+        failed = more.status();
+        break;
+      }
+      if (!more.value()) break;
+      Result<CatalogEntry> entry = DecodeEntry(Slice(payload));
+      if (!entry.ok()) {
+        failed = entry.status();
+        break;
+      }
+      Result<std::unique_ptr<LargeObject>> lo = InstantiateEntry(entry.value());
+      if (!lo.ok()) {
+        failed = lo.status();
+        break;
+      }
+      Result<uint64_t> n = lo.value()->Compact(txn);
+      if (!n.ok()) {
+        failed = n.status();
+        break;
+      }
+      moved += n.value();
+    }
+  }
+  if (!failed.ok()) {
+    Status abort_status = ctx_.txns->Abort(txn);
+    (void)abort_status;
+    return failed;
+  }
+  PGLO_RETURN_IF_ERROR(ctx_.txns->Commit(txn).status());
+  return moved;
 }
 
 Result<LargeObject::StorageFootprint> LoManager::Footprint(Transaction* txn,

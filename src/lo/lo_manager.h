@@ -139,6 +139,18 @@ class LoManager {
   /// vacuumed data. Returns the number of versions removed.
   Result<uint64_t> Vacuum(CommitTime horizon);
 
+  /// Online defragmentation of one large object: relocates its live
+  /// chunk/segment versions, in key order, into fresh contiguous pages
+  /// under `txn`. No-overwrite relocation — concurrent snapshot readers
+  /// keep seeing the old copies until Vacuum reclaims them. Returns the
+  /// number of versions relocated.
+  Result<uint64_t> Compact(Transaction* txn, Oid oid);
+
+  /// Compacts every object in the catalog under one system transaction;
+  /// returns the total versions relocated. Run Vacuum afterwards to
+  /// reclaim the vacated interior pages.
+  Result<uint64_t> CompactAll();
+
   /// Moves a chunked large object (f-chunk / v-segment) to another
   /// storage manager — the [OLSO91] archive/recall operation (e.g. demote
   /// a cold video to the WORM jukebox, promote a hot one to NVRAM). The

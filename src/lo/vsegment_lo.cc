@@ -49,6 +49,8 @@ VSegmentLo::VSegmentLo(const DbContext& ctx, Files files,
     c_bytes_written_ = ctx_.stats->counter("lo.vseg.bytes_written");
     c_compress_ns_ = ctx_.stats->counter("lo.vseg.codec_compress_ns");
     c_decompress_ns_ = ctx_.stats->counter("lo.vseg.codec_decompress_ns");
+    c_pages_relocated_ = ctx_.stats->counter("lo.vseg.pages_relocated");
+    c_pages_reclaimed_ = ctx_.stats->counter("lo.vseg.pages_reclaimed");
     h_read_ = ctx_.stats->histogram("lo.vseg.read_ns");
     h_write_ = ctx_.stats->histogram("lo.vseg.write_ns");
     seg_index_.BindStats(ctx_.stats);
@@ -350,9 +352,120 @@ Status VSegmentLo::Truncate(Transaction* txn, uint64_t size) {
 Result<uint64_t> VSegmentLo::Vacuum(const CommitLog& clog,
                                     CommitTime horizon) {
   size_valid_ = false;
-  PGLO_ASSIGN_OR_RETURN(uint64_t segs, seg_heap_.Vacuum(clog, horizon));
+  uint64_t pages_emptied = 0;
+  PGLO_ASSIGN_OR_RETURN(uint64_t segs,
+                        seg_heap_.Vacuum(clog, horizon, &pages_emptied));
+  // Sweep seg_index entries whose heap slot no longer holds a matching
+  // record (vacuumed away or recycled). Collect first, then delete —
+  // Delete restructures pages under a live iterator.
+  std::vector<std::pair<uint64_t, uint64_t>> stale;
+  PGLO_ASSIGN_OR_RETURN(Btree::Iterator it, seg_index_.SeekFirst());
+  while (it.valid()) {
+    Result<std::pair<TupleHeader, Bytes>> any =
+        seg_heap_.GetAnyVersion(it.tid());
+    bool dead;
+    if (any.ok()) {
+      const Bytes& image = any.value().second;
+      if (it.key() == kSizeKey) {
+        dead = image.empty() || image[0] != kTypeSize;
+      } else {
+        Result<SegRecord> rec = DecodeSegment(Slice(image));
+        dead = !rec.ok() || rec.value().locn != it.key();
+      }
+    } else if (any.status().IsNotFound()) {
+      dead = true;
+    } else {
+      return any.status();
+    }
+    if (dead) stale.push_back({it.key(), it.value()});
+    PGLO_RETURN_IF_ERROR(it.Next());
+  }
+  for (const auto& [key, value] : stale) {
+    Status s = seg_index_.Delete(key, value);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  PGLO_ASSIGN_OR_RETURN(uint64_t merged, seg_index_.MergeUnderfull());
+  StatAdd(c_pages_reclaimed_, pages_emptied + merged);
   PGLO_ASSIGN_OR_RETURN(uint64_t chunks, store_.Vacuum(clog, horizon));
   return segs + chunks;
+}
+
+Result<uint64_t> VSegmentLo::Compact(Transaction* txn) {
+  if (!txn->active()) return Status::Aborted("transaction not active");
+  if (txn->read_only()) {
+    return Status::PermissionDenied("time-travel transactions are read-only");
+  }
+  // Pass 1: resolve the visible version of every segment record (and the
+  // size record) in locn order, before any mutation shifts index pages.
+  std::vector<std::pair<uint64_t, Tid>> live;
+  uint64_t last_key = 0;
+  bool have_last = false;
+  PGLO_ASSIGN_OR_RETURN(Btree::Iterator it, seg_index_.SeekFirst());
+  while (it.valid()) {
+    uint64_t key = it.key();
+    Tid tid = it.tid();
+    PGLO_RETURN_IF_ERROR(it.Next());
+    if (have_last && key == last_key) continue;  // already resolved
+    Result<Bytes> image = seg_heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;  // invisible version
+      return image.status();
+    }
+    bool matches;
+    if (key == kSizeKey) {
+      matches = !image.value().empty() && image.value()[0] == kTypeSize;
+    } else {
+      Result<SegRecord> rec = DecodeSegment(Slice(image.value()));
+      matches = rec.ok() && rec.value().locn == key;
+    }
+    if (!matches) continue;  // stale entry
+    live.push_back({key, tid});
+    last_key = key;
+    have_last = true;
+  }
+  // Pass 2: no-overwrite relocation. Each live segment's *contents* are
+  // re-appended to the byte store in locn order (so ascending byte_ptr
+  // again matches ascending locn — merely moving the records would leave
+  // the store scrambled), and a fresh record pointing at the new bytes is
+  // appended to the segment heap. The size record is relocated verbatim.
+  PGLO_ASSIGN_OR_RETURN(uint64_t rewrite_start, store_.Size(txn));
+  uint64_t moved = 0;
+  BlockNumber prev_block = kInvalidBlock;
+  Bytes raw;
+  for (const auto& [key, tid] : live) {
+    Result<Bytes> image = seg_heap_.Get(txn, tid);
+    if (!image.ok()) {
+      if (image.status().IsNotFound()) continue;
+      return image.status();
+    }
+    Bytes new_image;
+    if (key == kSizeKey) {
+      new_image = image.value();
+    } else {
+      PGLO_ASSIGN_OR_RETURN(SegRecord rec, DecodeSegment(Slice(image.value())));
+      rec.tid = tid;
+      PGLO_RETURN_IF_ERROR(LoadSegmentData(txn, rec, &raw));
+      SegRecord relocated;
+      relocated.locn = rec.locn;
+      PGLO_RETURN_IF_ERROR(AppendSegmentData(txn, Slice(raw), &relocated));
+      new_image = EncodeSegment(relocated);
+    }
+    PGLO_ASSIGN_OR_RETURN(Tid new_tid,
+                          seg_heap_.InsertAppend(txn, Slice(new_image)));
+    PGLO_RETURN_IF_ERROR(seg_heap_.Delete(txn, tid));
+    PGLO_RETURN_IF_ERROR(seg_index_.InsertIfAbsent(key, new_tid));
+    ++moved;
+    if (new_tid.block != prev_block) {
+      StatInc(c_pages_relocated_);
+      prev_block = new_tid.block;
+    }
+  }
+  // The store region below `rewrite_start` is now referenced only by the
+  // old (MVCC-deleted) record versions: retire its chunks so Vacuum can
+  // reclaim the pages, then physically compact the surviving tail.
+  PGLO_RETURN_IF_ERROR(store_.TrimBefore(txn, rewrite_start));
+  PGLO_ASSIGN_OR_RETURN(uint64_t inner, store_.Compact(txn));
+  return moved + inner;
 }
 
 Status VSegmentLo::Destroy(Transaction* txn) {

@@ -32,6 +32,8 @@ const char* EventTypeName(EventType type) {
       return "recorder.dump";
     case EventType::kWaitContended:
       return "wait.contended";
+    case EventType::kRecoveryFsmRebuild:
+      return "recovery.fsm_rebuild";
   }
   return "unknown";
 }

@@ -29,6 +29,7 @@ enum class EventType : uint8_t {
   kSlowOp,             ///< detail=root span, a=duration ns, b=budget ns
   kCrashDump,          ///< the recorder serialized itself; a=event total
   kWaitContended,      ///< detail=wait class, a=wall wait ns, b=backend id
+  kRecoveryFsmRebuild, ///< a=entries repaired, b=entries dropped
 };
 
 /// Stable lowercase dotted name for an event type ("txn.begin", ...).

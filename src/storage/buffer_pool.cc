@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "fault/retry.h"
+#include "storage/free_space_map.h"
 
 namespace pglo {
 
@@ -46,6 +47,7 @@ BufferPool::BufferPool(SmgrRegistry* smgrs, size_t num_frames)
     frames_[i].data = std::make_unique<uint8_t[]>(kPageSize);
     free_frames_.push_back(num_frames - 1 - i);
   }
+  fsm_ = std::make_unique<FreeSpaceMap>(this);
 }
 
 BufferPool::~BufferPool() {
@@ -621,6 +623,9 @@ Status BufferPool::FlushFile(RelFileId file) {
 }
 
 void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
+  // Outside mu_: the FSM may call back into the pool (persist/validate), so
+  // the pool never touches it while holding its own latch.
+  if (discard_dirty) fsm_->Forget(file);
   WaitLockGuard lock(mu_, wp_latch_);
   if (discard_dirty) pending_size_.erase(file);
   readahead_.erase(file);
@@ -649,6 +654,8 @@ void BufferPool::DiscardFile(RelFileId file, bool discard_dirty) {
 }
 
 void BufferPool::CrashDiscardAll() {
+  // The in-memory map is volatile state; reload from the sidecar on reopen.
+  fsm_->ForgetAll();
   WaitLockGuard lock(mu_, wp_latch_);
   pending_size_.clear();
   readahead_.clear();

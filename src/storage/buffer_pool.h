@@ -23,6 +23,7 @@
 namespace pglo {
 
 class BufferPool;
+class FreeSpaceMap;
 
 /// RAII pin on a buffered page. While a PageHandle is live the frame cannot
 /// be evicted. Call MarkDirty() after mutating the page image.
@@ -211,6 +212,11 @@ class BufferPool {
   /// hold, so it hosts the registry. See rel_latch.h.
   RelLatchRegistry* rel_latches() { return &rel_latches_; }
 
+  /// Free-space map shared by the same access methods (see
+  /// free_space_map.h); hosted here for the same reason as the latch
+  /// registry. Always non-null.
+  FreeSpaceMap* fsm() { return fsm_.get(); }
+
   /// Installs a file descriptor on the filesystem holding the database
   /// files (typically the database directory). When set, FlushAll's
   /// durability pass issues ONE syncfs(2) covering every file instead of a
@@ -354,6 +360,9 @@ class BufferPool {
   std::vector<uint8_t> write_scratch_;
   BufferPoolStats stats_;
   RelLatchRegistry rel_latches_;  ///< self-synchronized, not under mu_
+  /// Self-synchronized; may call back into the pool, so the pool only
+  /// touches it outside mu_ (see DiscardFile / CrashDiscardAll).
+  std::unique_ptr<FreeSpaceMap> fsm_;
 };
 
 }  // namespace pglo

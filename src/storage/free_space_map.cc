@@ -1,0 +1,304 @@
+#include "storage/free_space_map.h"
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "storage/buffer_pool.h"
+
+namespace pglo {
+
+namespace {
+
+// Sidecar record-page layout:
+//   [magic u32 "FSM1"] [count u16] [pad u16] [crc u32] [records ...]
+// Record (11 bytes): smgr u8 | relfile u32 | block u32 | kind u8 | bucket u8.
+// The CRC covers the count field and the record area, so a torn write makes
+// the whole page fail verification and its entries are simply dropped.
+constexpr uint32_t kFsmPageMagic = 0x314d5346;  // "FSM1"
+constexpr uint32_t kFsmHeaderSize = 12;
+constexpr uint32_t kRecordSize = 11;
+constexpr uint32_t kRecordsPerPage = (kPageSize - kFsmHeaderSize) / kRecordSize;
+
+constexpr uint8_t kKindBucket = 0;
+constexpr uint8_t kKindFreePage = 1;
+
+// Stamp written over a B-tree node returned to the free list. Chosen to
+// collide with neither the slotted-page magic nor the B-tree node magics.
+constexpr uint32_t kFreePageStamp = 0x46534d46;  // "FMSF"
+
+struct FsmRecord {
+  RelFileId file;
+  BlockNumber block = 0;
+  uint8_t kind = kKindBucket;
+  uint8_t bucket = 0;
+};
+
+void EncodeRecord(uint8_t* dst, const FsmRecord& r) {
+  dst[0] = r.file.smgr_id;
+  EncodeFixed32(dst + 1, r.file.relfile);
+  EncodeFixed32(dst + 5, r.block);
+  dst[9] = r.kind;
+  dst[10] = r.bucket;
+}
+
+FsmRecord DecodeRecord(const uint8_t* src) {
+  FsmRecord r;
+  r.file.smgr_id = src[0];
+  r.file.relfile = DecodeFixed32(src + 1);
+  r.block = DecodeFixed32(src + 5);
+  r.kind = src[9];
+  r.bucket = src[10];
+  return r;
+}
+
+uint32_t PageCrc(const uint8_t* page, uint16_t count) {
+  return crc32c::Mask(crc32c::Extend(
+      crc32c::Extend(0, page + 4, 2),  // the count field
+      page + kFsmHeaderSize, static_cast<size_t>(count) * kRecordSize));
+}
+
+}  // namespace
+
+void FreeSpaceMap::RecordFreeSpace(RelFileId file, BlockNumber block,
+                                   uint32_t free_bytes) {
+  uint8_t bucket = BucketFor(free_bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  FileEntries& fe = files_[file];
+  if (bucket == 0) {
+    fe.buckets.erase(block);
+  } else {
+    fe.buckets[block] = bucket;
+  }
+}
+
+void FreeSpaceMap::UpdateIfTracked(RelFileId file, BlockNumber block,
+                                   uint32_t free_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file);
+  if (it == files_.end()) return;
+  auto bit = it->second.buckets.find(block);
+  if (bit == it->second.buckets.end()) return;
+  uint8_t bucket = BucketFor(free_bytes);
+  if (bucket == 0) {
+    it->second.buckets.erase(bit);
+  } else {
+    bit->second = bucket;
+  }
+}
+
+Result<BlockNumber> FreeSpaceMap::FindPage(RelFileId file, uint32_t needed) {
+  // Promise >= needed: round the request UP to a bucket count.
+  uint32_t want = (needed + kBucketBytes - 1) / kBucketBytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file);
+  if (it == files_.end()) return Status::NotFound("no FSM entries for file");
+  for (const auto& [block, bucket] : it->second.buckets) {
+    if (bucket >= want) return block;
+  }
+  return Status::NotFound("no FSM page with enough free space");
+}
+
+void FreeSpaceMap::RemoveEntry(RelFileId file, BlockNumber block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file);
+  if (it == files_.end()) return;
+  it->second.buckets.erase(block);
+}
+
+void FreeSpaceMap::RecordFreePage(RelFileId file, BlockNumber block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[file].free_pages.insert(block);
+}
+
+Result<BlockNumber> FreeSpaceMap::TakeFreePage(RelFileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(file);
+  if (it == files_.end() || it->second.free_pages.empty()) {
+    return Status::NotFound("no free pages for file");
+  }
+  auto first = it->second.free_pages.begin();
+  BlockNumber block = *first;
+  it->second.free_pages.erase(first);
+  return block;
+}
+
+void FreeSpaceMap::StampFreePage(uint8_t* page) {
+  std::memset(page, 0, kPageSize);
+  EncodeFixed32(page, kFreePageStamp);
+  // Bytes 8..11 sit where a B-tree node keeps its right-sibling pointer;
+  // leave them "invalid" so a stale reader that lands here sees zero
+  // entries and a terminated sibling chain instead of walking into the
+  // meta page.
+  EncodeFixed32(page + 8, kInvalidBlock);
+}
+
+bool FreeSpaceMap::IsFreePage(const uint8_t* page) {
+  return DecodeFixed32(page) == kFreePageStamp;
+}
+
+void FreeSpaceMap::Forget(RelFileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(file);
+}
+
+void FreeSpaceMap::ForgetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+}
+
+size_t FreeSpaceMap::EntryCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [file, fe] : files_) {
+    n += fe.buckets.size() + fe.free_pages.size();
+  }
+  return n;
+}
+
+Status FreeSpaceMap::Persist() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PersistLocked();
+}
+
+Status FreeSpaceMap::PersistLocked() {
+  if (!has_backing_) return Status::OK();
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr,
+                        pool_->smgrs()->Get(backing_.smgr_id));
+
+  std::vector<FsmRecord> records;
+  for (const auto& [file, fe] : files_) {
+    // Never persist entries about the sidecar itself.
+    if (file == backing_) continue;
+    for (const auto& [block, bucket] : fe.buckets) {
+      records.push_back({file, block, kKindBucket, bucket});
+    }
+    for (BlockNumber block : fe.free_pages) {
+      records.push_back({file, block, kKindFreePage, 0});
+    }
+  }
+  bool exists = smgr->FileExists(backing_.relfile);
+  if (records.empty() && !exists) return Status::OK();  // stay invisible
+  if (!exists) PGLO_RETURN_IF_ERROR(smgr->CreateFile(backing_.relfile));
+
+  uint32_t pages_needed = static_cast<uint32_t>(
+      (records.size() + kRecordsPerPage - 1) / kRecordsPerPage);
+  if (pages_needed == 0) pages_needed = 1;
+  PGLO_ASSIGN_OR_RETURN(BlockNumber existing_pages, pool_->NumBlocks(backing_));
+  // Rewrite every page the file ever had: files cannot shrink, so pages
+  // beyond the live set are overwritten with empty record sets.
+  uint32_t total_pages =
+      pages_needed > existing_pages ? pages_needed : existing_pages;
+
+  size_t next = 0;
+  for (uint32_t p = 0; p < total_pages; ++p) {
+    PageHandle handle;
+    if (p < existing_pages) {
+      PGLO_ASSIGN_OR_RETURN(handle, pool_->GetPage({backing_, p}));
+    } else {
+      BlockNumber block;
+      PGLO_ASSIGN_OR_RETURN(handle, pool_->NewPage(backing_, &block));
+    }
+    uint8_t* buf = handle.data();
+    std::memset(buf, 0, kPageSize);
+    uint16_t count = 0;
+    while (next < records.size() && count < kRecordsPerPage) {
+      EncodeRecord(buf + kFsmHeaderSize +
+                       static_cast<size_t>(count) * kRecordSize,
+                   records[next]);
+      ++next;
+      ++count;
+    }
+    EncodeFixed32(buf, kFsmPageMagic);
+    EncodeFixed16(buf + 4, count);
+    EncodeFixed32(buf + 8, PageCrc(buf, count));
+    handle.MarkDirty();
+  }
+  return Status::OK();
+}
+
+Status FreeSpaceMap::Load() {
+  if (!has_backing_) return Status::OK();
+  PGLO_ASSIGN_OR_RETURN(StorageManager * smgr,
+                        pool_->smgrs()->Get(backing_.smgr_id));
+  if (!smgr->FileExists(backing_.relfile)) return Status::OK();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.clear();
+  PGLO_ASSIGN_OR_RETURN(BlockNumber nblocks, pool_->NumBlocks(backing_));
+  for (BlockNumber p = 0; p < nblocks; ++p) {
+    PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({backing_, p}));
+    const uint8_t* buf = handle.data();
+    if (DecodeFixed32(buf) != kFsmPageMagic) continue;  // torn: drop page
+    uint16_t count = DecodeFixed16(buf + 4);
+    if (count > kRecordsPerPage) continue;
+    if (DecodeFixed32(buf + 8) != PageCrc(buf, count)) continue;
+    for (uint16_t i = 0; i < count; ++i) {
+      FsmRecord r = DecodeRecord(buf + kFsmHeaderSize +
+                                 static_cast<size_t>(i) * kRecordSize);
+      if (r.kind == kKindBucket && r.bucket > 0) {
+        files_[r.file].buckets[r.block] = r.bucket;
+      } else if (r.kind == kKindFreePage) {
+        files_[r.file].free_pages.insert(r.block);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<FsmCheckReport> FreeSpaceMap::CheckAgainstStorage(bool fix) {
+  FsmCheckReport report;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RelFileId> dead_files;
+  for (auto& [file, fe] : files_) {
+    Result<StorageManager*> smgr = pool_->smgrs()->Get(file.smgr_id);
+    if (!smgr.ok() || !smgr.value()->FileExists(file.relfile)) {
+      report.entries_checked += fe.buckets.size() + fe.free_pages.size();
+      report.entries_dropped += fe.buckets.size() + fe.free_pages.size();
+      report.notes.push_back("relation file missing; dropped its entries");
+      if (fix) dead_files.push_back(file);
+      continue;
+    }
+    Result<BlockNumber> nblocks = pool_->NumBlocks(file);
+    if (!nblocks.ok()) return nblocks.status();
+
+    std::vector<BlockNumber> drop;
+    for (auto& [block, bucket] : fe.buckets) {
+      ++report.entries_checked;
+      uint32_t actual = 0;
+      if (block < nblocks.value()) {
+        PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file, block}));
+        SlottedPage page(handle.data());
+        if (page.IsInitialized()) actual = page.FreeSpaceAfterCompact();
+      }
+      uint8_t truth = BucketFor(actual);
+      if (truth == 0) {
+        ++report.entries_dropped;
+        if (fix) drop.push_back(block);
+      } else if (truth < bucket) {
+        ++report.entries_repaired;
+        if (fix) bucket = truth;
+      }
+    }
+    for (BlockNumber block : drop) fe.buckets.erase(block);
+
+    std::vector<BlockNumber> drop_free;
+    for (BlockNumber block : fe.free_pages) {
+      ++report.entries_checked;
+      bool good = false;
+      if (block < nblocks.value()) {
+        PGLO_ASSIGN_OR_RETURN(PageHandle handle, pool_->GetPage({file, block}));
+        good = IsFreePage(handle.data());
+      }
+      if (!good) {
+        ++report.entries_dropped;
+        if (fix) drop_free.push_back(block);
+      }
+    }
+    for (BlockNumber block : drop_free) fe.free_pages.erase(block);
+  }
+  for (const RelFileId& file : dead_files) files_.erase(file);
+  return report;
+}
+
+}  // namespace pglo

@@ -1,0 +1,180 @@
+#ifndef PGLO_STORAGE_FREE_SPACE_MAP_H_
+#define PGLO_STORAGE_FREE_SPACE_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/stats.h"
+#include "storage/page.h"
+
+namespace pglo {
+
+class BufferPool;
+
+/// Summary of one FSM validation/repair pass (see CheckAgainstStorage).
+struct FsmCheckReport {
+  uint64_t entries_checked = 0;
+  uint64_t entries_repaired = 0;  ///< bucket lowered to the on-disk truth
+  uint64_t entries_dropped = 0;   ///< entry had no backing free space at all
+  std::vector<std::string> notes;
+
+  bool clean() const { return entries_repaired == 0 && entries_dropped == 0; }
+};
+
+/// Persistent free-space map (DESIGN.md §15).
+///
+/// Tracks, per relation file, which pages have usable free space so that
+/// HeapClass inserts can reuse interior holes opened by Vacuum instead of
+/// only probing the hint page and appending. Two kinds of entries:
+///
+///   * byte buckets — free bytes on a heap page, quantized to 32-byte
+///     buckets (bucket b promises >= b*32 free bytes, so a stale entry can
+///     only over-promise, never hide space);
+///   * whole-free pages — B-tree nodes emptied by page merging, kept on a
+///     per-file free list for reuse by the next node allocation.
+///
+/// The in-memory tables are authoritative during normal operation. The map
+/// is *advisory*: every consumer re-verifies the page before using it
+/// (inserts attempt AddItem and discard the entry on failure; the B-tree
+/// checks the free-page stamp before recycling a node), so a wrong entry
+/// costs one wasted probe, never correctness.
+///
+/// Persistence piggybacks on the no-overwrite discipline's crash story
+/// without joining it: the map is serialized into a small sidecar relation
+/// (CRC-guarded record pages, written through the buffer pool so the fault
+/// injector sees every tick) at Vacuum end and at clean shutdown. After a
+/// crash the loaded entries are validated against the actual pages and
+/// repaired — drift is a repairable warning, not corruption.
+///
+/// The FSM learns about a relation only from Vacuum (RecordFreeSpace);
+/// ordinary inserts merely refresh entries that already exist. A freshly
+/// loaded database that never vacuums therefore keeps the map empty, the
+/// sidecar file is never created, and every storage-level benchmark stays
+/// bit-identical.
+///
+/// Thread safety: all public methods are internally synchronized by one
+/// mutex. Persist/Load call into the buffer pool while holding it, so the
+/// pool must never call the FSM while holding its own latch (see
+/// BufferPool::DiscardFile).
+class FreeSpaceMap {
+ public:
+  /// Free bytes are quantized to this granule; bucket 255 caps the range.
+  static constexpr uint32_t kBucketBytes = 32;
+
+  explicit FreeSpaceMap(BufferPool* pool) : pool_(pool) {}
+  FreeSpaceMap(const FreeSpaceMap&) = delete;
+  FreeSpaceMap& operator=(const FreeSpaceMap&) = delete;
+
+  /// Installs the sidecar relation the map persists into. Never set =
+  /// purely in-memory (unit tests, ephemeral databases).
+  /// Configuration-time only.
+  void SetBackingFile(RelFileId file) {
+    backing_ = file;
+    has_backing_ = true;
+  }
+
+  /// Binds heap.fsm.hits / heap.fsm.misses. Null = unbound.
+  /// Configuration-time only.
+  void BindStats(StatsRegistry* registry) {
+    if (registry == nullptr) return;
+    c_hits_ = registry->counter("heap.fsm.hits");
+    c_misses_ = registry->counter("heap.fsm.misses");
+  }
+
+  // --- byte-bucket entries (heap pages) ---------------------------------
+
+  /// Records `free_bytes` available on the page (Vacuum's registration
+  /// path). A bucket of zero erases the entry.
+  void RecordFreeSpace(RelFileId file, BlockNumber block, uint32_t free_bytes);
+
+  /// Refreshes an entry the map already tracks; pages the map has never
+  /// heard of are ignored (keeps fresh-load workloads out of the map).
+  void UpdateIfTracked(RelFileId file, BlockNumber block, uint32_t free_bytes);
+
+  /// Returns a page promising at least `needed` free bytes, preferring the
+  /// lowest block number (sequential locality), or NotFound. Does not
+  /// remove the entry — callers verify and call RemoveEntry on staleness.
+  Result<BlockNumber> FindPage(RelFileId file, uint32_t needed);
+
+  void RemoveEntry(RelFileId file, BlockNumber block);
+
+  // --- whole-free pages (B-tree nodes) ----------------------------------
+
+  /// Adds `block` to the file's free-page list. The caller must have
+  /// stamped the page image with StampFreePage first.
+  void RecordFreePage(RelFileId file, BlockNumber block);
+
+  /// Pops the lowest free page of `file`, or NotFound.
+  Result<BlockNumber> TakeFreePage(RelFileId file);
+
+  /// Writes the free-page stamp over a page image (kPageSize bytes). The
+  /// stamp is what lets validation tell a recycled-then-reused node from a
+  /// genuinely free one after a crash.
+  static void StampFreePage(uint8_t* page);
+  static bool IsFreePage(const uint8_t* page);
+
+  // --- hit/miss accounting (heap insert path) ---------------------------
+
+  void NoteHit() { StatInc(c_hits_); }
+  void NoteMiss() { StatInc(c_misses_); }
+
+  // --- lifecycle --------------------------------------------------------
+
+  /// Drops all entries for `file` (relation dropped).
+  void Forget(RelFileId file);
+
+  /// Drops every entry (simulated crash losing volatile state).
+  void ForgetAll();
+
+  /// Serializes the map into the sidecar relation via the buffer pool.
+  /// No-op without a backing file, or when the map is empty and the
+  /// sidecar was never created. Does not flush — callers persist at points
+  /// that already flush (Vacuum end, Close).
+  Status Persist();
+
+  /// Loads the sidecar relation if it exists. Pages failing magic/CRC are
+  /// skipped silently — their entries are simply absent (advisory data).
+  Status Load();
+
+  /// Validates every entry against the actual page images: byte buckets
+  /// are lowered (or dropped) to the page's true free space, free-page
+  /// entries without the stamp are dropped. `fix` = apply the repairs;
+  /// false = report only (pglo_fsck --check-fsm).
+  Result<FsmCheckReport> CheckAgainstStorage(bool fix);
+
+  /// Total number of entries (both kinds), for tests and fsck reporting.
+  size_t EntryCount() const;
+
+ private:
+  struct FileEntries {
+    std::map<BlockNumber, uint8_t> buckets;  ///< block -> free-space bucket
+    std::set<BlockNumber> free_pages;        ///< emptied B-tree nodes
+    bool empty() const { return buckets.empty() && free_pages.empty(); }
+  };
+
+  static uint8_t BucketFor(uint32_t free_bytes) {
+    uint32_t b = free_bytes / kBucketBytes;
+    return b > 255 ? 255 : static_cast<uint8_t>(b);
+  }
+
+  Status PersistLocked();
+
+  BufferPool* pool_;
+  RelFileId backing_;
+  bool has_backing_ = false;
+  Counter* c_hits_ = nullptr;
+  Counter* c_misses_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::unordered_map<RelFileId, FileEntries, RelFileIdHash> files_;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_STORAGE_FREE_SPACE_MAP_H_

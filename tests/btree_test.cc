@@ -6,6 +6,7 @@
 #include "btree/btree.h"
 #include "common/random.h"
 #include "smgr/mm_smgr.h"
+#include "storage/free_space_map.h"
 #include "tests/test_util.h"
 
 namespace pglo {
@@ -147,6 +148,66 @@ TEST_F(BtreeTest, ManyDuplicatesAcrossLeaves) {
   ASSERT_OK(tree_->Delete(42, 600));
   ASSERT_OK_AND_ASSIGN(values, tree_->Lookup(42));
   EXPECT_EQ(values.size(), 1199u);
+}
+
+TEST_F(BtreeTest, MergeUnderfullCollapsesMassDeletedTree) {
+  for (uint64_t k = 0; k < 3000; ++k) ASSERT_OK(tree_->Insert(k, k * 10));
+  ASSERT_OK_AND_ASSIGN(uint32_t height, tree_->Height());
+  ASSERT_GE(height, 2u);
+  // Delete all but every 97th key: most leaves become underfull or empty.
+  for (uint64_t k = 0; k < 3000; ++k) {
+    if (k % 97 != 0) ASSERT_OK(tree_->Delete(k, k * 10));
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t freed, tree_->MergeUnderfull());
+  EXPECT_GT(freed, 0u);
+  // Structure stays valid and every survivor is still reachable.
+  ASSERT_OK_AND_ASSIGN(uint64_t entries, tree_->CheckStructure());
+  EXPECT_EQ(entries, (3000u + 96u) / 97u);
+  for (uint64_t k = 0; k < 3000; k += 97) {
+    ASSERT_OK_AND_ASSIGN(auto values, tree_->Lookup(k));
+    ASSERT_EQ(values.size(), 1u) << "key " << k;
+    EXPECT_EQ(values[0], k * 10);
+  }
+  // Ordered iteration still works over the merged leaf chain.
+  ASSERT_OK_AND_ASSIGN(auto it, tree_->SeekFirst());
+  uint64_t expect = 0;
+  while (it.valid()) {
+    EXPECT_EQ(it.key(), expect);
+    expect += 97;
+    ASSERT_OK(it.Next());
+  }
+  EXPECT_EQ(expect, 3000u + (97u - 3000u % 97u) % 97u);
+}
+
+TEST_F(BtreeTest, MergedPagesAreRecycledByLaterSplits) {
+  for (uint64_t k = 0; k < 3000; ++k) ASSERT_OK(tree_->Insert(k, 1ull));
+  ASSERT_OK_AND_ASSIGN(BlockNumber grown, tree_->NumBlocks());
+  for (uint64_t k = 0; k < 3000; ++k) {
+    if (k % 191 != 0) ASSERT_OK(tree_->Delete(k, 1ull));
+  }
+  ASSERT_OK_AND_ASSIGN(uint64_t freed, tree_->MergeUnderfull());
+  ASSERT_GT(freed, 0u);
+  // Freed pages went to the pool's free-space map...
+  EXPECT_GT(pool_.fsm()->EntryCount(), 0u);
+  // ...and re-growing the tree recycles them instead of extending the
+  // file: the relation ends no larger than its previous high-water mark.
+  for (uint64_t k = 0; k < 3000; ++k) {
+    if (k % 191 != 0) ASSERT_OK(tree_->Insert(k, 1ull));
+  }
+  ASSERT_OK_AND_ASSIGN(BlockNumber regrown, tree_->NumBlocks());
+  EXPECT_LE(regrown, grown);
+  ASSERT_OK(tree_->CheckStructure().status());
+}
+
+TEST_F(BtreeTest, MergeOnEmptyAndSingleLeafTreesIsANoOp) {
+  ASSERT_OK_AND_ASSIGN(uint64_t freed, tree_->MergeUnderfull());
+  EXPECT_EQ(freed, 0u);
+  ASSERT_OK(tree_->Insert(1, 10ull));
+  ASSERT_OK(tree_->Insert(2, 20ull));
+  ASSERT_OK_AND_ASSIGN(freed, tree_->MergeUnderfull());
+  EXPECT_EQ(freed, 0u);
+  ASSERT_OK_AND_ASSIGN(uint64_t entries, tree_->CheckStructure());
+  EXPECT_EQ(entries, 2u);
 }
 
 // Oracle comparison against std::multimap under random operations.

@@ -152,6 +152,77 @@ TEST_F(ConcurrencyTest, InterleavedSessionsSeeOnlyCommittedImages) {
   ASSERT_OK(db.Close());
 }
 
+TEST_F(ConcurrencyTest, CompactionConcurrentWithSnapshotReaders) {
+  // Online defragmentation is a writer of every object, but a no-overwrite
+  // one: relocated versions are fresh inserts and the originals are only
+  // MVCC-deleted, so snapshot readers opened before (or during) a
+  // compaction pass must keep seeing solid committed images throughout.
+  // One maintenance thread churns + compacts; reader threads roam — the
+  // supported concurrency model, with compaction playing the writer.
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  const int kObjects = 3;
+  std::vector<Oid> oids = CreateObjects(&db, kObjects);
+
+  std::vector<std::atomic<int>> committed(kObjects);
+  for (auto& c : committed) c = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  auto reader = [&] {
+    auto session = db.Connect();
+    while (!stop.load()) {
+      // Floor snapshot: rounds committed before this Begin can never be
+      // un-seen, no matter how much compaction relocates underneath.
+      std::vector<int> floor(kObjects);
+      for (int t = 0; t < kObjects; ++t) floor[t] = committed[t].load();
+      session->Begin();
+      for (int t = 0; t < kObjects; ++t) {
+        uint8_t got = ReadSolidImage(session.get(), oids[t]);
+        // ReadSolidImage already failed the test if the image was torn;
+        // additionally the round must be at least the pre-Begin floor.
+        int round = (got & 0x0F) - 1;
+        EXPECT_GE(round, floor[t] % 8)
+            << "reader saw an image older than its snapshot floor";
+        if (::testing::Test::HasFailure()) { failed = true; return; }
+      }
+      if (!session->Abort().ok()) { failed = true; return; }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) readers.emplace_back(reader);
+
+  // Maintenance thread (this one): whole-object rewrites so every commit
+  // leaves a solid image, then CompactAll while the readers are live.
+  auto writer_session = db.Connect();
+  for (int r = 1; r <= 4 && !failed.load(); ++r) {
+    for (int t = 0; t < kObjects; ++t) {
+      writer_session->Begin();
+      auto fd = writer_session->OpenLo(oids[t], /*writable=*/true);
+      ASSERT_OK(fd.status());
+      Bytes image(kObjectBytes, PatternByte(t, r));
+      ASSERT_OK(fd.value()->Write(Slice(image)));
+      ASSERT_OK(writer_session->Commit().status());
+      committed[t] = r;
+    }
+    ASSERT_OK(db.large_objects().CompactAll().status());
+  }
+  stop = true;
+  for (auto& th : readers) th.join();
+  ASSERT_FALSE(failed.load());
+
+  // Reclaim everything compaction vacated, then the final oracle check.
+  ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+  auto session = db.Connect();
+  session->Begin();
+  for (int t = 0; t < kObjects; ++t) {
+    EXPECT_EQ(ReadSolidImage(session.get(), oids[t]), PatternByte(t, 4));
+  }
+  ASSERT_OK(session->Abort());
+  ASSERT_OK(db.Close());
+}
+
 TEST_F(ConcurrencyTest, GroupCommitBatchesFsyncsWithoutLosingCommits) {
   DatabaseOptions options = Options();
   options.group_commit = true;

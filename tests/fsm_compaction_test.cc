@@ -1,0 +1,484 @@
+// Free-space map + online compaction tests (the ISSUE 9 tentpole).
+//
+// Covers: FSM bucket/free-page bookkeeping, persistence across a clean
+// restart, drift detection/repair after a crash (with the
+// recovery.fsm_rebuild event), vacuumed holes actually being refilled by
+// later inserts, and the churn property test — random
+// create/overwrite/append/truncate/delete traffic across all four LO
+// kinds, with CompactAll + Vacuum interleaved, verified against a
+// committed-image oracle, including across a simulated crash.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "db/database.h"
+#include "obs/flight_recorder.h"
+#include "storage/buffer_pool.h"
+#include "storage/free_space_map.h"
+#include "tests/test_util.h"
+
+namespace pglo {
+namespace {
+
+using pglo::testing::TempDir;
+using pglo::testing::TestSeed;
+
+uint64_t CounterValue(const StatsSnapshot& snap, const std::string& name) {
+  for (const auto& [counter, value] : snap.counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// FreeSpaceMap unit behaviour (no database needed for the in-memory side).
+// ---------------------------------------------------------------------------
+
+TEST(FreeSpaceMapUnit, BucketsPreferLowestBlockAndRespectNeed) {
+  FreeSpaceMap fsm(nullptr);
+  RelFileId file{0, 1};
+  fsm.RecordFreeSpace(file, 9, 500);
+  fsm.RecordFreeSpace(file, 5, 100);
+  // Lowest block satisfying the need wins (sequential locality).
+  ASSERT_OK_AND_ASSIGN(BlockNumber b, fsm.FindPage(file, 64));
+  EXPECT_EQ(b, 5u);
+  ASSERT_OK_AND_ASSIGN(b, fsm.FindPage(file, 400));
+  EXPECT_EQ(b, 9u);
+  EXPECT_TRUE(fsm.FindPage(file, 9000).status().IsNotFound());
+  // Unknown files have no pages.
+  EXPECT_TRUE(fsm.FindPage(RelFileId{0, 2}, 1).status().IsNotFound());
+}
+
+TEST(FreeSpaceMapUnit, ZeroErasesAndUpdateIgnoresUntrackedPages) {
+  FreeSpaceMap fsm(nullptr);
+  RelFileId file{0, 1};
+  // UpdateIfTracked must not create entries: fresh-load workloads stay out
+  // of the map entirely.
+  fsm.UpdateIfTracked(file, 3, 4000);
+  EXPECT_EQ(fsm.EntryCount(), 0u);
+  fsm.RecordFreeSpace(file, 3, 4000);
+  EXPECT_EQ(fsm.EntryCount(), 1u);
+  fsm.UpdateIfTracked(file, 3, 8000);  // refresh of a tracked page works
+  ASSERT_OK_AND_ASSIGN(BlockNumber b, fsm.FindPage(file, 6000));
+  EXPECT_EQ(b, 3u);
+  fsm.RecordFreeSpace(file, 3, 0);  // zero erases
+  EXPECT_EQ(fsm.EntryCount(), 0u);
+}
+
+TEST(FreeSpaceMapUnit, FreePageListIsLowestFirstAndStampRoundTrips) {
+  FreeSpaceMap fsm(nullptr);
+  RelFileId file{0, 1};
+  fsm.RecordFreePage(file, 12);
+  fsm.RecordFreePage(file, 4);
+  ASSERT_OK_AND_ASSIGN(BlockNumber b, fsm.TakeFreePage(file));
+  EXPECT_EQ(b, 4u);
+  ASSERT_OK_AND_ASSIGN(b, fsm.TakeFreePage(file));
+  EXPECT_EQ(b, 12u);
+  EXPECT_TRUE(fsm.TakeFreePage(file).status().IsNotFound());
+
+  Bytes page(kPageSize, 0xab);
+  EXPECT_FALSE(FreeSpaceMap::IsFreePage(page.data()));
+  FreeSpaceMap::StampFreePage(page.data());
+  EXPECT_TRUE(FreeSpaceMap::IsFreePage(page.data()));
+}
+
+TEST(FreeSpaceMapUnit, ForgetDropsAllEntriesForFile) {
+  FreeSpaceMap fsm(nullptr);
+  RelFileId a{0, 1}, b{0, 2};
+  fsm.RecordFreeSpace(a, 1, 100);
+  fsm.RecordFreePage(a, 7);
+  fsm.RecordFreeSpace(b, 1, 100);
+  fsm.Forget(a);
+  EXPECT_TRUE(fsm.FindPage(a, 1).status().IsNotFound());
+  EXPECT_TRUE(fsm.TakeFreePage(a).status().IsNotFound());
+  ASSERT_OK(fsm.FindPage(b, 1).status());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end FSM behaviour against a real database.
+// ---------------------------------------------------------------------------
+
+class FsmDbTest : public ::testing::Test {
+ protected:
+  DatabaseOptions Options() {
+    DatabaseOptions options;
+    options.dir = dir_.Sub("db");
+    options.charge_devices = false;
+    options.buffer_pool_frames = 128;
+    return options;
+  }
+
+  /// Creates an f-chunk object of `chunks` full chunks, committed.
+  Oid CreateObject(Database& db, int chunks) {
+    auto session = db.Connect();
+    Transaction* txn = session->Begin();
+    LoSpec spec;
+    spec.kind = StorageKind::kFChunk;
+    spec.smgr = kSmgrDisk;
+    Oid oid = kInvalidOid;
+    auto created = db.large_objects().Create(txn, spec);
+    EXPECT_OK(created.status());
+    oid = created.value();
+    auto lo = db.large_objects().Instantiate(txn, oid);
+    EXPECT_OK(lo.status());
+    Bytes chunk(8000, 0x11);
+    for (int c = 0; c < chunks; ++c) {
+      EXPECT_OK((*lo)->Write(txn, static_cast<uint64_t>(c) * 8000,
+                             Slice(chunk)));
+    }
+    EXPECT_OK(session->Commit().status());
+    return oid;
+  }
+
+  /// Overwrites chunks [first, last) in a fresh transaction — cross-txn
+  /// updates append new versions, leaving the old ones for Vacuum.
+  void OverwriteChunks(Database& db, Oid oid, int first, int last,
+                       uint8_t fill) {
+    auto session = db.Connect();
+    Transaction* txn = session->Begin();
+    auto lo = db.large_objects().Instantiate(txn, oid);
+    ASSERT_OK(lo.status());
+    Bytes chunk(8000, fill);
+    for (int c = first; c < last; ++c) {
+      ASSERT_OK((*lo)->Write(txn, static_cast<uint64_t>(c) * 8000,
+                             Slice(chunk)));
+    }
+    ASSERT_OK(session->Commit().status());
+  }
+
+  TempDir dir_;
+};
+
+TEST_F(FsmDbTest, VacuumPopulatesMapAndLaterInsertsFillHoles) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  Oid oid = CreateObject(db, 60);
+  EXPECT_EQ(db.pool().fsm()->EntryCount(), 0u);  // inserts never register
+
+  OverwriteChunks(db, oid, 0, 30, 0x22);
+  ASSERT_OK_AND_ASSIGN(uint64_t removed, db.large_objects().Vacuum(db.Now()));
+  EXPECT_GE(removed, 30u);
+  EXPECT_GT(db.pool().fsm()->EntryCount(), 0u);
+
+  // The next round of cross-txn overwrites must land in the vacated holes
+  // instead of growing the file: the insert path consults the map.
+  uint64_t hits0 = CounterValue(db.Stats(), "heap.fsm.hits");
+  OverwriteChunks(db, oid, 30, 60, 0x33);
+  uint64_t hits1 = CounterValue(db.Stats(), "heap.fsm.hits");
+  EXPECT_GT(hits1, hits0);
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(FsmDbTest, MapSurvivesCleanRestart) {
+  DatabaseOptions options = Options();
+  Database db;
+  ASSERT_OK(db.Open(options));
+  Oid oid = CreateObject(db, 40);
+  OverwriteChunks(db, oid, 0, 20, 0x44);
+  ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+  size_t entries = db.pool().fsm()->EntryCount();
+  ASSERT_GT(entries, 0u);
+  ASSERT_OK(db.Close());
+
+  ASSERT_OK(db.Open(options));
+  // Loaded from the sidecar relation, not relearned.
+  EXPECT_EQ(db.pool().fsm()->EntryCount(), entries);
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(FsmDbTest, CrashRecoveryRepairsDriftAndLogsRebuildEvent) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  Oid oid = CreateObject(db, 40);
+  OverwriteChunks(db, oid, 0, 20, 0x55);
+  // Drift: an entry pointing past the end of an existing relation (the LO
+  // catalog) has no backing free space at all. Vacuum persists the map —
+  // including this lie — and flushes, so it survives the crash.
+  db.pool().fsm()->RecordFreeSpace(RelFileId{kSmgrDisk, 10}, 999, 4000);
+  ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+
+  ASSERT_OK(db.SimulateCrashAndReopen());
+  ASSERT_NE(db.recorder(), nullptr);
+  EXPECT_GE(db.recorder()->events().CountOf(EventType::kRecoveryFsmRebuild),
+            1u);
+  // The reopened map validated every loaded entry against storage, so a
+  // report-only pass now finds nothing left to fix.
+  ASSERT_OK_AND_ASSIGN(FsmCheckReport report,
+                       db.pool().fsm()->CheckAgainstStorage(/*fix=*/false));
+  EXPECT_TRUE(report.clean());
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(FsmDbTest, CheckAgainstStorageReportOnlyLeavesDriftInPlace) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  Oid oid = CreateObject(db, 20);
+  OverwriteChunks(db, oid, 0, 10, 0x66);
+  ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+  db.pool().fsm()->RecordFreeSpace(RelFileId{kSmgrDisk, 10}, 999, 4000);
+
+  ASSERT_OK_AND_ASSIGN(FsmCheckReport report,
+                       db.pool().fsm()->CheckAgainstStorage(/*fix=*/false));
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.entries_dropped, 1u);
+  // fix=false reported but did not repair: the same drift shows up again.
+  ASSERT_OK_AND_ASSIGN(report,
+                       db.pool().fsm()->CheckAgainstStorage(/*fix=*/false));
+  EXPECT_FALSE(report.clean());
+  // fix=true repairs; a final report-only pass is clean.
+  ASSERT_OK_AND_ASSIGN(report,
+                       db.pool().fsm()->CheckAgainstStorage(/*fix=*/true));
+  EXPECT_FALSE(report.clean());
+  ASSERT_OK_AND_ASSIGN(report,
+                       db.pool().fsm()->CheckAgainstStorage(/*fix=*/false));
+  EXPECT_TRUE(report.clean());
+  ASSERT_OK(db.Close());
+}
+
+// ---------------------------------------------------------------------------
+// Online compaction.
+// ---------------------------------------------------------------------------
+
+TEST_F(FsmDbTest, CompactRelocatesAndPreservesContent) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  Oid oid = CreateObject(db, 30);
+  // Scramble physical order: two churn rounds with a vacuum in between so
+  // the second round scatters into holes.
+  OverwriteChunks(db, oid, 0, 15, 0x77);
+  ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+  OverwriteChunks(db, oid, 15, 30, 0x88);
+
+  auto session = db.Connect();
+  Transaction* txn = session->Begin();
+  ASSERT_OK_AND_ASSIGN(uint64_t moved, db.large_objects().Compact(txn, oid));
+  EXPECT_GT(moved, 0u);
+  ASSERT_OK(session->Commit().status());
+  ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+
+  auto verify = db.Connect();
+  Transaction* vt = verify->Begin();
+  ASSERT_OK_AND_ASSIGN(auto lo, db.large_objects().Instantiate(vt, oid));
+  ASSERT_OK_AND_ASSIGN(uint64_t size, lo->Size(vt));
+  EXPECT_EQ(size, 30u * 8000u);
+  Bytes buf(8000);
+  for (int c = 0; c < 30; ++c) {
+    ASSERT_OK_AND_ASSIGN(
+        size_t n,
+        lo->Read(vt, static_cast<uint64_t>(c) * 8000, 8000, buf.data()));
+    ASSERT_EQ(n, 8000u);
+    uint8_t want = c < 15 ? 0x77 : 0x88;
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf[i], want) << "chunk " << c << " byte " << i;
+    }
+  }
+  ASSERT_OK(verify->Abort());
+  ASSERT_OK(db.Close());
+}
+
+TEST_F(FsmDbTest, SnapshotReadersSeePreCompactionImagesUntilVacuum) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  Oid oid = CreateObject(db, 4);  // all 0x11
+  CommitTime t_v1 = db.Now();
+  OverwriteChunks(db, oid, 0, 4, 0x99);
+
+  // Compact while a time-travel reader holds the old snapshot: relocation
+  // is no-overwrite (MVCC delete + fresh insert), so the old versions are
+  // still there for the reader until Vacuum reclaims them.
+  auto compactor = db.Connect();
+  Transaction* ct = compactor->Begin();
+  ASSERT_OK(db.large_objects().Compact(ct, oid).status());
+  ASSERT_OK(compactor->Commit().status());
+
+  auto old_reader = db.Connect();
+  Transaction* ot = old_reader->BeginAsOf(t_v1);
+  ASSERT_OK_AND_ASSIGN(auto old_lo, db.large_objects().Instantiate(ot, oid));
+  Bytes buf(8000);
+  ASSERT_OK_AND_ASSIGN(size_t n, old_lo->Read(ot, 0, 8000, buf.data()));
+  ASSERT_EQ(n, 8000u);
+  EXPECT_EQ(buf[0], 0x11) << "old snapshot must pre-date the overwrite";
+  ASSERT_OK(old_reader->Abort());
+
+  auto new_reader = db.Connect();
+  Transaction* nt = new_reader->Begin();
+  ASSERT_OK_AND_ASSIGN(auto new_lo, db.large_objects().Instantiate(nt, oid));
+  ASSERT_OK_AND_ASSIGN(n, new_lo->Read(nt, 0, 8000, buf.data()));
+  ASSERT_EQ(n, 8000u);
+  EXPECT_EQ(buf[0], 0x99);
+  ASSERT_OK(new_reader->Abort());
+
+  ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+  auto after = db.Connect();
+  Transaction* at = after->Begin();
+  ASSERT_OK_AND_ASSIGN(auto lo, db.large_objects().Instantiate(at, oid));
+  ASSERT_OK_AND_ASSIGN(n, lo->Read(at, 0, 8000, buf.data()));
+  ASSERT_EQ(n, 8000u);
+  EXPECT_EQ(buf[0], 0x99);
+  ASSERT_OK(after->Abort());
+  ASSERT_OK(db.Close());
+}
+
+// ---------------------------------------------------------------------------
+// Churn property test: all four LO kinds against a committed-image oracle,
+// with CompactAll + Vacuum interleaved and a crash at the end.
+// ---------------------------------------------------------------------------
+
+struct ChurnObject {
+  Oid oid = kInvalidOid;
+  StorageKind kind = StorageKind::kFChunk;
+  Bytes image;  // committed-image oracle
+};
+
+constexpr uint64_t kChurnMaxBytes = 64 * 1024;
+
+LoSpec ChurnSpec(StorageKind kind, int serial) {
+  LoSpec spec;
+  spec.kind = kind;
+  spec.smgr = kSmgrDisk;
+  if (kind == StorageKind::kVSegment) spec.codec = "rle";
+  if (kind == StorageKind::kUserFile) {
+    spec.ufile_path = "churn_u" + std::to_string(serial);
+  }
+  return spec;
+}
+
+void VerifyAll(Database& db, const std::vector<ChurnObject>& objs,
+               const char* where) {
+  auto session = db.Connect();
+  Transaction* txn = session->Begin();
+  for (size_t i = 0; i < objs.size(); ++i) {
+    const ChurnObject& obj = objs[i];
+    ASSERT_OK_AND_ASSIGN(auto lo,
+                         db.large_objects().Instantiate(txn, obj.oid));
+    ASSERT_OK_AND_ASSIGN(uint64_t size, lo->Size(txn));
+    ASSERT_EQ(size, obj.image.size())
+        << where << ": object " << i << " kind "
+        << StorageKindToString(obj.kind);
+    if (size == 0) continue;
+    Bytes got(static_cast<size_t>(size));
+    ASSERT_OK_AND_ASSIGN(size_t n, lo->Read(txn, 0, got.size(), got.data()));
+    ASSERT_EQ(n, got.size());
+    ASSERT_EQ(got, obj.image)
+        << where << ": object " << i << " kind "
+        << StorageKindToString(obj.kind) << " diverged from oracle";
+  }
+  ASSERT_OK(session->Abort());
+}
+
+TEST_F(FsmDbTest, ChurnAcrossAllKindsWithCompactionMatchesOracle) {
+  Database db;
+  ASSERT_OK(db.Open(Options()));
+  Random rng(TestSeed(97));
+  const StorageKind kinds[] = {StorageKind::kFChunk, StorageKind::kVSegment,
+                               StorageKind::kUserFile,
+                               StorageKind::kPostgresFile};
+  int serial = 0;
+  std::vector<ChurnObject> objs;
+
+  auto create_one = [&](StorageKind kind) {
+    auto session = db.Connect();
+    Transaction* txn = session->Begin();
+    ChurnObject obj;
+    obj.kind = kind;
+    auto created =
+        db.large_objects().Create(txn, ChurnSpec(kind, ++serial));
+    ASSERT_OK(created.status());
+    obj.oid = created.value();
+    size_t len = static_cast<size_t>(rng.Range(1, 32 * 1024));
+    obj.image = rng.RandomBytes(len);
+    auto lo = db.large_objects().Instantiate(txn, obj.oid);
+    ASSERT_OK(lo.status());
+    ASSERT_OK((*lo)->Write(txn, 0, Slice(obj.image)));
+    ASSERT_OK(session->Commit().status());
+    objs.push_back(std::move(obj));
+  };
+
+  for (StorageKind kind : kinds) {
+    create_one(kind);
+    create_one(kind);
+  }
+
+  for (int round = 0; round < 6; ++round) {
+    // Random committed mutations, one transaction per object.
+    for (ChurnObject& obj : objs) {
+      auto session = db.Connect();
+      Transaction* txn = session->Begin();
+      auto lo = db.large_objects().Instantiate(txn, obj.oid);
+      ASSERT_OK(lo.status());
+      Bytes view = obj.image;  // this transaction's view of the object
+      for (int op = 0; op < 4; ++op) {
+        uint64_t pick = rng.Uniform(100);
+        if (pick < 50) {  // overwrite
+          uint64_t off = rng.Uniform(view.size() + 1);
+          size_t len = static_cast<size_t>(rng.Range(1, 12'000));
+          if (off + len > kChurnMaxBytes) {
+            len = static_cast<size_t>(kChurnMaxBytes - off);
+          }
+          if (len == 0) continue;
+          Bytes data = rng.RandomBytes(len);
+          ASSERT_OK((*lo)->Write(txn, off, Slice(data)));
+          if (view.size() < off + len) view.resize(off + len, 0);
+          std::copy(data.begin(), data.end(),
+                    view.begin() + static_cast<ptrdiff_t>(off));
+        } else if (pick < 80) {  // append
+          size_t len = static_cast<size_t>(rng.Range(1, 8'000));
+          if (view.size() + len > kChurnMaxBytes) {
+            len = static_cast<size_t>(kChurnMaxBytes - view.size());
+          }
+          if (len == 0) continue;
+          Bytes data = rng.RandomBytes(len);
+          ASSERT_OK((*lo)->Write(txn, view.size(), Slice(data)));
+          view.insert(view.end(), data.begin(), data.end());
+        } else if (!view.empty()) {  // truncate
+          uint64_t nsize = rng.Uniform(view.size() + 1);
+          ASSERT_OK((*lo)->Truncate(txn, nsize));
+          view.resize(static_cast<size_t>(nsize));
+        }
+      }
+      bool transactional = obj.kind == StorageKind::kFChunk ||
+                           obj.kind == StorageKind::kVSegment;
+      if (transactional && rng.OneInHundred(25)) {
+        ASSERT_OK(session->Abort());  // oracle unchanged
+      } else {
+        ASSERT_OK(session->Commit().status());
+        obj.image = std::move(view);
+      }
+    }
+    // Delete/recreate churn: retire one object, create a fresh one of the
+    // same kind (keeps all four kinds represented every round).
+    size_t victim = static_cast<size_t>(rng.Uniform(objs.size()));
+    StorageKind vk = objs[victim].kind;
+    {
+      auto session = db.Connect();
+      Transaction* txn = session->Begin();
+      ASSERT_OK(db.large_objects().Unlink(txn, objs[victim].oid));
+      ASSERT_OK(session->Commit().status());
+      objs.erase(objs.begin() + static_cast<ptrdiff_t>(victim));
+    }
+    create_one(vk);
+
+    // Interleaved maintenance: vacuum teaches the FSM, compaction
+    // relocates, a second vacuum reclaims what compaction vacated.
+    ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+    if (round % 2 == 1) {
+      ASSERT_OK(db.large_objects().CompactAll().status());
+      ASSERT_OK(db.large_objects().Vacuum(db.Now()).status());
+    }
+    VerifyAll(db, objs, "after maintenance");
+  }
+
+  // The whole population must also survive a power failure: everything in
+  // the oracle is committed, and the FSM rebuild is advisory-only.
+  ASSERT_OK(db.SimulateCrashAndReopen());
+  VerifyAll(db, objs, "after crash");
+  ASSERT_OK(db.Close());
+}
+
+}  // namespace
+}  // namespace pglo

@@ -292,8 +292,10 @@ int main(int argc, char** argv) {
 
   // Informational physical-work drift: device seek counts and storage-
   // manager block reads explain *why* simulated times moved (e.g. vectored
-  // I/O should show seeks falling alongside times). Never affects the exit
-  // code.
+  // I/O should show seeks falling alongside times), and the fragmentation
+  // family — FSM hit/miss rates, versions relocated by compaction, pages
+  // reclaimed by vacuum — explains churn-benchmark movement the same way.
+  // Never affects the exit code.
   auto tracked = [](const std::string& name) {
     auto has = [&](const char* prefix, const char* suffix) {
       size_t plen = std::strlen(prefix);
@@ -301,7 +303,9 @@ int main(int argc, char** argv) {
       return name.size() > plen + slen && name.compare(0, plen, prefix) == 0 &&
              name.compare(name.size() - slen, slen, suffix) == 0;
     };
-    return has("device.", ".seeks") || has("smgr.", ".blocks_read");
+    return has("device.", ".seeks") || has("smgr.", ".blocks_read") ||
+           name == "heap.fsm.hits" || name == "heap.fsm.misses" ||
+           has("lo.", ".pages_relocated") || has("lo.", ".pages_reclaimed");
   };
   const JsonValue* base_counters = base.value().Get("counters");
   const JsonValue* next_counters = next.value().Get("counters");

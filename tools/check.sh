@@ -27,6 +27,12 @@
 # bit-identical simulated time (and the default config's wall overhead
 # stays within 5%), and compares against the committed baseline.
 #
+# A fragmentation gate closes the loop on long-horizon churn:
+# bench_fragmentation --quick must show sequential reads degrading >= 20%
+# after the churn epochs and landing back within 10% of fresh after
+# CompactAll + Vacuum, then bench_compare guards its simulated times
+# against the committed baseline.
+#
 # "ci" is the mode for unattended runs (.github/workflows/ci.yml): the full
 # "all" sequence, with a per-test ctest timeout so a hung test fails the
 # run instead of wedging it. PGLO_TEST_TIMEOUT overrides the default 600 s.
@@ -92,6 +98,27 @@ obs_gate() {
   trap - EXIT
 }
 
+fragmentation_gate() {
+  builddir="$1"
+  baseline="bench/baselines/BENCH_fragmentation_quick.json"
+  echo "== fragmentation gate: bench_fragmentation --quick vs $baseline =="
+  workdir="$(mktemp -d /tmp/pglo_frag_gate_XXXXXX)"
+  trap 'rm -rf "$workdir"' EXIT
+  out="$workdir/BENCH_fragmentation_quick.json"
+  # The bench gates its own shape: churn must degrade sequential reads by
+  # >= 20% (the fragmentation problem manifests) and the post-compaction
+  # read must land within 10% of the fresh read (online compaction
+  # restores locality). bench_compare then guards the absolute simulated
+  # times against the committed baseline.
+  "$builddir/bench/bench_fragmentation" --quick \
+      --gate-degradation-pct=20 --gate-restore-pct=10 \
+      --json="$out" "$workdir/db" > "$workdir/bench.log"
+  "$builddir/tools/bench_compare" --validate "$out"
+  "$builddir/tools/bench_compare" "$baseline" "$out"
+  rm -rf "$workdir"
+  trap - EXIT
+}
+
 concurrency_gate() {
   builddir="$1"
   echo "== concurrency gate: bench_concurrency --quick (schema-validated) =="
@@ -130,6 +157,7 @@ case "${1:-default}" in
     obs_gate build
     crashtest_gate build
     concurrency_gate build
+    fragmentation_gate build
     ;;
   asan)
     run_preset asan
@@ -144,6 +172,7 @@ case "${1:-default}" in
     obs_gate build
     crashtest_gate build
     concurrency_gate build
+    fragmentation_gate build
     run_preset asan
     crashtest_gate build-asan
     tsan_smoke_gate
@@ -157,6 +186,7 @@ case "${1:-default}" in
     obs_gate build
     crashtest_gate build
     concurrency_gate build
+    fragmentation_gate build
     run_preset asan "$timeout"
     crashtest_gate build-asan
     tsan_smoke_gate
