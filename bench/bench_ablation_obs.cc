@@ -271,7 +271,12 @@ int Main(int argc, char** argv) {
                  finish.ToString().c_str());
     return 1;
   }
-  for (size_t m = 0; m < kNumModes; ++m) state[m].db.reset();
+  for (size_t m = 0; m < kNumModes; ++m) {
+    // The runner's Session releases its activity slot into the database's
+    // BackendActivity table — it must go before the database does.
+    state[m].runner.reset();
+    state[m].db.reset();
+  }
   rc = std::system(("rm -rf '" + workdir + "'").c_str());
   (void)rc;
   if (!identical) {

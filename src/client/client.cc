@@ -1,0 +1,169 @@
+#include "client/client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pglo {
+
+using wire::Frame;
+using wire::FrameType;
+
+Result<std::unique_ptr<PgloClient>> PgloClient::Connect(
+    const std::string& host, uint16_t port, const std::string& client_name) {
+  PGLO_ASSIGN_OR_RETURN(int fd, net::Dial(host, port));
+  std::unique_ptr<PgloClient> client(new PgloClient(fd));
+  PGLO_RETURN_IF_ERROR(client->conn_.Send(wire::MakeHello(client_name)));
+  PGLO_ASSIGN_OR_RETURN(Frame reply, client->conn_.Recv());
+  if (reply.type == FrameType::kReject) {
+    return Status::ResourceExhausted(
+        "server rejected connection (" + std::to_string(reply.u32_a) + "/" +
+        std::to_string(reply.u32_b) + " connections): " + reply.text);
+  }
+  if (reply.type == FrameType::kError) return wire::ErrorOf(reply);
+  if (reply.type != FrameType::kHelloOk) {
+    return Status::InvalidArgument(
+        std::string("handshake: expected HELLO_OK, got ") +
+        FrameTypeName(reply.type));
+  }
+  if (reply.u32_a != wire::kProtocolVersion) {
+    return Status::NotSupported("server speaks protocol version " +
+                                std::to_string(reply.u32_a));
+  }
+  client->backend_id_ = reply.u32_b;
+  return client;
+}
+
+PgloClient::~PgloClient() = default;
+
+Result<Frame> PgloClient::RoundTrip(const Frame& request) {
+  PGLO_RETURN_IF_ERROR(conn_.Send(request));
+  return conn_.Recv();
+}
+
+Status PgloClient::SendRaw(Slice bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(conn_.fd(), bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void PgloClient::Kill() {
+  conn_.Shutdown();
+  conn_.Close();
+}
+
+int PgloClient::fd() const { return conn_.fd(); }
+
+Result<Frame> PgloClient::Expect(const Frame& request, FrameType want) {
+  PGLO_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  if (reply.type == FrameType::kError) return wire::ErrorOf(reply);
+  if (reply.type != want) {
+    return Status::InvalidArgument(std::string("expected ") +
+                                   FrameTypeName(want) + " reply, got " +
+                                   FrameTypeName(reply.type));
+  }
+  return reply;
+}
+
+Status PgloClient::Begin() {
+  return Expect(wire::MakeBegin(0), FrameType::kOk).status();
+}
+
+Status PgloClient::BeginAsOf(uint64_t as_of) {
+  return Expect(wire::MakeBegin(as_of), FrameType::kOk).status();
+}
+
+Result<uint64_t> PgloClient::Commit() {
+  Frame req;
+  req.type = FrameType::kCommit;
+  PGLO_ASSIGN_OR_RETURN(Frame reply, Expect(req, FrameType::kU64Reply));
+  return reply.u64;
+}
+
+Status PgloClient::Abort() {
+  Frame req;
+  req.type = FrameType::kAbort;
+  return Expect(req, FrameType::kOk).status();
+}
+
+Result<uint64_t> PgloClient::CreateLo(const LoSpec& spec) {
+  PGLO_ASSIGN_OR_RETURN(Frame reply,
+                        Expect(wire::MakeLoCreate(spec), FrameType::kU64Reply));
+  return reply.u64;
+}
+
+Result<uint32_t> PgloClient::OpenLo(uint64_t oid, bool writable) {
+  PGLO_ASSIGN_OR_RETURN(
+      Frame reply, Expect(wire::MakeLoOpen(oid, writable),
+                          FrameType::kHandleReply));
+  return reply.u32_a;
+}
+
+Result<Bytes> PgloClient::Read(uint32_t handle, uint32_t n) {
+  PGLO_ASSIGN_OR_RETURN(
+      Frame reply, Expect(wire::MakeLoRead(handle, n), FrameType::kDataReply));
+  return std::move(reply.data);
+}
+
+Status PgloClient::Write(uint32_t handle, Slice data) {
+  return Expect(wire::MakeLoWrite(handle, data), FrameType::kOk).status();
+}
+
+Result<uint64_t> PgloClient::Seek(uint32_t handle, int64_t off,
+                                  Whence whence) {
+  PGLO_ASSIGN_OR_RETURN(
+      Frame reply,
+      Expect(wire::MakeLoSeek(handle, off, whence), FrameType::kU64Reply));
+  return reply.u64;
+}
+
+Status PgloClient::CloseLo(uint32_t handle) {
+  return Expect(wire::MakeHandleOp(FrameType::kLoClose, handle),
+                FrameType::kOk)
+      .status();
+}
+
+Result<uint64_t> PgloClient::InvCreate(const std::string& path,
+                                       const LoSpec& spec) {
+  PGLO_ASSIGN_OR_RETURN(
+      Frame reply,
+      Expect(wire::MakeInvCreate(path, spec), FrameType::kU64Reply));
+  return reply.u64;
+}
+
+Result<uint32_t> PgloClient::InvOpen(const std::string& path, bool writable) {
+  PGLO_ASSIGN_OR_RETURN(
+      Frame reply,
+      Expect(wire::MakeInvOpen(path, writable), FrameType::kHandleReply));
+  return reply.u32_a;
+}
+
+Result<uint64_t> PgloClient::InvMkdir(const std::string& path) {
+  PGLO_ASSIGN_OR_RETURN(
+      Frame reply, Expect(wire::MakePathOp(FrameType::kInvMkdir, path),
+                          FrameType::kU64Reply));
+  return reply.u64;
+}
+
+Status PgloClient::InvRemove(const std::string& path) {
+  return Expect(wire::MakePathOp(FrameType::kInvRemove, path), FrameType::kOk)
+      .status();
+}
+
+Status PgloClient::Bye() {
+  Frame req;
+  req.type = FrameType::kBye;
+  return Expect(req, FrameType::kOk).status();
+}
+
+}  // namespace pglo

@@ -1,0 +1,91 @@
+#ifndef PGLO_CLIENT_CLIENT_H_
+#define PGLO_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "lo/large_object.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace pglo {
+
+/// Blocking pglo-wire-v1 client: the remote analogue of a Session, one
+/// connection per instance, strictly ping-pong (every request waits for
+/// its reply). Engine errors come back as the server's typed Status —
+/// codes survive the wire — so remote callers handle failures exactly as
+/// embedded ones do. Not thread-safe: one thread per client, like one
+/// thread per Session.
+///
+/// Handles returned by OpenLo/InvOpen are server-side descriptor ids;
+/// they die with the transaction (COMMIT/ABORT invalidates them, exactly
+/// as LoDescriptors die at transaction end in the embedded API).
+class PgloClient {
+ public:
+  /// Dials host:port and performs the HELLO handshake. A server at its
+  /// admission limit answers with a REJECT frame, surfaced here as
+  /// kResourceExhausted with the server's load figures in the message.
+  static Result<std::unique_ptr<PgloClient>> Connect(
+      const std::string& host, uint16_t port,
+      const std::string& client_name = "pglo_client");
+
+  ~PgloClient();
+  PgloClient(const PgloClient&) = delete;
+  PgloClient& operator=(const PgloClient&) = delete;
+
+  // --- transactions ----------------------------------------------------
+  Status Begin();
+  /// Read-only time-travel transaction as of commit tick `as_of`.
+  Status BeginAsOf(uint64_t as_of);
+  /// Returns the commit tick. On failure the transaction is still open.
+  Result<uint64_t> Commit();
+  Status Abort();
+
+  // --- large objects ---------------------------------------------------
+  Result<uint64_t> CreateLo(const LoSpec& spec = {});
+  Result<uint32_t> OpenLo(uint64_t oid, bool writable);
+  Result<Bytes> Read(uint32_t handle, uint32_t n);
+  Status Write(uint32_t handle, Slice data);
+  Result<uint64_t> Seek(uint32_t handle, int64_t off, Whence whence);
+  Status CloseLo(uint32_t handle);
+
+  // --- Inversion paths -------------------------------------------------
+  Result<uint64_t> InvCreate(const std::string& path, const LoSpec& spec = {});
+  Result<uint32_t> InvOpen(const std::string& path, bool writable);
+  Result<uint64_t> InvMkdir(const std::string& path);
+  Status InvRemove(const std::string& path);
+
+  /// Polite disconnect (BYE, wait for OK). The destructor just closes.
+  Status Bye();
+
+  /// Server-assigned backend id (the row to look for in pglo_top
+  /// --activity).
+  uint32_t backend_id() const { return backend_id_; }
+
+  // --- low-level access for tests and the traffic generator ------------
+  /// Sends a request and returns the reply frame verbatim (kError frames
+  /// are returned, not converted). For protocol tests.
+  Result<wire::Frame> RoundTrip(const wire::Frame& request);
+  /// Writes raw bytes to the socket, bypassing the codec — for feeding
+  /// the server garbage in tests.
+  Status SendRaw(Slice bytes);
+  /// Hard-kills the connection (no BYE): shutdown + close, so the server
+  /// sees a peer vanish mid-whatever. The socket-kill fault helper.
+  void Kill();
+  int fd() const;
+
+ private:
+  explicit PgloClient(int fd) : conn_(fd) {}
+
+  /// RoundTrip + map kError replies to Status; expects `want` otherwise.
+  Result<wire::Frame> Expect(const wire::Frame& request, wire::FrameType want);
+
+  net::FrameConn conn_;
+  uint32_t backend_id_ = 0;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_CLIENT_CLIENT_H_

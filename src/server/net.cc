@@ -1,0 +1,145 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pglo {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> Listen(const std::string& host, uint16_t port, int backlog) {
+  PGLO_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> Dial(const std::string& host, uint16_t port) {
+  PGLO_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status FrameConn::Send(const wire::Frame& frame) {
+  Bytes encoded = wire::EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < encoded.size()) {
+    ssize_t n = ::send(fd(), encoded.data() + sent, encoded.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<wire::Frame> FrameConn::Recv() {
+  for (;;) {
+    wire::Frame frame;
+    size_t consumed = 0;
+    Status error;
+    wire::DecodeOutcome outcome = wire::DecodeFrame(
+        Slice(buf_.data() + pos_, buf_.size() - pos_), &frame, &consumed,
+        &error);
+    if (outcome == wire::DecodeOutcome::kFrame) {
+      pos_ += consumed;
+      // Reclaim the consumed prefix once nothing is buffered past it —
+      // the common case, since requests are strictly ping-pong.
+      if (pos_ == buf_.size()) {
+        buf_.clear();
+        pos_ = 0;
+      }
+      return frame;
+    }
+    if (outcome == wire::DecodeOutcome::kBadFrame) return error;
+
+    // kNeedMore: pull another chunk off the socket.
+    if (pos_ > 0) {
+      buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+      pos_ = 0;
+    }
+    size_t at = buf_.size();
+    buf_.resize(at + 65536);
+    ssize_t n = ::recv(fd(), buf_.data() + at, 65536, 0);
+    if (n < 0 && errno == EINTR) {
+      buf_.resize(at);
+      continue;
+    }
+    if (n <= 0) {
+      buf_.resize(at);
+      if (n == 0 && buf_.empty()) {
+        return Status::IOError("connection closed by peer");
+      }
+      return n == 0 ? Status::IOError("connection closed mid-frame")
+                    : Errno("recv");
+    }
+    buf_.resize(at + static_cast<size_t>(n));
+  }
+}
+
+void FrameConn::Shutdown() {
+  int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void FrameConn::Close() {
+  int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace net
+}  // namespace pglo

@@ -1,0 +1,72 @@
+#ifndef PGLO_SERVER_NET_H_
+#define PGLO_SERVER_NET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "server/wire.h"
+
+namespace pglo {
+namespace net {
+
+/// Thin POSIX TCP helpers shared by the pglo server and client: a socket
+/// is just a carrier for pglo-wire-v1 frames, so everything here speaks
+/// whole frames. All calls are blocking; Stop-style cancellation works by
+/// shutdown(2) on the fd from another thread, which makes the blocked
+/// recv/send return and the typed error surface.
+
+/// Creates a listening TCP socket bound to host:port (port 0 = kernel
+/// picks an ephemeral port; read it back with LocalPort). SO_REUSEADDR is
+/// set so test servers can rebind immediately.
+Result<int> Listen(const std::string& host, uint16_t port, int backlog);
+
+/// The locally bound port of a socket (after Listen with port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Connects to host:port; returns the connected fd with TCP_NODELAY set
+/// (frames are small and latency-sensitive).
+Result<int> Dial(const std::string& host, uint16_t port);
+
+/// A buffered, framed connection over one connected fd. Owns the fd:
+/// closes it on destruction. Send/Recv are whole-frame operations; Recv
+/// buffers partial reads internally until DecodeFrame has one complete
+/// frame. Not thread-safe — one thread drives a connection (Shutdown is
+/// the exception: it may be called from any thread to unblock I/O).
+class FrameConn {
+ public:
+  explicit FrameConn(int fd) : fd_(fd) {}
+  ~FrameConn() { Close(); }
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+
+  /// Sends one encoded frame (handles short writes; MSG_NOSIGNAL so a dead
+  /// peer yields a Status, not SIGPIPE).
+  Status Send(const wire::Frame& frame);
+
+  /// Receives the next frame. Typed failures:
+  ///   kIOError        — peer closed (clean EOF or reset) or socket error
+  ///   kInvalidArgument/kNotSupported — framing/decoding violation (the
+  ///                     connection is unrecoverable; tear it down)
+  Result<wire::Frame> Recv();
+
+  /// Unblocks any thread stuck in Send/Recv by half-closing both
+  /// directions. Safe to call from another thread; Close still required.
+  void Shutdown();
+
+  void Close();
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+
+ private:
+  // Atomic because Shutdown (and fd()) may run on another thread while
+  // the owner is inside Send/Recv/Close.
+  std::atomic<int> fd_;
+  Bytes buf_;       ///< undecoded bytes carried across Recv calls
+  size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+}  // namespace net
+}  // namespace pglo
+
+#endif  // PGLO_SERVER_NET_H_

@@ -1,0 +1,120 @@
+#ifndef PGLO_SERVER_SERVER_H_
+#define PGLO_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/database.h"
+#include "inversion/inversion_fs.h"
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace pglo {
+
+/// Construction parameters for a PgloServer.
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port() after Start().
+  uint16_t port = 0;
+  /// Admission control: connections past this limit receive one REJECT
+  /// frame (current load, limit, message) and are closed without ever
+  /// touching the engine — backpressure, not queueing (DESIGN.md §16).
+  uint32_t max_connections = 64;
+  int backlog = 128;
+};
+
+/// The pglo socket server: pglo-wire-v1 over TCP, one thread and one
+/// engine Session per connection — the 1993 process-per-backend model,
+/// with threads for processes (item 1's thread-safe engine makes that
+/// legal from day one).
+///
+/// Lifecycle per connection:
+///   HELLO → Session created (the backend appears in the Database's
+///   activity table, so `pglo_top --activity` shows remote backends) →
+///   request/reply loop → BYE or EOF → in-progress transaction aborted,
+///   session destroyed (activity slot freed).
+///
+/// Engine errors are replies (kError with the engine's StatusCode), not
+/// disconnects; protocol violations (garbage framing, HELLO twice) answer
+/// with kError where possible and close, since frame boundaries are
+/// unrecoverable. Stop() is graceful: the listener closes first, then
+/// every live connection is shut down and joined — in-flight transactions
+/// roll back exactly as a dropped connection would.
+///
+/// Counters (in the Database's StatsRegistry, `server.*`):
+///   server.conns.accepted / .rejected / .closed
+///   server.frames.in / .out
+///   server.txns.disconnect_aborts — transactions rolled back because the
+///     peer vanished mid-transaction (the fault-injection test's signal).
+class PgloServer {
+ public:
+  /// `inv` may be null: Inversion path ops then answer kNotSupported.
+  /// Both borrowed; must outlive the server.
+  PgloServer(Database* db, InversionFs* inv, ServerOptions options = {});
+  ~PgloServer();
+  PgloServer(const PgloServer&) = delete;
+  PgloServer& operator=(const PgloServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Graceful shutdown: stop accepting, shut down every live connection,
+  /// join all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Live connection count (post-HELLO or mid-handshake).
+  uint32_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    std::unique_ptr<net::FrameConn> io;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// Per-connection protocol state, owned by the connection's thread.
+  struct ConnState;
+
+  void AcceptLoop();
+  void Serve(Conn* conn);
+  /// Handles one request; returns the reply. Sets *fatal when the
+  /// connection must close after the reply (protocol violation).
+  wire::Frame Dispatch(ConnState& st, const wire::Frame& req, bool* fatal);
+  /// Joins finished connection threads (called from the accept loop and
+  /// Stop; never from a connection thread).
+  void ReapFinished();
+
+  Database* db_;
+  InversionFs* inv_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint32_t> active_{0};
+
+  mutable std::mutex mu_;  ///< guards conns_
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  // Null when the Database runs without stats.
+  Counter* c_accepted_ = nullptr;
+  Counter* c_rejected_ = nullptr;
+  Counter* c_closed_ = nullptr;
+  Counter* c_frames_in_ = nullptr;
+  Counter* c_frames_out_ = nullptr;
+  Counter* c_disconnect_aborts_ = nullptr;
+};
+
+}  // namespace pglo
+
+#endif  // PGLO_SERVER_SERVER_H_

@@ -1,0 +1,520 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace pglo {
+namespace wire {
+
+namespace {
+
+/// Bounds-checked sequential reader over one payload slice. Every getter
+/// fails (and stays failed) instead of reading past the end; Done() then
+/// rejects trailing bytes, so a payload decodes iff it is exactly the
+/// fields the frame type specifies.
+class Reader {
+ public:
+  explicit Reader(Slice in) : in_(in) {}
+
+  bool U8(uint8_t* v) {
+    if (failed_ || in_.size() - pos_ < 1) return Fail();
+    *v = in_[pos_++];
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (failed_ || in_.size() - pos_ < 4) return Fail();
+    *v = DecodeFixed32(in_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (failed_ || in_.size() - pos_ < 8) return Fail();
+    *v = DecodeFixed64(in_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!U64(&u)) return false;
+    std::memcpy(v, &u, sizeof(u));
+    return true;
+  }
+  bool Blob(size_t cap, Bytes* v) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (n > cap || in_.size() - pos_ < n) return Fail();
+    v->assign(in_.data() + pos_, in_.data() + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+  bool Str(size_t cap, std::string* v) {
+    uint32_t n;
+    if (!U32(&n)) return false;
+    if (n > cap || in_.size() - pos_ < n) return Fail();
+    v->assign(reinterpret_cast<const char*>(in_.data()) + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  /// True when the whole payload was consumed without a short read.
+  bool Done() const { return !failed_ && pos_ == in_.size(); }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+  Slice in_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Appends fixed-width / length-prefixed fields to a growing buffer.
+class Writer {
+ public:
+  explicit Writer(Bytes* out) : out_(out) {}
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) {
+    size_t at = out_->size();
+    out_->resize(at + 4);
+    EncodeFixed32(out_->data() + at, v);
+  }
+  void U64(uint64_t v) {
+    size_t at = out_->size();
+    out_->resize(at + 8);
+    EncodeFixed64(out_->data() + at, v);
+  }
+  void I64(int64_t v) {
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(v));
+    U64(u);
+  }
+  void Blob(Slice v) {
+    U32(static_cast<uint32_t>(v.size()));
+    out_->insert(out_->end(), v.data(), v.data() + v.size());
+  }
+  void Str(const std::string& v) { Blob(Slice(std::string_view(v))); }
+
+ private:
+  Bytes* out_;
+};
+
+/// Payload caps for the string fields; generous but bounded, so a hostile
+/// length prefix cannot demand a giant allocation.
+constexpr size_t kMaxString = 4096;
+
+constexpr uint8_t kMaxStatusCode = static_cast<uint8_t>(StatusCode::kUnavailable);
+constexpr uint8_t kMaxStorageKind = static_cast<uint8_t>(StorageKind::kVSegment);
+constexpr uint8_t kMaxWhence = static_cast<uint8_t>(Whence::kEnd);
+
+Status BadPayload(FrameType t, const char* what) {
+  return Status::InvalidArgument(std::string("wire: bad ") +
+                                 FrameTypeName(t) + " payload: " + what);
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kHello:
+    case FrameType::kBye:
+    case FrameType::kBegin:
+    case FrameType::kCommit:
+    case FrameType::kAbort:
+    case FrameType::kLoCreate:
+    case FrameType::kLoOpen:
+    case FrameType::kLoRead:
+    case FrameType::kLoWrite:
+    case FrameType::kLoSeek:
+    case FrameType::kLoClose:
+    case FrameType::kInvCreate:
+    case FrameType::kInvOpen:
+    case FrameType::kInvMkdir:
+    case FrameType::kInvRemove:
+    case FrameType::kHelloOk:
+    case FrameType::kReject:
+    case FrameType::kOk:
+    case FrameType::kU64Reply:
+    case FrameType::kHandleReply:
+    case FrameType::kDataReply:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "HELLO";
+    case FrameType::kBye: return "BYE";
+    case FrameType::kBegin: return "BEGIN";
+    case FrameType::kCommit: return "COMMIT";
+    case FrameType::kAbort: return "ABORT";
+    case FrameType::kLoCreate: return "LO_CREATE";
+    case FrameType::kLoOpen: return "LO_OPEN";
+    case FrameType::kLoRead: return "LO_READ";
+    case FrameType::kLoWrite: return "LO_WRITE";
+    case FrameType::kLoSeek: return "LO_SEEK";
+    case FrameType::kLoClose: return "LO_CLOSE";
+    case FrameType::kInvCreate: return "INV_CREATE";
+    case FrameType::kInvOpen: return "INV_OPEN";
+    case FrameType::kInvMkdir: return "INV_MKDIR";
+    case FrameType::kInvRemove: return "INV_REMOVE";
+    case FrameType::kHelloOk: return "HELLO_OK";
+    case FrameType::kReject: return "REJECT";
+    case FrameType::kOk: return "OK";
+    case FrameType::kU64Reply: return "U64";
+    case FrameType::kHandleReply: return "HANDLE";
+    case FrameType::kDataReply: return "DATA";
+    case FrameType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Frame MakeHello(const std::string& client_name) {
+  Frame f;
+  f.type = FrameType::kHello;
+  f.u32_a = kProtocolVersion;
+  f.text = client_name;
+  return f;
+}
+
+Frame MakeHelloOk(uint32_t backend_id) {
+  Frame f;
+  f.type = FrameType::kHelloOk;
+  f.u32_a = kProtocolVersion;
+  f.u32_b = backend_id;
+  return f;
+}
+
+Frame MakeReject(uint32_t active, uint32_t max, const std::string& message) {
+  Frame f;
+  f.type = FrameType::kReject;
+  f.u32_a = active;
+  f.u32_b = max;
+  f.text = message;
+  return f;
+}
+
+Frame MakeBegin(uint64_t as_of) {
+  Frame f;
+  f.type = FrameType::kBegin;
+  f.u64 = as_of;
+  return f;
+}
+
+Frame MakeLoCreate(const LoSpec& spec) {
+  Frame f;
+  f.type = FrameType::kLoCreate;
+  f.u8_a = static_cast<uint8_t>(spec.kind);
+  f.u8_b = spec.smgr;
+  f.chunk_size = spec.chunk_size;
+  f.max_segment = spec.max_segment;
+  f.text = spec.codec;
+  return f;
+}
+
+Frame MakeLoOpen(uint64_t oid, bool writable) {
+  Frame f;
+  f.type = FrameType::kLoOpen;
+  f.u64 = oid;
+  f.u8_a = writable ? 1 : 0;
+  return f;
+}
+
+Frame MakeLoRead(uint32_t handle, uint32_t n) {
+  Frame f;
+  f.type = FrameType::kLoRead;
+  f.u32_a = handle;
+  f.u32_b = n;
+  return f;
+}
+
+Frame MakeLoWrite(uint32_t handle, Slice data) {
+  Frame f;
+  f.type = FrameType::kLoWrite;
+  f.u32_a = handle;
+  f.data = data.ToBytes();
+  return f;
+}
+
+Frame MakeLoSeek(uint32_t handle, int64_t off, Whence whence) {
+  Frame f;
+  f.type = FrameType::kLoSeek;
+  f.u32_a = handle;
+  f.i64 = off;
+  f.u8_a = static_cast<uint8_t>(whence);
+  return f;
+}
+
+Frame MakeHandleOp(FrameType type, uint32_t handle) {
+  Frame f;
+  f.type = type;
+  f.u32_a = handle;
+  return f;
+}
+
+Frame MakeInvCreate(const std::string& path, const LoSpec& spec) {
+  Frame f = MakeLoCreate(spec);
+  f.type = FrameType::kInvCreate;
+  f.text = spec.codec;
+  // Path travels in `data` so codec keeps the `text` slot — two strings.
+  f.data.assign(path.begin(), path.end());
+  return f;
+}
+
+Frame MakeInvOpen(const std::string& path, bool writable) {
+  Frame f;
+  f.type = FrameType::kInvOpen;
+  f.text = path;
+  f.u8_a = writable ? 1 : 0;
+  return f;
+}
+
+Frame MakePathOp(FrameType type, const std::string& path) {
+  Frame f;
+  f.type = type;
+  f.text = path;
+  return f;
+}
+
+Frame MakeU64Reply(uint64_t value) {
+  Frame f;
+  f.type = FrameType::kU64Reply;
+  f.u64 = value;
+  return f;
+}
+
+Frame MakeDataReply(Bytes data) {
+  Frame f;
+  f.type = FrameType::kDataReply;
+  f.data = std::move(data);
+  return f;
+}
+
+Frame MakeError(const Status& error) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.u8_a = static_cast<uint8_t>(error.code());
+  f.text = std::string(error.message());
+  return f;
+}
+
+LoSpec SpecOf(const Frame& f) {
+  LoSpec spec;
+  spec.kind = static_cast<StorageKind>(f.u8_a);
+  spec.smgr = f.u8_b;
+  spec.chunk_size = f.chunk_size;
+  spec.max_segment = f.max_segment;
+  // Both create frames keep codec in `text`; INV_CREATE's path travels in
+  // `data` (see MakeInvCreate) and is not part of the spec.
+  spec.codec = f.text;
+  return spec;
+}
+
+Status ErrorOf(const Frame& f) {
+  return Status(static_cast<StatusCode>(f.u8_a), f.text);
+}
+
+Bytes EncodeFrame(const Frame& f) {
+  Bytes out;
+  out.resize(4);  // length word backpatched below
+  Writer w(&out);
+  w.U8(static_cast<uint8_t>(f.type));
+  switch (f.type) {
+    case FrameType::kHello:
+      w.U32(f.u32_a);
+      w.Str(f.text);
+      break;
+    case FrameType::kBye:
+    case FrameType::kCommit:
+    case FrameType::kAbort:
+    case FrameType::kOk:
+      break;
+    case FrameType::kBegin:
+      w.U64(f.u64);
+      break;
+    case FrameType::kLoCreate:
+      w.U8(f.u8_a);
+      w.U8(f.u8_b);
+      w.U32(f.chunk_size);
+      w.U32(f.max_segment);
+      w.Str(f.text);
+      break;
+    case FrameType::kLoOpen:
+      w.U64(f.u64);
+      w.U8(f.u8_a);
+      break;
+    case FrameType::kLoRead:
+      w.U32(f.u32_a);
+      w.U32(f.u32_b);
+      break;
+    case FrameType::kLoWrite:
+      w.U32(f.u32_a);
+      w.Blob(Slice(f.data));
+      break;
+    case FrameType::kLoSeek:
+      w.U32(f.u32_a);
+      w.I64(f.i64);
+      w.U8(f.u8_a);
+      break;
+    case FrameType::kLoClose:
+    case FrameType::kHandleReply:
+      w.U32(f.u32_a);
+      break;
+    case FrameType::kInvCreate:
+      w.Blob(Slice(f.data));  // path
+      w.U8(f.u8_a);
+      w.U8(f.u8_b);
+      w.U32(f.chunk_size);
+      w.U32(f.max_segment);
+      w.Str(f.text);  // codec
+      break;
+    case FrameType::kInvOpen:
+      w.Str(f.text);
+      w.U8(f.u8_a);
+      break;
+    case FrameType::kInvMkdir:
+    case FrameType::kInvRemove:
+      w.Str(f.text);
+      break;
+    case FrameType::kHelloOk:
+      w.U32(f.u32_a);
+      w.U32(f.u32_b);
+      break;
+    case FrameType::kReject:
+      w.U32(f.u32_a);
+      w.U32(f.u32_b);
+      w.Str(f.text);
+      break;
+    case FrameType::kU64Reply:
+      w.U64(f.u64);
+      break;
+    case FrameType::kDataReply:
+      w.Blob(Slice(f.data));
+      break;
+    case FrameType::kError:
+      w.U8(f.u8_a);
+      w.Str(f.text);
+      break;
+  }
+  EncodeFixed32(out.data(), static_cast<uint32_t>(out.size() - 4));
+  return out;
+}
+
+Result<Frame> DecodePayload(FrameType type, Slice payload) {
+  Frame f;
+  f.type = type;
+  Reader r(payload);
+  bool ok = true;
+  switch (type) {
+    case FrameType::kHello:
+      ok = r.U32(&f.u32_a) && r.Str(kMaxString, &f.text);
+      break;
+    case FrameType::kBye:
+    case FrameType::kCommit:
+    case FrameType::kAbort:
+    case FrameType::kOk:
+      break;
+    case FrameType::kBegin:
+      ok = r.U64(&f.u64);
+      break;
+    case FrameType::kLoCreate:
+      ok = r.U8(&f.u8_a) && r.U8(&f.u8_b) && r.U32(&f.chunk_size) &&
+           r.U32(&f.max_segment) && r.Str(kMaxString, &f.text);
+      if (ok && f.u8_a > kMaxStorageKind) {
+        return BadPayload(type, "storage kind out of range");
+      }
+      break;
+    case FrameType::kLoOpen:
+      ok = r.U64(&f.u64) && r.U8(&f.u8_a);
+      if (ok && f.u8_a > 1) return BadPayload(type, "writable flag not 0/1");
+      break;
+    case FrameType::kLoRead:
+      ok = r.U32(&f.u32_a) && r.U32(&f.u32_b);
+      if (ok && f.u32_b > kMaxDataBytes) {
+        return BadPayload(type, "read size over limit");
+      }
+      break;
+    case FrameType::kLoWrite:
+      ok = r.U32(&f.u32_a) && r.Blob(kMaxDataBytes, &f.data);
+      break;
+    case FrameType::kLoSeek:
+      ok = r.U32(&f.u32_a) && r.I64(&f.i64) && r.U8(&f.u8_a);
+      if (ok && f.u8_a > kMaxWhence) {
+        return BadPayload(type, "whence out of range");
+      }
+      break;
+    case FrameType::kLoClose:
+    case FrameType::kHandleReply:
+      ok = r.U32(&f.u32_a);
+      break;
+    case FrameType::kInvCreate:
+      ok = r.Blob(kMaxString, &f.data) && r.U8(&f.u8_a) && r.U8(&f.u8_b) &&
+           r.U32(&f.chunk_size) && r.U32(&f.max_segment) &&
+           r.Str(kMaxString, &f.text);
+      if (ok && f.u8_a > kMaxStorageKind) {
+        return BadPayload(type, "storage kind out of range");
+      }
+      break;
+    case FrameType::kInvOpen:
+      ok = r.Str(kMaxString, &f.text) && r.U8(&f.u8_a);
+      if (ok && f.u8_a > 1) return BadPayload(type, "writable flag not 0/1");
+      break;
+    case FrameType::kInvMkdir:
+    case FrameType::kInvRemove:
+      ok = r.Str(kMaxString, &f.text);
+      break;
+    case FrameType::kHelloOk:
+      ok = r.U32(&f.u32_a) && r.U32(&f.u32_b);
+      break;
+    case FrameType::kReject:
+      ok = r.U32(&f.u32_a) && r.U32(&f.u32_b) && r.Str(kMaxString, &f.text);
+      break;
+    case FrameType::kU64Reply:
+      ok = r.U64(&f.u64);
+      break;
+    case FrameType::kDataReply:
+      ok = r.Blob(kMaxDataBytes, &f.data);
+      break;
+    case FrameType::kError:
+      ok = r.U8(&f.u8_a) && r.Str(kMaxString, &f.text);
+      if (ok && (f.u8_a == 0 || f.u8_a > kMaxStatusCode)) {
+        return BadPayload(type, "status code out of range");
+      }
+      break;
+  }
+  if (!ok) return BadPayload(type, "short field");
+  if (!r.Done()) return BadPayload(type, "trailing bytes");
+  return f;
+}
+
+DecodeOutcome DecodeFrame(Slice in, Frame* out, size_t* consumed,
+                          Status* error) {
+  *consumed = 0;
+  if (in.size() < 4) return DecodeOutcome::kNeedMore;
+  uint32_t len = DecodeFixed32(in.data());
+  if (len < 1 || len > kMaxFrameLen) {
+    *error = Status::InvalidArgument(
+        "wire: frame length " + std::to_string(len) + " outside [1, " +
+        std::to_string(kMaxFrameLen) + "]");
+    return DecodeOutcome::kBadFrame;
+  }
+  if (in.size() - 4 < len) return DecodeOutcome::kNeedMore;
+  uint8_t type = in[4];
+  if (!IsKnownFrameType(type)) {
+    *error = Status::NotSupported("wire: unknown frame type " +
+                                  std::to_string(static_cast<int>(type)));
+    return DecodeOutcome::kBadFrame;
+  }
+  Result<Frame> frame =
+      DecodePayload(static_cast<FrameType>(type), in.Sub(5, len - 1));
+  if (!frame.ok()) {
+    *error = frame.status();
+    return DecodeOutcome::kBadFrame;
+  }
+  *out = std::move(frame).value();
+  *consumed = 4 + static_cast<size_t>(len);
+  return DecodeOutcome::kFrame;
+}
+
+}  // namespace wire
+}  // namespace pglo

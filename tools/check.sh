@@ -33,6 +33,12 @@
 # CompactAll + Vacuum, then bench_compare guards its simulated times
 # against the committed baseline.
 #
+# A server gate smoke-runs the wire protocol end to end: bench_traffic
+# --quick drives dozens of concurrent pglo-wire-v1 clients through an
+# in-process PgloServer over loopback (DESIGN.md §16), failing on any
+# transaction error; its JSON (and the committed baseline) are
+# schema-validated, never numerically compared — latencies are wall clock.
+#
 # "ci" is the mode for unattended runs (.github/workflows/ci.yml): the full
 # "all" sequence, with a per-test ctest timeout so a hung test fails the
 # run instead of wedging it. PGLO_TEST_TIMEOUT overrides the default 600 s.
@@ -137,17 +143,41 @@ concurrency_gate() {
   trap - EXIT
 }
 
+server_gate() {
+  builddir="$1"
+  baseline="bench/baselines/BENCH_traffic_quick.json"
+  echo "== server gate: bench_traffic --quick (schema-validated) =="
+  workdir="$(mktemp -d /tmp/pglo_server_gate_XXXXXX)"
+  trap 'rm -rf "$workdir"' EXIT
+  out="$workdir/BENCH_traffic_quick.json"
+  # The traffic generator gates its own shape (zero transaction errors
+  # across the sweep; the bottom load rung must keep up). Its latencies
+  # are wall-clock and machine-dependent, so — as with bench_concurrency —
+  # both the fresh output and the committed baseline are schema-validated
+  # but never numerically compared.
+  "$builddir/bench/bench_traffic" --quick --json="$out" \
+      "$workdir/db" > "$workdir/bench.log"
+  "$builddir/tools/bench_compare" --validate "$out"
+  "$builddir/tools/bench_compare" --validate "$baseline"
+  rm -rf "$workdir"
+  trap - EXIT
+}
+
 tsan_smoke_gate() {
-  # Build only the concurrency smoke test under ThreadSanitizer and run it
-  # directly: a full TSan suite run is 10-20x slower than native, and the
-  # multi-backend test is the one that exercises every cross-thread path
-  # (pool latches, group-commit queue, commit-log sync split, relation
-  # latches, session lifecycle).
-  echo "== tsan smoke: concurrency_test under ThreadSanitizer =="
+  # Build only the cross-thread smoke tests under ThreadSanitizer and run
+  # them directly: a full TSan suite run is 10-20x slower than native.
+  # concurrency_test exercises every engine cross-thread path (pool
+  # latches, group-commit queue, commit-log sync split, relation latches,
+  # session lifecycle); server_test adds the socket server's
+  # thread-per-connection paths (accept/serve/stop handshakes, admission
+  # control, cross-thread Shutdown, disconnect-abort).
+  echo "== tsan smoke: concurrency_test + server_test under ThreadSanitizer =="
   cmake --preset tsan
-  cmake --build --preset tsan --target concurrency_test -j "$(nproc)"
+  cmake --build --preset tsan --target concurrency_test server_test -j "$(nproc)"
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
       build-tsan/tests/concurrency_test
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      build-tsan/tests/server_test
 }
 
 case "${1:-default}" in
@@ -158,6 +188,7 @@ case "${1:-default}" in
     crashtest_gate build
     concurrency_gate build
     fragmentation_gate build
+    server_gate build
     ;;
   asan)
     run_preset asan
@@ -173,6 +204,7 @@ case "${1:-default}" in
     crashtest_gate build
     concurrency_gate build
     fragmentation_gate build
+    server_gate build
     run_preset asan
     crashtest_gate build-asan
     tsan_smoke_gate
@@ -187,6 +219,7 @@ case "${1:-default}" in
     crashtest_gate build
     concurrency_gate build
     fragmentation_gate build
+    server_gate build
     run_preset asan "$timeout"
     crashtest_gate build-asan
     tsan_smoke_gate
